@@ -1,0 +1,123 @@
+// Package acesim is a discrete-event simulator reproducing "Enabling
+// Compute-Communication Overlap in Distributed Deep Learning Training
+// Platforms" (Rashidi et al., ISCA 2021): the ACE collective-communication
+// engine, the software baselines it is compared against, the 3D-torus
+// accelerator fabric, the ResNet-50 / GNMT / DLRM training workloads, and
+// the full experiment harness behind every table and figure of the paper.
+//
+// The root package is a facade over the internal packages; it exposes
+// everything needed to build a platform, run collectives and training
+// iterations, and regenerate the paper's experiments. See DESIGN.md for
+// the modeling details and EXPERIMENTS.md for measured results.
+//
+// Quick start:
+//
+//	spec := acesim.NewSpec(acesim.Torus{L: 4, V: 2, H: 2}, acesim.ACE)
+//	res, err := acesim.RunCollective(spec, acesim.AllReduce, 64<<20)
+//	// res.EffGBpsNode is the achieved network bandwidth per NPU.
+package acesim
+
+import (
+	"acesim/internal/collectives"
+	"acesim/internal/des"
+	"acesim/internal/exper"
+	"acesim/internal/noc"
+	"acesim/internal/system"
+	"acesim/internal/training"
+	"acesim/internal/workload"
+)
+
+// Torus is the accelerator-fabric shape (LxVxH, Table V).
+type Torus = noc.Torus
+
+// Preset selects a Table VI system configuration.
+type Preset = system.Preset
+
+// The five Table VI configurations.
+const (
+	BaselineNoOverlap = system.BaselineNoOverlap
+	BaselineCommOpt   = system.BaselineCommOpt
+	BaselineCompOpt   = system.BaselineCompOpt
+	ACE               = system.ACE
+	Ideal             = system.Ideal
+)
+
+// Presets lists the five configurations in the paper's order.
+func Presets() []Preset { return system.Presets() }
+
+// ParsePreset resolves a preset by its printed name.
+func ParsePreset(s string) (Preset, error) { return system.ParsePreset(s) }
+
+// Spec fully describes a simulated platform (Table V parameters plus a
+// Table VI preset). Obtain one from NewSpec and adjust fields as needed.
+type Spec = system.Spec
+
+// NewSpec returns the paper's platform at the given size and preset.
+func NewSpec(t Torus, p Preset) Spec { return system.NewSpec(t, p) }
+
+// System is a fully wired platform.
+type System = system.System
+
+// Build constructs a platform from a spec.
+func Build(spec Spec) (*System, error) { return system.Build(spec) }
+
+// CollectiveKind selects the collective operation.
+type CollectiveKind = collectives.Kind
+
+// Collective kinds used by the paper's workloads.
+const (
+	AllReduce = collectives.AllReduce
+	AllToAll  = collectives.AllToAll
+)
+
+// CollectiveResult summarizes a standalone collective run.
+type CollectiveResult = exper.CollectiveResult
+
+// RunCollective executes one collective of the given kind and per-node
+// payload on a freshly built system.
+func RunCollective(spec Spec, kind CollectiveKind, bytes int64) (CollectiveResult, error) {
+	return exper.RunCollective(spec, kind, bytes)
+}
+
+// Model is a training workload.
+type Model = workload.Model
+
+// The paper's three evaluation workloads at their default per-NPU batch
+// sizes (32 / 128 / 512).
+func ResNet50() *Model { return workload.ResNet50(workload.ResNet50Batch) }
+
+// GNMT returns the GNMT workload.
+func GNMT() *Model { return workload.GNMT(workload.GNMTBatch) }
+
+// DLRM returns the DLRM workload.
+func DLRM() *Model { return workload.DLRM(workload.DLRMBatch) }
+
+// WorkloadByName resolves "resnet50", "gnmt" or "dlrm".
+func WorkloadByName(name string) (*Model, error) { return workload.ByName(name) }
+
+// TrainConfig tunes a training measurement.
+type TrainConfig = training.Config
+
+// DefaultTrainConfig returns the paper's two-iteration setup.
+func DefaultTrainConfig() TrainConfig { return training.DefaultConfig() }
+
+// TrainResult is a training measurement (compute, exposed communication,
+// iteration time).
+type TrainResult = exper.TrainResult
+
+// RunTraining measures the given workload on a freshly built system.
+func RunTraining(spec Spec, m *Model, tc TrainConfig) (TrainResult, error) {
+	res, _, err := exper.RunTraining(spec, m, tc)
+	return res, err
+}
+
+// Time is simulated time in picoseconds.
+type Time = des.Time
+
+// Sizes4 returns the paper's four evaluation sizes: 16, 32, 64 and 128
+// NPUs.
+func Sizes4() []Torus { return exper.Sizes4() }
+
+// FastGranularity coarsens chunking for large simulations (fidelity knob;
+// see DESIGN.md).
+func FastGranularity(spec *Spec) { exper.FastGranularity(spec) }

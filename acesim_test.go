@@ -1,0 +1,44 @@
+package acesim_test
+
+import (
+	"testing"
+
+	"acesim"
+)
+
+func TestFacadeCollective(t *testing.T) {
+	spec := acesim.NewSpec(acesim.Torus{L: 4, V: 2, H: 2}, acesim.ACE)
+	res, err := acesim.RunCollective(spec, acesim.AllReduce, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration <= 0 || res.EffGBpsNode <= 0 {
+		t.Fatalf("degenerate: %+v", res)
+	}
+}
+
+func TestFacadeTraining(t *testing.T) {
+	spec := acesim.NewSpec(acesim.Torus{L: 4, V: 2, H: 2}, acesim.BaselineCompOpt)
+	res, err := acesim.RunTraining(spec, acesim.ResNet50(), acesim.DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IterTime <= 0 {
+		t.Fatal("no progress")
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	if acesim.ResNet50() == nil || acesim.GNMT() == nil || acesim.DLRM() == nil {
+		t.Fatal("nil workloads")
+	}
+	if _, err := acesim.WorkloadByName("dlrm"); err != nil {
+		t.Fatal(err)
+	}
+	if len(acesim.Presets()) != 5 || len(acesim.Sizes4()) != 4 {
+		t.Fatal("enumerations wrong")
+	}
+	if _, err := acesim.ParsePreset("ACE"); err != nil {
+		t.Fatal(err)
+	}
+}

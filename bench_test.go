@@ -1,0 +1,240 @@
+// Benchmarks: one testing.B benchmark per table and figure of the paper's
+// evaluation. Each runs a scaled (16-32 NPU) version of the experiment so
+// `go test -bench=.` finishes in minutes; the cmd/acesim harness runs the
+// full-size versions and EXPERIMENTS.md records the results. Reported
+// custom metrics carry the experiment's headline quantity.
+package acesim_test
+
+import (
+	"testing"
+
+	"acesim/internal/collectives"
+	"acesim/internal/exper"
+	"acesim/internal/hwmodel"
+	"acesim/internal/noc"
+	"acesim/internal/system"
+	"acesim/internal/training"
+	"acesim/internal/workload"
+)
+
+var benchTorus = noc.Torus{L: 4, V: 2, H: 2}
+
+// BenchmarkFig4 regenerates the compute-communication interference
+// microbenchmark (slowdown of an all-reduce under a concurrent kernel).
+func BenchmarkFig4(b *testing.B) {
+	kernels := []exper.Fig4Kernel{exper.GEMMKernel(1000), exper.EmbLookupKernel(10000)}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := exper.Fig4(kernels, []int64{10 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[len(rows)-1].Slowdown
+	}
+	b.ReportMetric(last, "slowdown")
+}
+
+// BenchmarkFig5 regenerates the comm-memory-bandwidth sensitivity sweep.
+func BenchmarkFig5(b *testing.B) {
+	var ace float64
+	for i := 0; i < b.N; i++ {
+		pts, _, err := exper.Fig5([]noc.Torus{benchTorus}, []float64{128, 450}, 16<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ace = pts[0].ACE
+	}
+	b.ReportMetric(ace, "ACE-GB/s@128")
+}
+
+// BenchmarkFig6 regenerates the SM-count sensitivity sweep.
+func BenchmarkFig6(b *testing.B) {
+	var bw float64
+	for i := 0; i < b.N; i++ {
+		pts, _, err := exper.Fig6([]noc.Torus{benchTorus}, []int{2, 6}, 16<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bw = pts[1].BWperNPU
+	}
+	b.ReportMetric(bw, "GB/s@6SM")
+}
+
+// BenchmarkFig9a regenerates two points of the ACE design-space sweep.
+func BenchmarkFig9a(b *testing.B) {
+	models := []*workload.Model{workload.ResNet50(workload.ResNet50Batch)}
+	var perf float64
+	for i := 0; i < b.N; i++ {
+		pts, _, err := exper.Fig9a(benchTorus, models, []int64{1 << 20, 4 << 20}, []int{16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		perf = pts[0].Perf
+	}
+	b.ReportMetric(perf, "perf@1MB")
+}
+
+// BenchmarkFig9b regenerates the ACE utilization measurement.
+func BenchmarkFig9b(b *testing.B) {
+	models := []*workload.Model{workload.ResNet50(workload.ResNet50Batch)}
+	var bwd float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := exper.Fig9b(benchTorus, models)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bwd = rows[0].BwdUtil
+	}
+	b.ReportMetric(bwd, "bwd-util")
+}
+
+// BenchmarkFig10 regenerates one compute/network utilization timeline.
+func BenchmarkFig10(b *testing.B) {
+	models := []*workload.Model{workload.ResNet50(workload.ResNet50Batch)}
+	var util float64
+	for i := 0; i < b.N; i++ {
+		traces, _, err := exper.Fig10(benchTorus, models, []system.Preset{system.ACE})
+		if err != nil {
+			b.Fatal(err)
+		}
+		util = traces[0].Row.MeanCmpUtil
+	}
+	b.ReportMetric(util, "compute-util")
+}
+
+// BenchmarkFig11 regenerates one size column of the scalability study
+// (all five systems, ResNet-50 + DLRM).
+func BenchmarkFig11(b *testing.B) {
+	models := []*workload.Model{
+		workload.ResNet50(workload.ResNet50Batch),
+		workload.DLRM(workload.DLRMBatch),
+	}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, _, _, err := exper.Fig11([]noc.Torus{benchTorus}, models)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ace, best float64
+		for _, r := range rows {
+			if r.Workload != "ResNet-50" {
+				continue
+			}
+			t := r.IterTime.Seconds()
+			switch r.Preset {
+			case system.ACE:
+				ace = t
+			case system.Ideal:
+			default:
+				if best == 0 || t < best {
+					best = t
+				}
+			}
+		}
+		speedup = best / ace
+	}
+	b.ReportMetric(speedup, "ACE-speedup")
+}
+
+// BenchmarkFig12 regenerates the DLRM optimized-loop experiment.
+func BenchmarkFig12(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := exper.Fig12(benchTorus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = rows[2].TotalUS / rows[3].TotalUS
+	}
+	b.ReportMetric(gain, "ACE-opt-gain")
+}
+
+// BenchmarkTable4 regenerates the area/power model.
+func BenchmarkTable4(b *testing.B) {
+	var area float64
+	for i := 0; i < b.N; i++ {
+		area = hwmodel.Total(hwmodel.DefaultConfig()).AreaUM2
+	}
+	b.ReportMetric(area/1e6, "mm2x100")
+}
+
+// BenchmarkAnalytic regenerates the Section VI-A traffic analysis
+// (closed form plus a measured collective).
+func BenchmarkAnalytic(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := exper.AnalyticVIA([]noc.Torus{{L: 4, V: 4, H: 4}}, 4<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduction = rows[0].MemBWReduction
+	}
+	b.ReportMetric(reduction, "memBW-reduction")
+}
+
+// BenchmarkAblationForwarding regenerates the all-to-all forwarding
+// ablation.
+func BenchmarkAblationForwarding(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := exper.AblationForwarding(benchTorus, 2<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var base, ace float64
+		for _, r := range rows {
+			switch r.Preset {
+			case system.BaselineCompOpt:
+				base = r.DurationUS
+			case system.ACE:
+				ace = r.DurationUS
+			}
+		}
+		ratio = base / ace
+	}
+	b.ReportMetric(ratio, "ACE-a2a-speedup")
+}
+
+// BenchmarkAblationSwitch regenerates the switch-fabric placement
+// ablation.
+func BenchmarkAblationSwitch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exper.AblationSwitch(16 << 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationScheduling regenerates the LIFO-vs-FIFO scheduling
+// ablation.
+func BenchmarkAblationScheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exper.AblationScheduling(benchTorus, "resnet50"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollectiveAllReduce measures raw simulator throughput on a
+// single collective (events/sec scale indicator, not a paper figure).
+func BenchmarkCollectiveAllReduce(b *testing.B) {
+	spec := system.NewSpec(benchTorus, system.ACE)
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.RunCollective(spec, collectives.AllReduce, 8<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainingIteration measures a full two-iteration ResNet-50
+// training simulation on 16 NPUs.
+func BenchmarkTrainingIteration(b *testing.B) {
+	m := workload.ResNet50(workload.ResNet50Batch)
+	for i := 0; i < b.N; i++ {
+		spec := system.NewSpec(benchTorus, system.ACE)
+		exper.FastGranularity(&spec)
+		if _, _, err := exper.RunTraining(spec, m, training.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

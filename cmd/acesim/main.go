@@ -1,0 +1,262 @@
+// Command acesim regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	acesim <experiment> [flags]
+//
+// Experiments: fig4 fig5 fig6 fig9a fig9b fig10 fig11 fig12 table4 table5
+// table6 analytic ablation all
+//
+// Flags:
+//
+//	-size LxVxH   torus for single-size experiments (default 4x8x4)
+//	-quick        shrink sweeps for a fast pass (small sizes, fewer points)
+//	-csv dir      write Fig 10 utilization timelines as CSV files into dir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"acesim/internal/exper"
+	"acesim/internal/hwmodel"
+	"acesim/internal/noc"
+	"acesim/internal/report"
+	"acesim/internal/system"
+	"acesim/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "acesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing experiment")
+	}
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	sizeStr := fs.String("size", "4x8x4", "torus LxVxH for single-size experiments")
+	quick := fs.Bool("quick", false, "shrink sweeps for a fast pass")
+	csvDir := fs.String("csv", "", "write Fig 10 timelines as CSV into this directory")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	size, err := parseTorus(*sizeStr)
+	if err != nil {
+		return err
+	}
+	r := runner{size: size, quick: *quick, csvDir: *csvDir}
+
+	all := map[string]func() error{
+		"fig4": r.fig4, "fig5": r.fig5, "fig6": r.fig6,
+		"fig9a": r.fig9a, "fig9b": r.fig9b, "fig10": r.fig10,
+		"fig11": r.fig11, "fig12": r.fig12,
+		"table4": r.table4, "table5": r.table5, "table6": r.table6,
+		"analytic": r.analytic, "ablation": r.ablation,
+	}
+	if cmd == "all" {
+		for _, name := range []string{
+			"table5", "table6", "table4", "analytic", "fig4", "fig5", "fig6",
+			"fig9a", "fig9b", "fig10", "fig11", "fig12", "ablation",
+		} {
+			if err := all[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	fn, ok := all[cmd]
+	if !ok {
+		usage()
+		return fmt.Errorf("unknown experiment %q", cmd)
+	}
+	return fn()
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: acesim <experiment> [-size LxVxH] [-quick] [-csv dir]
+experiments: fig4 fig5 fig6 fig9a fig9b fig10 fig11 fig12
+             table4 table5 table6 analytic ablation all`)
+}
+
+func parseTorus(s string) (noc.Torus, error) {
+	var t noc.Torus
+	if _, err := fmt.Sscanf(strings.ToLower(s), "%dx%dx%d", &t.L, &t.V, &t.H); err != nil {
+		return t, fmt.Errorf("bad -size %q (want LxVxH): %w", s, err)
+	}
+	return t, t.Validate()
+}
+
+type runner struct {
+	size   noc.Torus
+	quick  bool
+	csvDir string
+}
+
+func (r runner) models() []*workload.Model {
+	if r.quick {
+		return []*workload.Model{workload.ResNet50(workload.ResNet50Batch), workload.DLRM(workload.DLRMBatch)}
+	}
+	return workload.All()
+}
+
+func (r runner) trainSize() noc.Torus {
+	if r.quick {
+		return noc.Torus{L: 4, V: 2, H: 2}
+	}
+	return r.size
+}
+
+func show(tab *report.Table, err error) error {
+	if err != nil {
+		return err
+	}
+	if err := tab.Write(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func (r runner) fig4() error {
+	kernels, sizes := exper.Fig4Defaults()
+	if r.quick {
+		sizes = sizes[:1]
+	}
+	_, tab, err := exper.Fig4(kernels, sizes)
+	return show(tab, err)
+}
+
+func (r runner) fig5() error {
+	toruses, bws, payload := exper.Fig5Defaults()
+	if r.quick {
+		toruses = toruses[:1]
+		bws = []float64{64, 128, 450, 900}
+		payload = 16 << 20
+	}
+	_, tab, err := exper.Fig5(toruses, bws, payload)
+	return show(tab, err)
+}
+
+func (r runner) fig6() error {
+	toruses, sms, payload := exper.Fig6Defaults()
+	if r.quick {
+		toruses = toruses[:1]
+		sms = []int{1, 2, 6, 16}
+		payload = 16 << 20
+	}
+	_, tab, err := exper.Fig6(toruses, sms, payload)
+	return show(tab, err)
+}
+
+func (r runner) fig9a() error {
+	srams, fsms := exper.Fig9aDefaults()
+	t := noc.Torus{L: 4, V: 2, H: 2} // design sweep on the 16-NPU platform
+	models := r.models()
+	if r.quick {
+		srams = []int64{1 << 20, 4 << 20}
+		fsms = []int{4, 16}
+		models = models[:1]
+	}
+	_, tab, err := exper.Fig9a(t, models, srams, fsms)
+	return show(tab, err)
+}
+
+func (r runner) fig9b() error {
+	_, tab, err := exper.Fig9b(r.trainSize(), r.models())
+	return show(tab, err)
+}
+
+func (r runner) fig10() error {
+	presets := []system.Preset{system.BaselineCommOpt, system.BaselineCompOpt, system.ACE, system.Ideal}
+	traces, tab, err := exper.Fig10(r.trainSize(), r.models(), presets)
+	if err != nil {
+		return err
+	}
+	if r.csvDir != "" {
+		if err := os.MkdirAll(r.csvDir, 0o755); err != nil {
+			return err
+		}
+		for _, tr := range traces {
+			name := fmt.Sprintf("fig10_%s_%s.csv",
+				strings.ToLower(strings.ReplaceAll(tr.Row.Workload, "-", "")), tr.Row.Preset)
+			f, err := os.Create(filepath.Join(r.csvDir, name))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(f, "time_us,net_util,compute_util")
+			for b := range tr.NetUtil {
+				fmt.Fprintf(f, "%d,%.4f,%.4f\n", b, tr.NetUtil[b], tr.CmpUtil[b])
+			}
+			f.Close()
+		}
+		fmt.Printf("wrote %d timelines to %s\n", len(traces), r.csvDir)
+	}
+	return show(tab, nil)
+}
+
+func (r runner) fig11() error {
+	sizes := exper.Sizes4()
+	if r.quick {
+		sizes = sizes[:3] // 16, 32, 64 NPUs
+	}
+	_, tabA, tabB, err := exper.Fig11(sizes, r.models())
+	if err != nil {
+		return err
+	}
+	if err := show(tabA, nil); err != nil {
+		return err
+	}
+	return show(tabB, nil)
+}
+
+func (r runner) fig12() error {
+	_, tab, err := exper.Fig12(r.trainSize())
+	return show(tab, err)
+}
+
+func (r runner) table4() error {
+	return show(Table4(), nil)
+}
+
+// Table4 builds the Table IV report at the paper's design point.
+func Table4() *report.Table { return exper.Table4(hwmodel.DefaultConfig()) }
+
+func (r runner) table5() error {
+	return show(exper.Table5(system.NewSpec(r.size, system.ACE)), nil)
+}
+
+func (r runner) table6() error {
+	return show(exper.Table6(), nil)
+}
+
+func (r runner) analytic() error {
+	toruses := []noc.Torus{{L: 4, V: 2, H: 2}, {L: 4, V: 4, H: 4}, {L: 4, V: 8, H: 4}}
+	if r.quick {
+		toruses = toruses[:2]
+	}
+	_, tab, err := exper.AnalyticVIA(toruses, 4<<20)
+	return show(tab, err)
+}
+
+func (r runner) ablation() error {
+	_, tab, err := exper.AblationForwarding(noc.Torus{L: 4, V: 2, H: 2}, 2<<20)
+	if err := show(tab, err); err != nil {
+		return err
+	}
+	_, tab2, err := exper.AblationSwitch(16 << 20)
+	if err := show(tab2, err); err != nil {
+		return err
+	}
+	_, tab3, err := exper.AblationScheduling(noc.Torus{L: 4, V: 2, H: 2}, "resnet50")
+	return show(tab3, err)
+}

@@ -1,0 +1,30 @@
+// Quickstart: run one 64 MB all-reduce on a 16-NPU training platform under
+// every Table VI endpoint configuration and compare the achieved network
+// bandwidth — the paper's core claim in one screen of output.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"acesim"
+)
+
+func main() {
+	torus := acesim.Torus{L: 4, V: 2, H: 2} // 16 NPUs: 4 per package, 2x2 packages
+	const payload = 64 << 20                // 64 MB all-reduce, as in Fig 5
+
+	fmt.Printf("single %d MB all-reduce on a %s torus\n\n", payload>>20, torus)
+	fmt.Printf("%-20s %12s %16s %18s\n", "system", "duration", "eff GB/s / NPU", "HBM reads / NPU")
+	for _, preset := range acesim.Presets() {
+		spec := acesim.NewSpec(torus, preset)
+		res, err := acesim.RunCollective(spec, acesim.AllReduce, payload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %12s %16.1f %15d MB\n",
+			preset, res.Duration, res.EffGBpsNode, res.ReadsNode>>20)
+	}
+	fmt.Println("\nACE reads each byte from HBM once (the DMA); the software")
+	fmt.Println("baselines read ~3.4x more to move the same collective.")
+}

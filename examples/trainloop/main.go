@@ -1,0 +1,41 @@
+// Trainloop: measure two ResNet-50 training iterations on a 32-NPU
+// platform under all five system configurations, reporting the paper's
+// metrics — total computation, exposed communication, and iteration time
+// (Fig 11a, one cell).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"acesim"
+)
+
+func main() {
+	torus := acesim.Torus{L: 4, V: 4, H: 2} // 32 NPUs
+	model := acesim.ResNet50()
+	fmt.Printf("%s on %s (%d NPUs), 2 iterations\n\n", model, torus, torus.N())
+
+	fmt.Printf("%-20s %12s %14s %12s\n", "system", "compute", "exposed comm", "total")
+	var ace, best float64
+	for _, preset := range acesim.Presets() {
+		spec := acesim.NewSpec(torus, preset)
+		acesim.FastGranularity(&spec)
+		res, err := acesim.RunTraining(spec, model, acesim.DefaultTrainConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %12s %14s %12s\n",
+			preset, res.TotalCompute, res.ExposedComm, res.IterTime)
+		t := res.IterTime.Seconds()
+		switch preset {
+		case acesim.ACE:
+			ace = t
+		case acesim.BaselineNoOverlap, acesim.BaselineCommOpt, acesim.BaselineCompOpt:
+			if best == 0 || t < best {
+				best = t
+			}
+		}
+	}
+	fmt.Printf("\nACE speedup over the best baseline: %.2fx\n", best/ace)
+}

@@ -1,0 +1,78 @@
+package collectives
+
+import "acesim/internal/core"
+
+// Analytic byte accounting (Section VI-A of the paper). These formulas are
+// derived from the exact same Shapes geometry the executor runs, so the
+// simulator's meters must match them to the byte; the integration tests
+// enforce that.
+
+// Traffic summarizes per-node byte movement for one chunk of a plan.
+type Traffic struct {
+	// Injected is the bytes a node sources into the fabric.
+	Injected int64
+	// BaselineReads is HBM read traffic for the software endpoint:
+	// one read per byte sent plus one read per byte reduced on receive.
+	BaselineReads int64
+	// BaselineWrites is HBM write traffic for the software endpoint:
+	// every received byte is written.
+	BaselineWrites int64
+	// ACEReads is HBM read traffic with ACE: the single TX DMA.
+	ACEReads int64
+	// ACEWrites is HBM write traffic with ACE: the single RX DMA.
+	ACEWrites int64
+	// Received is the bytes a node sinks from the fabric.
+	Received int64
+}
+
+// Analyze computes per-node traffic for one chunk of the plan.
+// All-to-all forwarding traffic (reads at intermediate hops) depends on
+// the topology and is not included in BaselineReads here.
+func Analyze(plan Plan, chunk int64) Traffic {
+	var t Traffic
+	shapes := Shapes(plan, chunk)
+	for _, s := range shapes {
+		if s.Kind == core.PhaseAllToAll {
+			sent := int64(s.Steps) * s.DirSeg[0]
+			t.Injected += sent
+			t.Received += sent
+			t.BaselineReads += sent
+			t.BaselineWrites += sent
+			continue
+		}
+		for d := 0; d < 2; d++ {
+			if s.DirIn[d] == 0 {
+				continue
+			}
+			sent := int64(s.Steps) * s.DirSeg[d]
+			t.Injected += sent
+			t.Received += sent
+			t.BaselineReads += sent + int64(s.Reduces())*s.DirSeg[d]
+			t.BaselineWrites += sent
+		}
+	}
+	t.ACEReads = chunk
+	last := shapes[len(shapes)-1]
+	t.ACEWrites = last.Out
+	if last.Kind == core.PhaseAllToAll {
+		t.ACEWrites = last.In
+	}
+	return t
+}
+
+// InjectedPerNode returns the per-node injected bytes for a full payload
+// executed as one chunk (the ratio is size-independent up to rounding).
+func InjectedPerNode(plan Plan, payload int64) int64 {
+	return Analyze(plan, payload).Injected
+}
+
+// MemBWReduction returns the paper's headline ratio: baseline HBM read
+// traffic over ACE HBM read traffic for the same payload (Section VI-A;
+// about 3.4x for the 4x4x4 hierarchical all-reduce).
+func MemBWReduction(plan Plan, payload int64) float64 {
+	t := Analyze(plan, payload)
+	if t.ACEReads == 0 {
+		return 0
+	}
+	return float64(t.BaselineReads) / float64(t.ACEReads)
+}

@@ -1,0 +1,216 @@
+// Package collectives implements topology-aware collective communication
+// for the accelerator fabric: the 4-phase hierarchical all-reduce used on
+// the 3D torus (Section V of the paper), single-ring collectives, the
+// direct all-to-all with XYZ routing, and a halving-doubling all-reduce
+// (ablation). A chunk-pipelined runtime executes plans against any
+// core.Endpoint over a noc.Network, with LIFO collective scheduling.
+package collectives
+
+import (
+	"fmt"
+
+	"acesim/internal/core"
+	"acesim/internal/noc"
+)
+
+// Kind is the collective operation requested by the training loop.
+type Kind uint8
+
+// Collective kinds.
+const (
+	AllReduce Kind = iota
+	AllToAll
+	ReduceScatter
+	AllGather
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case AllReduce:
+		return "all-reduce"
+	case AllToAll:
+		return "all-to-all"
+	case ReduceScatter:
+		return "reduce-scatter"
+	case AllGather:
+		return "all-gather"
+	}
+	return "unknown"
+}
+
+// Phase is one stage of a plan: a ring algorithm over one torus dimension,
+// or a direct all-to-all over the whole fabric.
+type Phase struct {
+	Kind core.PhaseKind
+	Dim  noc.Dim
+	Ring int // participants in the ring (all-to-all: total nodes)
+}
+
+// Plan is an ordered list of phases plus execution knobs.
+type Plan struct {
+	Phases []Phase
+	// Bidir splits every ring phase across both ring directions,
+	// halving the bytes per direction (Table V: bidirectional rings).
+	Bidir bool
+}
+
+// Validate reports malformed plans.
+func (p Plan) Validate() error {
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("collectives: empty plan")
+	}
+	for i, ph := range p.Phases {
+		if ph.Ring < 2 {
+			return fmt.Errorf("collectives: phase %d has ring size %d", i, ph.Ring)
+		}
+	}
+	return nil
+}
+
+// HierarchicalAllReduce returns the paper's 4-phase torus all-reduce:
+// reduce-scatter on the local ring, all-reduce on the vertical ring,
+// all-reduce on the horizontal ring, all-gather on the local ring.
+// Degenerate (size-1) dimensions are skipped; a fully degenerate torus
+// yields an error at Validate time.
+func HierarchicalAllReduce(t noc.Torus) Plan {
+	var ph []Phase
+	if t.L > 1 {
+		ph = append(ph, Phase{core.PhaseReduceScatter, noc.DimLocal, t.L})
+	}
+	if t.V > 1 {
+		ph = append(ph, Phase{core.PhaseAllReduce, noc.DimVertical, t.V})
+	}
+	if t.H > 1 {
+		ph = append(ph, Phase{core.PhaseAllReduce, noc.DimHorizontal, t.H})
+	}
+	if t.L > 1 {
+		ph = append(ph, Phase{core.PhaseAllGather, noc.DimLocal, t.L})
+	}
+	return Plan{Phases: ph, Bidir: true}
+}
+
+// RingAllReduce returns a flat single-ring all-reduce over dimension d.
+func RingAllReduce(ring int, d noc.Dim) Plan {
+	return Plan{Phases: []Phase{{core.PhaseAllReduce, d, ring}}, Bidir: true}
+}
+
+// DirectAllToAll returns the single-phase direct all-to-all over n nodes.
+func DirectAllToAll(n int) Plan {
+	return Plan{Phases: []Phase{{core.PhaseAllToAll, noc.DimLocal, n}}}
+}
+
+// ceilDiv divides rounding up.
+func ceilDiv(a int64, b int) int64 {
+	if b <= 0 {
+		return a
+	}
+	bb := int64(b)
+	return (a + bb - 1) / bb
+}
+
+// halves splits b into two direction shares (ceil, floor).
+func halves(b int64) [2]int64 { return [2]int64{(b + 1) / 2, b / 2} }
+
+// PhaseShape is the resolved per-chunk geometry of one phase: how many
+// bytes flow in each ring direction and per step. It is shared by the DES
+// executor and the analytic formulas so they agree byte-for-byte.
+type PhaseShape struct {
+	Kind     core.PhaseKind
+	Dim      noc.Dim
+	Ring     int
+	In       int64    // per-node bytes entering the phase
+	Out      int64    // per-node bytes leaving the phase
+	Resident int64    // max bytes resident at the endpoint during the phase
+	DirIn    [2]int64 // per-direction input bytes (index 0: +1, 1: -1)
+	DirSeg   [2]int64 // per-direction bytes per step (message size)
+	Steps    int      // ring steps per direction (sends == receives)
+}
+
+// Reduces reports how many of a direction's receives are reductions.
+func (s PhaseShape) Reduces() int {
+	switch s.Kind {
+	case core.PhaseReduceScatter:
+		return s.Steps
+	case core.PhaseAllReduce:
+		return s.Ring - 1
+	default:
+		return 0
+	}
+}
+
+// Shapes resolves a plan for one chunk of the given size. The returned
+// slice has one entry per phase. All-to-all phases use DirSeg[0] as the
+// per-peer message size and Steps as peers (= Ring-1).
+func Shapes(plan Plan, chunk int64) []PhaseShape {
+	shapes := make([]PhaseShape, 0, len(plan.Phases))
+	in := chunk
+	for _, ph := range plan.Phases {
+		s := PhaseShape{Kind: ph.Kind, Dim: ph.Dim, Ring: ph.Ring, In: in}
+		n := ph.Ring
+		if ph.Kind == core.PhaseAllToAll {
+			s.DirIn = [2]int64{in, 0}
+			s.DirSeg = [2]int64{ceilDiv(in, n), 0}
+			s.Steps = n - 1
+			s.Out = in
+			s.Resident = 2 * in // outgoing + incoming staged together
+			shapes = append(shapes, s)
+			in = s.Out
+			continue
+		}
+		if plan.Bidir {
+			s.DirIn = halves(in)
+		} else {
+			s.DirIn = [2]int64{in, 0}
+		}
+		var out int64
+		for d := 0; d < 2; d++ {
+			b := s.DirIn[d]
+			if b == 0 {
+				continue
+			}
+			switch ph.Kind {
+			case core.PhaseReduceScatter:
+				s.DirSeg[d] = ceilDiv(b, n)
+				out += s.DirSeg[d]
+			case core.PhaseAllGather:
+				s.DirSeg[d] = b
+				out += b * int64(n)
+			case core.PhaseAllReduce:
+				s.DirSeg[d] = ceilDiv(b, n)
+				out += b
+			}
+		}
+		switch ph.Kind {
+		case core.PhaseReduceScatter, core.PhaseAllReduce:
+			s.Steps = n - 1
+			if ph.Kind == core.PhaseAllReduce {
+				s.Steps = 2 * (n - 1)
+			}
+			s.Resident = in
+		case core.PhaseAllGather:
+			s.Steps = n - 1
+			s.Resident = out
+		}
+		s.Out = out
+		shapes = append(shapes, s)
+		in = out
+	}
+	return shapes
+}
+
+// ResidentBytes returns the endpoint residency vector for a chunk:
+// one entry per phase plus the terminal partition.
+func ResidentBytes(shapes []PhaseShape) []int64 {
+	r := make([]int64, 0, len(shapes)+1)
+	for _, s := range shapes {
+		r = append(r, s.Resident)
+	}
+	last := shapes[len(shapes)-1]
+	term := last.Out
+	if last.Kind == core.PhaseAllToAll {
+		term = last.In
+	}
+	r = append(r, term)
+	return r
+}

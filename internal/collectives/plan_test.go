@@ -1,0 +1,236 @@
+package collectives
+
+import (
+	"testing"
+	"testing/quick"
+
+	"acesim/internal/core"
+	"acesim/internal/noc"
+)
+
+func TestHierarchicalPlanPhases(t *testing.T) {
+	p := HierarchicalAllReduce(noc.Torus{L: 4, V: 8, H: 4})
+	if len(p.Phases) != 4 {
+		t.Fatalf("phases = %d, want 4", len(p.Phases))
+	}
+	wantKinds := []core.PhaseKind{core.PhaseReduceScatter, core.PhaseAllReduce, core.PhaseAllReduce, core.PhaseAllGather}
+	wantDims := []noc.Dim{noc.DimLocal, noc.DimVertical, noc.DimHorizontal, noc.DimLocal}
+	wantRings := []int{4, 8, 4, 4}
+	for i, ph := range p.Phases {
+		if ph.Kind != wantKinds[i] || ph.Dim != wantDims[i] || ph.Ring != wantRings[i] {
+			t.Fatalf("phase %d = %+v", i, ph)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchicalPlanDegenerateDims(t *testing.T) {
+	p := HierarchicalAllReduce(noc.Torus{L: 4, V: 1, H: 1})
+	if len(p.Phases) != 2 {
+		t.Fatalf("phases = %d, want RS+AG only", len(p.Phases))
+	}
+	p2 := HierarchicalAllReduce(noc.Torus{L: 1, V: 4, H: 1})
+	if len(p2.Phases) != 1 || p2.Phases[0].Kind != core.PhaseAllReduce {
+		t.Fatalf("single-dim plan wrong: %+v", p2.Phases)
+	}
+	bad := HierarchicalAllReduce(noc.Torus{L: 1, V: 1, H: 1})
+	if bad.Validate() == nil {
+		t.Fatal("1x1x1 plan should fail validation")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if (Plan{}).Validate() == nil {
+		t.Fatal("empty plan accepted")
+	}
+	p := Plan{Phases: []Phase{{core.PhaseAllReduce, noc.DimLocal, 1}}}
+	if p.Validate() == nil {
+		t.Fatal("ring of 1 accepted")
+	}
+}
+
+func TestShapesSingleRingAllReduce(t *testing.T) {
+	// Unidirectional ring AR of 64 MiB over 4 nodes: seg 16 MiB,
+	// 6 steps, out = in.
+	plan := Plan{Phases: []Phase{{core.PhaseAllReduce, noc.DimLocal, 4}}}
+	sh := Shapes(plan, 64<<20)
+	if len(sh) != 1 {
+		t.Fatal("want one shape")
+	}
+	s := sh[0]
+	if s.DirIn[0] != 64<<20 || s.DirIn[1] != 0 {
+		t.Fatalf("dir split wrong: %v", s.DirIn)
+	}
+	if s.DirSeg[0] != 16<<20 || s.Steps != 6 {
+		t.Fatalf("seg=%d steps=%d", s.DirSeg[0], s.Steps)
+	}
+	if s.Out != 64<<20 || s.Resident != 64<<20 {
+		t.Fatalf("out=%d resident=%d", s.Out, s.Resident)
+	}
+	if s.Reduces() != 3 {
+		t.Fatalf("reduces = %d, want ring-1", s.Reduces())
+	}
+}
+
+func TestShapesBidirSplit(t *testing.T) {
+	plan := RingAllReduce(4, noc.DimLocal)
+	sh := Shapes(plan, 64<<20)
+	s := sh[0]
+	if s.DirIn[0] != 32<<20 || s.DirIn[1] != 32<<20 {
+		t.Fatalf("bidir split: %v", s.DirIn)
+	}
+	if s.DirSeg[0] != 8<<20 || s.DirSeg[1] != 8<<20 {
+		t.Fatalf("bidir segs: %v", s.DirSeg)
+	}
+}
+
+func TestShapesHierarchical444(t *testing.T) {
+	// The paper's Section VI-A example: 4x4x4, chunk C. Total injected
+	// must be 2.25C.
+	plan := HierarchicalAllReduce(noc.Torus{L: 4, V: 4, H: 4})
+	const C = 1 << 20
+	sh := Shapes(plan, C)
+	if len(sh) != 4 {
+		t.Fatalf("phases = %d", len(sh))
+	}
+	// RS local: in C, out C/4.
+	if sh[0].In != C || sh[0].Out != C/4 {
+		t.Fatalf("RS: in=%d out=%d", sh[0].In, sh[0].Out)
+	}
+	// AR vertical: in C/4, out C/4.
+	if sh[1].In != C/4 || sh[1].Out != C/4 {
+		t.Fatalf("AR v: in=%d out=%d", sh[1].In, sh[1].Out)
+	}
+	// AG local: in C/4, out C.
+	if sh[3].In != C/4 || sh[3].Out != C {
+		t.Fatalf("AG: in=%d out=%d", sh[3].In, sh[3].Out)
+	}
+}
+
+func TestShapesAllGatherGrows(t *testing.T) {
+	plan := Plan{Phases: []Phase{{core.PhaseAllGather, noc.DimLocal, 4}}}
+	sh := Shapes(plan, 1<<20)
+	s := sh[0]
+	// AG sends the full input per step.
+	if s.DirSeg[0] != 1<<20 || s.Out != 4<<20 || s.Resident != 4<<20 {
+		t.Fatalf("AG shape: %+v", s)
+	}
+}
+
+func TestShapesAllToAll(t *testing.T) {
+	plan := DirectAllToAll(16)
+	sh := Shapes(plan, 16<<10)
+	s := sh[0]
+	if s.Steps != 15 || s.DirSeg[0] != 1<<10 {
+		t.Fatalf("a2a shape: %+v", s)
+	}
+	if s.Resident != 32<<10 {
+		t.Fatalf("a2a resident = %d, want 2x chunk", s.Resident)
+	}
+}
+
+func TestResidentBytes(t *testing.T) {
+	plan := HierarchicalAllReduce(noc.Torus{L: 4, V: 4, H: 4})
+	const C = 1 << 20
+	r := ResidentBytes(Shapes(plan, C))
+	if len(r) != 5 {
+		t.Fatalf("resident entries = %d, want phases+1", len(r))
+	}
+	want := []int64{C, C / 4, C / 4, C, C}
+	for i, w := range want {
+		if r[i] != w {
+			t.Fatalf("resident[%d] = %d, want %d", i, r[i], w)
+		}
+	}
+}
+
+func TestCeilDivAndHalves(t *testing.T) {
+	if ceilDiv(10, 4) != 3 || ceilDiv(8, 4) != 2 || ceilDiv(1, 4) != 1 {
+		t.Fatal("ceilDiv wrong")
+	}
+	if h := halves(9); h[0] != 5 || h[1] != 4 {
+		t.Fatalf("halves(9) = %v", h)
+	}
+	f := func(b uint32) bool {
+		h := halves(int64(b))
+		return h[0]+h[1] == int64(b) && h[0]-h[1] <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, w := range map[Kind]string{
+		AllReduce: "all-reduce", AllToAll: "all-to-all",
+		ReduceScatter: "reduce-scatter", AllGather: "all-gather",
+		Kind(42): "unknown",
+	} {
+		if k.String() != w {
+			t.Errorf("%d -> %q, want %q", k, k.String(), w)
+		}
+	}
+}
+
+func TestAnalyzeMatchesPaper444(t *testing.T) {
+	// Section VI-A: for every N bytes cached, 2.25N is sent on a 4x4x4;
+	// baseline reads 1.5 bytes per byte sent; ACE reads N once.
+	plan := HierarchicalAllReduce(noc.Torus{L: 4, V: 4, H: 4})
+	const C = 4 << 20
+	tr := Analyze(plan, C)
+	if got, want := tr.Injected, int64(2.25*C); got != want {
+		t.Fatalf("injected = %d, want %d (2.25N)", got, want)
+	}
+	if got, want := tr.BaselineReads, int64(1.5*2.25*C); got != want {
+		t.Fatalf("baseline reads = %d, want %d (1.5 per sent)", got, want)
+	}
+	if tr.ACEReads != C || tr.ACEWrites != C {
+		t.Fatalf("ACE DMA traffic = %d/%d, want %d/%d", tr.ACEReads, tr.ACEWrites, C, C)
+	}
+	// Headline memory-BW reduction ~ 3.4x.
+	if r := MemBWReduction(plan, C); r < 3.3 || r > 3.5 {
+		t.Fatalf("mem BW reduction = %v, want ~3.375", r)
+	}
+}
+
+func TestAnalyze422(t *testing.T) {
+	// 16 NPUs (4x2x2): 0.75C + 0.25C + 0.25C + 0.75C = 2C injected.
+	plan := HierarchicalAllReduce(noc.Torus{L: 4, V: 2, H: 2})
+	const C = 4 << 20
+	if got := Analyze(plan, C).Injected; got != 2*C {
+		t.Fatalf("injected = %d, want 2C", got)
+	}
+}
+
+func TestAnalyzeSingleRing(t *testing.T) {
+	// Flat ring AR: 2(n-1)/n injected, 1.5x reads exactly.
+	plan := RingAllReduce(8, noc.DimLocal)
+	const C = 8 << 20
+	tr := Analyze(plan, C)
+	if want := int64(2 * 7 * (C / 8)); tr.Injected != want {
+		t.Fatalf("injected = %d, want %d", tr.Injected, want)
+	}
+	if want := int64(3 * 7 * (C / 8)); tr.BaselineReads != want {
+		t.Fatalf("reads = %d, want %d", tr.BaselineReads, want)
+	}
+}
+
+func TestAnalyzeAllToAll(t *testing.T) {
+	plan := DirectAllToAll(8)
+	const C = 8 << 10
+	tr := Analyze(plan, C)
+	if want := int64(7 * (C / 8)); tr.Injected != want || tr.Received != want {
+		t.Fatalf("a2a injected/received = %d/%d, want %d", tr.Injected, tr.Received, want)
+	}
+}
+
+func TestInjectedScalesLinearly(t *testing.T) {
+	plan := HierarchicalAllReduce(noc.Torus{L: 4, V: 4, H: 4})
+	a := InjectedPerNode(plan, 1<<20)
+	b := InjectedPerNode(plan, 4<<20)
+	if 4*a != b {
+		t.Fatalf("injection not linear: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,26 @@
+package collectives
+
+// Ring index algebra for the ring collectives, kept as pure functions so
+// the data-correctness tests can interpret the exact schedule the DES
+// executor runs. "dir" is +1 or -1 (the ring direction); a node's send at
+// step s always goes to its neighbor rank+dir.
+
+// ringMod reduces a possibly negative index into [0, n).
+func ringMod(a, n int) int { return ((a % n) + n) % n }
+
+// RSSendSeg returns the segment rank sends at reduce-scatter step s.
+func RSSendSeg(rank, s, dir, n int) int { return ringMod(rank-dir*s, n) }
+
+// RSRecvSeg returns the segment rank receives (and reduces) at step s.
+func RSRecvSeg(rank, s, dir, n int) int { return ringMod(rank-dir*(s+1), n) }
+
+// RSFinalSeg returns the fully reduced segment rank owns after n-1 steps.
+func RSFinalSeg(rank, dir, n int) int { return ringMod(rank+dir, n) }
+
+// AGSendSeg returns the segment sent at all-gather step s, where own is
+// the segment the node contributes (rank for a standalone all-gather,
+// RSFinalSeg for the all-gather half of an all-reduce).
+func AGSendSeg(own, s, dir, n int) int { return ringMod(own-dir*s, n) }
+
+// AGRecvSeg returns the segment received at all-gather step s.
+func AGRecvSeg(own, s, dir, n int) int { return ringMod(own-dir*(s+1), n) }

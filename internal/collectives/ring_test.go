@@ -1,0 +1,129 @@
+package collectives
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// interpretRingAllReduce executes the ring all-reduce schedule (RS then AG)
+// on real data using the pure index algebra, mimicking exactly the step
+// structure the DES executor runs: at step s every node sends a segment to
+// rank+dir and reduces/stores the one received from rank-dir.
+func interpretRingAllReduce(init [][]int, dir int) [][]int {
+	n := len(init)
+	// data[rank][seg]
+	data := make([][]int, n)
+	for r := range init {
+		data[r] = append([]int(nil), init[r]...)
+	}
+	// Reduce-scatter: n-1 steps.
+	for s := 0; s < n-1; s++ {
+		incoming := make([]int, n) // value arriving at each rank this step
+		for r := 0; r < n; r++ {
+			seg := RSSendSeg(r, s, dir, n)
+			dst := ringMod(r+dir, n)
+			incoming[dst] = data[r][seg]
+		}
+		for r := 0; r < n; r++ {
+			seg := RSRecvSeg(r, s, dir, n)
+			data[r][seg] += incoming[r]
+		}
+	}
+	// All-gather: n-1 steps; each node's contribution is its reduced seg.
+	own := make([]int, n)
+	for r := 0; r < n; r++ {
+		own[r] = RSFinalSeg(r, dir, n)
+	}
+	for s := 0; s < n-1; s++ {
+		incoming := make([]int, n)
+		for r := 0; r < n; r++ {
+			seg := AGSendSeg(own[r], s, dir, n)
+			dst := ringMod(r+dir, n)
+			incoming[dst] = data[r][seg]
+		}
+		for r := 0; r < n; r++ {
+			seg := AGRecvSeg(own[r], s, dir, n)
+			data[r][seg] = incoming[r]
+		}
+	}
+	return data
+}
+
+func TestRingAllReduceSemantics(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 8} {
+		for _, dir := range []int{+1, -1} {
+			init := make([][]int, n)
+			wantSeg := make([]int, n)
+			for r := range init {
+				init[r] = make([]int, n)
+				for s := range init[r] {
+					v := (r+1)*100 + s
+					init[r][s] = v
+					wantSeg[s] += v
+				}
+			}
+			got := interpretRingAllReduce(init, dir)
+			for r := 0; r < n; r++ {
+				for s := 0; s < n; s++ {
+					if got[r][s] != wantSeg[s] {
+						t.Fatalf("n=%d dir=%d: node %d seg %d = %d, want %d",
+							n, dir, r, s, got[r][s], wantSeg[s])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRingIndexAlgebra(t *testing.T) {
+	// Receiver's recv index equals sender's send index at every step.
+	f := func(nRaw, sRaw uint8, dirRaw bool) bool {
+		n := int(nRaw%7) + 2
+		s := int(sRaw) % (n - 1)
+		dir := +1
+		if dirRaw {
+			dir = -1
+		}
+		for r := 0; r < n; r++ {
+			dst := ringMod(r+dir, n)
+			if RSSendSeg(r, s, dir, n) != RSRecvSeg(dst, s, dir, n) {
+				return false
+			}
+			own := RSFinalSeg(r, dir, n)
+			ownDst := RSFinalSeg(dst, dir, n)
+			if AGSendSeg(own, s, dir, n) != AGRecvSeg(ownDst, s, dir, n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRSCoverage(t *testing.T) {
+	// Over n-1 steps a node sends n-1 distinct segments and ends owning
+	// the remaining one.
+	for _, dir := range []int{1, -1} {
+		n := 6
+		for r := 0; r < n; r++ {
+			seen := map[int]bool{}
+			for s := 0; s < n-1; s++ {
+				seen[RSSendSeg(r, s, dir, n)] = true
+			}
+			if len(seen) != n-1 {
+				t.Fatalf("rank %d sent %d distinct segs", r, len(seen))
+			}
+			if seen[RSFinalSeg(r, dir, n)] {
+				t.Fatalf("rank %d sent its final segment", r)
+			}
+		}
+	}
+}
+
+func TestRingMod(t *testing.T) {
+	if ringMod(-1, 4) != 3 || ringMod(5, 4) != 1 || ringMod(0, 4) != 0 {
+		t.Fatal("ringMod wrong")
+	}
+}

@@ -1,0 +1,623 @@
+package collectives
+
+import (
+	"fmt"
+
+	"acesim/internal/core"
+	"acesim/internal/des"
+	"acesim/internal/noc"
+)
+
+// Config tunes the chunk-pipelined runtime (Table III granularity).
+type Config struct {
+	// ChunkBytes is the target chunk size (64 KiB, Table III).
+	ChunkBytes int64
+	// MaxChunks caps the chunks per collective; large payloads use larger
+	// chunks instead of more of them (simulation fidelity knob).
+	MaxChunks int
+	// MaxChunkBytes is the endpoint's ceiling on a single chunk (an ACE
+	// SRAM partition must hold a whole chunk). 0 means unlimited.
+	MaxChunkBytes int64
+	// Window bounds the chunks a node pipelines concurrently.
+	Window int
+	// FIFOSched replaces the default LIFO collective priority with FIFO
+	// (issue order). Used by the scheduling-policy ablation.
+	FIFOSched bool
+}
+
+// DefaultConfig returns the paper's granularity defaults.
+func DefaultConfig() Config {
+	return Config{ChunkBytes: 64 << 10, MaxChunks: 64, Window: 16}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = d.ChunkBytes
+	}
+	if c.MaxChunks <= 0 {
+		c.MaxChunks = d.MaxChunks
+	}
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	return c
+}
+
+// Spec describes one collective operation as issued by the training loop.
+type Spec struct {
+	Kind  Kind
+	Bytes int64 // payload per node
+	Plan  Plan
+	Name  string
+	// PrioBias lowers the collective's scheduling priority by the given
+	// number of issue slots (LIFO mode). Prefetched collectives that are
+	// issued early but not urgently use it to avoid starving gradients
+	// the next layers need sooner.
+	PrioBias int64
+}
+
+// Runtime executes collectives over a fabric of endpoints. All nodes must
+// issue the same sequence of collectives (synchronous SPMD training); the
+// runtime matches the i-th issue of every node to one global Collective.
+type Runtime struct {
+	eng    *des.Engine
+	net    *noc.Network
+	eps    []core.Endpoint
+	cfg    Config
+	colls  []*Collective
+	scheds []*nodeSched
+}
+
+// NewRuntime wires the runtime to a fabric and per-node endpoints, and
+// installs the endpoint forwarding hook for routed (all-to-all) traffic.
+func NewRuntime(eng *des.Engine, net *noc.Network, eps []core.Endpoint, cfg Config) *Runtime {
+	if len(eps) != net.Topo().N() {
+		panic(fmt.Sprintf("collectives: %d endpoints for %d nodes", len(eps), net.Topo().N()))
+	}
+	rt := &Runtime{eng: eng, net: net, eps: eps, cfg: cfg.withDefaults()}
+	for i := range eps {
+		rt.scheds = append(rt.scheds, &nodeSched{rt: rt, node: noc.NodeID(i)})
+	}
+	net.Forward = func(node noc.NodeID, bytes int64, next func()) {
+		rt.eps[node].Forward(bytes, next)
+	}
+	return rt
+}
+
+// Nodes returns the fabric size.
+func (rt *Runtime) Nodes() int { return len(rt.eps) }
+
+// Endpoint returns node's endpoint.
+func (rt *Runtime) Endpoint(node noc.NodeID) core.Endpoint { return rt.eps[node] }
+
+// Network returns the fabric.
+func (rt *Runtime) Network() *noc.Network { return rt.net }
+
+// chunkSizes splits a payload according to the granularity config.
+func (rt *Runtime) chunkSizes(bytes int64) []int64 {
+	cfg := rt.cfg
+	target := cfg.ChunkBytes
+	if cfg.MaxChunkBytes > 0 && target > cfg.MaxChunkBytes {
+		target = cfg.MaxChunkBytes
+	}
+	count := int(ceilDiv(bytes, int(target)))
+	if count > cfg.MaxChunks {
+		count = cfg.MaxChunks
+	}
+	if cfg.MaxChunkBytes > 0 {
+		if minCount := int(ceilDiv(bytes, int(cfg.MaxChunkBytes))); count < minCount {
+			count = minCount
+		}
+	}
+	if count < 1 {
+		count = 1
+	}
+	base := bytes / int64(count)
+	rem := bytes - base*int64(count)
+	sizes := make([]int64, count)
+	for i := range sizes {
+		sizes[i] = base
+		if int64(i) < rem {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
+// Issue registers that node has reached a collective point. onDone fires
+// when the collective's results are fully available at node. The returned
+// Collective is shared across nodes.
+func (rt *Runtime) Issue(node noc.NodeID, spec Spec, onDone func()) *Collective {
+	if spec.Bytes <= 0 {
+		panic(fmt.Sprintf("collectives: non-positive payload %d for %s", spec.Bytes, spec.Name))
+	}
+	if err := spec.Plan.Validate(); err != nil {
+		panic(err)
+	}
+	sc := rt.scheds[node]
+	seq := sc.issued
+	sc.issued++
+	var coll *Collective
+	switch {
+	case seq < len(rt.colls):
+		coll = rt.colls[seq]
+		if coll.spec.Bytes != spec.Bytes || coll.spec.Kind != spec.Kind {
+			panic(fmt.Sprintf("collectives: node %d issued %q (%d B) at seq %d, expected %q (%d B): asymmetric program",
+				node, spec.Name, spec.Bytes, seq, coll.spec.Name, coll.spec.Bytes))
+		}
+	case seq == len(rt.colls):
+		coll = newCollective(rt, seq, spec)
+		rt.colls = append(rt.colls, coll)
+	default:
+		panic("collectives: issue sequence out of order")
+	}
+	coll.attach(node, onDone)
+	return coll
+}
+
+// inMsg is a buffered arrival for a node that has not issued (or whose
+// chunk has not reached the message's phase) yet.
+type inMsg struct {
+	chunk  int
+	phase  int
+	dirIdx int
+	bytes  int64
+}
+
+// Collective is one global collective operation in flight.
+type Collective struct {
+	rt         *Runtime
+	seq        int
+	spec       Spec
+	sizes      []int64
+	execs      [][]*chunkExec // [node][chunk]; nil until the node issues
+	nodeDone   []func()
+	nodeLeft   []int
+	pendingIn  [][]inMsg
+	completeAt []des.Time
+	issuedAt   des.Time
+}
+
+func newCollective(rt *Runtime, seq int, spec Spec) *Collective {
+	n := rt.Nodes()
+	return &Collective{
+		rt:         rt,
+		seq:        seq,
+		spec:       spec,
+		sizes:      rt.chunkSizes(spec.Bytes),
+		execs:      make([][]*chunkExec, n),
+		nodeDone:   make([]func(), n),
+		nodeLeft:   make([]int, n),
+		pendingIn:  make([][]inMsg, n),
+		completeAt: make([]des.Time, n),
+		issuedAt:   rt.eng.Now(),
+	}
+}
+
+// Name returns the spec name.
+func (c *Collective) Name() string { return c.spec.Name }
+
+// Chunks returns the number of pipelined chunks.
+func (c *Collective) Chunks() int { return len(c.sizes) }
+
+// CompleteAt returns when the collective finished at node (zero until
+// then).
+func (c *Collective) CompleteAt(node noc.NodeID) des.Time { return c.completeAt[node] }
+
+func (c *Collective) attach(node noc.NodeID, onDone func()) {
+	if c.execs[node] != nil {
+		panic(fmt.Sprintf("collectives: node %d attached twice to %q", node, c.spec.Name))
+	}
+	sc := c.rt.scheds[node]
+	execs := make([]*chunkExec, len(c.sizes))
+	for i, sz := range c.sizes {
+		execs[i] = newChunkExec(c, i, node, sz)
+	}
+	c.execs[node] = execs
+	c.nodeDone[node] = onDone
+	c.nodeLeft[node] = len(execs)
+	for _, e := range execs {
+		sc.enqueue(e)
+	}
+	// Replay arrivals that beat the local issue.
+	buffered := c.pendingIn[node]
+	c.pendingIn[node] = nil
+	for _, m := range buffered {
+		execs[m.chunk].onArrival(m.phase, m.dirIdx, m.bytes)
+	}
+	sc.maybeAdmit()
+}
+
+func (c *Collective) deliver(dst noc.NodeID, m inMsg) {
+	if c.execs[dst] == nil {
+		c.pendingIn[dst] = append(c.pendingIn[dst], m)
+		return
+	}
+	c.execs[dst][m.chunk].onArrival(m.phase, m.dirIdx, m.bytes)
+}
+
+func (c *Collective) chunkDoneAt(node noc.NodeID) {
+	c.nodeLeft[node]--
+	if c.nodeLeft[node] < 0 {
+		panic(fmt.Sprintf("collectives: %q over-completed at node %d", c.spec.Name, node))
+	}
+	if c.nodeLeft[node] == 0 {
+		c.completeAt[node] = c.rt.eng.Now()
+		if fn := c.nodeDone[node]; fn != nil {
+			fn()
+		}
+	}
+}
+
+// nodeSched admits a node's pending chunks into its endpoint with LIFO
+// collective priority (Section V: later-issued collectives belong to
+// earlier layers of back-propagation and are needed first).
+type nodeSched struct {
+	rt       *Runtime
+	node     noc.NodeID
+	issued   int
+	pending  []*chunkExec
+	inflight int
+}
+
+func (s *nodeSched) enqueue(e *chunkExec) {
+	// Insert keeping (prio desc, chunk asc) order.
+	i := len(s.pending)
+	for i > 0 {
+		p := s.pending[i-1]
+		if p.chunk.Prio > e.chunk.Prio ||
+			(p.chunk.Prio == e.chunk.Prio && p.idx < e.idx) {
+			break
+		}
+		i--
+	}
+	s.pending = append(s.pending, nil)
+	copy(s.pending[i+1:], s.pending[i:])
+	s.pending[i] = e
+}
+
+func (s *nodeSched) maybeAdmit() {
+	for s.inflight < s.rt.cfg.Window && len(s.pending) > 0 {
+		e := s.pending[0]
+		s.pending = s.pending[1:]
+		s.inflight++
+		s.rt.eps[s.node].Admit(e.chunk, e.start)
+	}
+}
+
+func (s *nodeSched) chunkFinished() {
+	s.inflight--
+	if s.inflight < 0 {
+		panic(fmt.Sprintf("collectives: node %d finished more chunks than admitted", s.node))
+	}
+	s.maybeAdmit()
+}
+
+// ringRun is the per-direction state of a ring phase.
+type ringRun struct {
+	exec         *chunkExec
+	dirIdx       int // 0 -> +1, 1 -> -1
+	shape        *PhaseShape
+	recvsDone    int
+	sendsIssued  int
+	sendsSourced int
+	queue        []int64 // arrived, unprocessed message sizes
+	busy         bool
+	finished     bool
+}
+
+// a2aRun is the state of an all-to-all phase.
+type a2aRun struct {
+	exec         *chunkExec
+	peers        int
+	sendsSourced int
+	recvsDone    int
+	finished     bool
+}
+
+// chunkExec drives one chunk of one collective at one node through its
+// plan phases against the node's endpoint.
+type chunkExec struct {
+	coll    *Collective
+	idx     int
+	node    noc.NodeID
+	chunk   *core.Chunk
+	shapes  []PhaseShape
+	phase   int
+	started bool
+	dirs    [2]*ringRun
+	dirsUp  int
+	a2a     *a2aRun
+	inbox   [][2][]int64
+}
+
+func newChunkExec(c *Collective, idx int, node noc.NodeID, bytes int64) *chunkExec {
+	shapes := Shapes(c.spec.Plan, bytes)
+	e := &chunkExec{
+		coll:   c,
+		idx:    idx,
+		node:   node,
+		shapes: shapes,
+		inbox:  make([][2][]int64, len(shapes)),
+	}
+	prio := int64(c.seq) - c.spec.PrioBias // LIFO: later issues are more urgent
+	if c.rt.cfg.FIFOSched {
+		prio = -int64(c.seq)
+	}
+	e.chunk = &core.Chunk{
+		Bytes:    bytes,
+		Resident: ResidentBytes(shapes),
+		Prio:     prio,
+	}
+	return e
+}
+
+func (e *chunkExec) rt() *Runtime { return e.coll.rt }
+
+// start runs after endpoint admission.
+func (e *chunkExec) start() {
+	e.started = true
+	e.startPhase()
+}
+
+func (e *chunkExec) startPhase() {
+	s := &e.shapes[e.phase]
+	if s.Kind == core.PhaseAllToAll {
+		e.startA2A(s)
+		return
+	}
+	e.dirs = [2]*ringRun{}
+	e.dirsUp = 0
+	for d := 0; d < 2; d++ {
+		if s.DirIn[d] == 0 {
+			continue
+		}
+		rr := &ringRun{exec: e, dirIdx: d, shape: s}
+		e.dirs[d] = rr
+		e.dirsUp++
+	}
+	for d := 0; d < 2; d++ {
+		if rr := e.dirs[d]; rr != nil {
+			rr.issueSend()
+			// Replay buffered arrivals for this phase.
+			for _, b := range e.inbox[e.phase][d] {
+				rr.arrive(b)
+			}
+			e.inbox[e.phase][d] = nil
+		}
+	}
+}
+
+// dirVal maps a direction index to a ring direction.
+func dirVal(dirIdx int) int {
+	if dirIdx == 0 {
+		return +1
+	}
+	return -1
+}
+
+func (rr *ringRun) issueSend() {
+	e := rr.exec
+	rt := e.rt()
+	s := rr.shape
+	phase := e.phase
+	bytes := s.DirSeg[rr.dirIdx]
+	rr.sendsIssued++
+	rt.eps[e.node].SourceSend(e.chunk, phase, s.Kind, bytes, func() {
+		dst := rt.net.Topo().Neighbor(e.node, s.Dim, dirVal(rr.dirIdx))
+		m := inMsg{chunk: e.idx, phase: phase, dirIdx: rr.dirIdx, bytes: bytes}
+		rt.net.SendNeighbor(e.node, s.Dim, dirVal(rr.dirIdx), bytes, func() {
+			e.coll.deliver(dst, m)
+		})
+		rr.sendsSourced++
+		rr.maybeFinish()
+	})
+}
+
+func (rr *ringRun) arrive(bytes int64) {
+	rr.queue = append(rr.queue, bytes)
+	rr.pump()
+}
+
+func (rr *ringRun) pump() {
+	if rr.busy || len(rr.queue) == 0 {
+		return
+	}
+	rr.busy = true
+	bytes := rr.queue[0]
+	rr.queue = rr.queue[1:]
+	e := rr.exec
+	s := rr.shape
+	if rr.recvsDone >= s.Steps {
+		panic(fmt.Sprintf("collectives: stale ring receive (coll %q node %d phase %d dir %d)",
+			e.coll.spec.Name, e.node, e.phase, rr.dirIdx))
+	}
+	reduce := rr.recvsDone < s.Reduces()
+	e.rt().eps[e.node].SinkRecv(e.chunk, e.phase, s.Kind, bytes, reduce, func() {
+		rr.busy = false
+		rr.recvsDone++
+		if rr.recvsDone < s.Steps {
+			rr.issueSend()
+		}
+		rr.maybeFinish()
+		rr.pump()
+	})
+}
+
+// maybeFinish completes the direction once every receive has been
+// processed and every send has left the endpoint.
+func (rr *ringRun) maybeFinish() {
+	if rr.finished || rr.recvsDone < rr.shape.Steps || rr.sendsSourced < rr.shape.Steps {
+		return
+	}
+	rr.finished = true
+	rr.exec.dirsUp--
+	if rr.exec.dirsUp == 0 {
+		rr.exec.phaseDone()
+	}
+}
+
+func (e *chunkExec) startA2A(s *PhaseShape) {
+	n := e.rt().Nodes()
+	e.a2a = &a2aRun{exec: e, peers: n - 1}
+	rt := e.rt()
+	phase := e.phase
+	seg := s.DirSeg[0]
+	// Peers are visited in coordinate-offset order so every node's send
+	// sequence is the same pattern shifted by its own position
+	// (rotation-equivariant). This keeps all nodes' timelines identical,
+	// which the LIFO chunk scheduler relies on (see DESIGN.md).
+	for _, dst := range a2aOrder(rt.net.Topo(), e.node) {
+		dst := dst
+		rt.eps[e.node].SourceSend(e.chunk, phase, s.Kind, seg, func() {
+			m := inMsg{chunk: e.idx, phase: phase, dirIdx: 0, bytes: seg}
+			rt.net.SendRouted(e.node, dst, seg, func() {
+				e.coll.deliver(dst, m)
+			})
+			e.a2a.sendsSourced++
+			e.a2a.maybeFinish()
+		})
+	}
+	// Replay buffered arrivals.
+	for _, b := range e.inbox[phase][0] {
+		e.a2aArrive(b)
+	}
+	e.inbox[phase][0] = nil
+}
+
+// a2aOrder lists every node other than self in lexicographic coordinate-
+// offset order relative to self.
+func a2aOrder(t noc.Torus, self noc.NodeID) []noc.NodeID {
+	l0, v0, h0 := t.Coords(self)
+	order := make([]noc.NodeID, 0, t.N()-1)
+	for dh := 0; dh < t.H; dh++ {
+		for dv := 0; dv < t.V; dv++ {
+			for dl := 0; dl < t.L; dl++ {
+				if dl == 0 && dv == 0 && dh == 0 {
+					continue
+				}
+				order = append(order, t.ID((l0+dl)%t.L, (v0+dv)%t.V, (h0+dh)%t.H))
+			}
+		}
+	}
+	return order
+}
+
+func (e *chunkExec) a2aArrive(bytes int64) {
+	s := &e.shapes[e.phase]
+	e.rt().eps[e.node].SinkRecv(e.chunk, e.phase, s.Kind, bytes, false, func() {
+		e.a2a.recvsDone++
+		e.a2a.maybeFinish()
+	})
+}
+
+func (a *a2aRun) maybeFinish() {
+	if !a.finished && a.sendsSourced == a.peers && a.recvsDone == a.peers {
+		a.finished = true
+		a.exec.phaseDone()
+	}
+}
+
+func (e *chunkExec) onArrival(phase, dirIdx int, bytes int64) {
+	if !e.started || phase != e.phase {
+		e.inbox[phase][dirIdx] = append(e.inbox[phase][dirIdx], bytes)
+		return
+	}
+	if e.shapes[phase].Kind == core.PhaseAllToAll {
+		if e.a2a == nil {
+			// Phase-transition gap: the chunk has logically advanced
+			// to this phase but the endpoint's NextPhase is still in
+			// flight. Buffer; startPhase replays the inbox.
+			e.inbox[phase][dirIdx] = append(e.inbox[phase][dirIdx], bytes)
+			return
+		}
+		e.a2aArrive(bytes)
+		return
+	}
+	rr := e.dirs[dirIdx]
+	if rr == nil {
+		// Same phase-transition gap as above.
+		e.inbox[phase][dirIdx] = append(e.inbox[phase][dirIdx], bytes)
+		return
+	}
+	rr.arrive(bytes)
+}
+
+func (e *chunkExec) phaseDone() {
+	// Clear per-phase state before advancing: arrivals racing the
+	// endpoint's NextPhase must be buffered, not fed to stale state.
+	e.dirs = [2]*ringRun{}
+	e.a2a = nil
+	e.phase++
+	rt := e.rt()
+	if e.phase < len(e.shapes) {
+		rt.eps[e.node].NextPhase(e.chunk, e.phase, e.startPhase)
+		return
+	}
+	rt.eps[e.node].Drain(e.chunk, func() {
+		e.coll.chunkDoneAt(e.node)
+		rt.scheds[e.node].chunkFinished()
+	})
+}
+
+// DebugState reports unfinished collectives and per-node scheduler state
+// for deadlock diagnosis.
+func (rt *Runtime) DebugState() string {
+	var sb []byte
+	for _, c := range rt.colls {
+		stuck := false
+		for n := range c.nodeLeft {
+			if c.execs[n] != nil && c.nodeLeft[n] > 0 {
+				stuck = true
+			}
+		}
+		if !stuck {
+			continue
+		}
+		sb = append(sb, fmt.Sprintf("coll %d %q bytes=%d chunks=%d:\n", c.seq, c.spec.Name, c.spec.Bytes, len(c.sizes))...)
+		for n := range c.nodeLeft {
+			if c.execs[n] == nil {
+				sb = append(sb, fmt.Sprintf("  node %d: not issued\n", n)...)
+				continue
+			}
+			if c.nodeLeft[n] == 0 {
+				continue
+			}
+			sb = append(sb, fmt.Sprintf("  node %d: left=%d", n, c.nodeLeft[n])...)
+			for _, e := range c.execs[n] {
+				if e.phase >= len(e.shapes) {
+					continue
+				}
+				state := "pend"
+				if e.started {
+					state = "run"
+				}
+				detail := ""
+				if e.a2a != nil {
+					detail = fmt.Sprintf(" a2a(s=%d,r=%d)", e.a2a.sendsSourced, e.a2a.recvsDone)
+				}
+				for di, rr := range e.dirs {
+					if rr != nil {
+						detail += fmt.Sprintf(" d%d(r=%d,s=%d,q=%d)", di, rr.recvsDone, rr.sendsSourced, len(rr.queue))
+					}
+				}
+				for ph := range e.inbox {
+					for di := 0; di < 2; di++ {
+						if n := len(e.inbox[ph][di]); n > 0 {
+							detail += fmt.Sprintf(" inbox[%d][%d]=%d", ph, di, n)
+						}
+					}
+				}
+				sb = append(sb, fmt.Sprintf(" [c%d %s ph%d%s]", e.idx, state, e.phase, detail)...)
+			}
+			sb = append(sb, '\n')
+		}
+	}
+	for i, sc := range rt.scheds {
+		if sc.inflight > 0 || len(sc.pending) > 0 {
+			sb = append(sb, fmt.Sprintf("sched %d: inflight=%d pending=%d issued=%d\n", i, sc.inflight, len(sc.pending), sc.issued)...)
+		}
+	}
+	return string(sb)
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+
+	"acesim/internal/des"
+	"acesim/internal/npu"
+	"acesim/internal/resource"
+	"acesim/internal/stats"
+)
+
+// ACEConfig describes one Accelerator Collectives Engine (Section IV-I
+// defaults: 4 MB SRAM, 16 FSMs, 4 ALUs of 16xFP32 / 32xFP16 each, 64 B
+// buses, 1.245 GHz).
+type ACEConfig struct {
+	SRAMBytes        int64   // total scratchpad capacity (4 MiB)
+	FSMs             int     // programmable state machines (16)
+	ALUs             int     // vector ALUs (4)
+	ALUBytesPerCycle int     // per-ALU width in bytes/cycle (64)
+	SRAMBanks        int     // independent SRAM banks (4)
+	BusWidthBytes    int     // SRAM<->unit bus width (64)
+	FreqGHz          float64 // engine clock (1.245)
+	// Phases is the number of algorithm phases the SRAM is partitioned
+	// for; the SRAM holds Phases+1 partitions (the last is the terminal
+	// partition, Section IV-E).
+	Phases int
+	// Partitions optionally gives explicit per-partition byte sizes
+	// (len Phases+1). When nil the SRAM is split evenly.
+	Partitions []int64
+}
+
+// DefaultACEConfig returns the paper's chosen design point for a plan with
+// the given number of phases.
+func DefaultACEConfig(phases int) ACEConfig {
+	return ACEConfig{
+		SRAMBytes:        4 << 20,
+		FSMs:             16,
+		ALUs:             4,
+		ALUBytesPerCycle: 64,
+		SRAMBanks:        4,
+		BusWidthBytes:    64,
+		FreqGHz:          1.245,
+		Phases:           phases,
+	}
+}
+
+// Validate reports configuration errors.
+func (c ACEConfig) Validate() error {
+	if c.SRAMBytes <= 0 || c.FSMs <= 0 || c.ALUs <= 0 || c.Phases <= 0 {
+		return fmt.Errorf("core: non-positive ACE parameters: %+v", c)
+	}
+	if c.Partitions != nil && len(c.Partitions) != c.Phases+1 {
+		return fmt.Errorf("core: ACE wants %d partitions, got %d", c.Phases+1, len(c.Partitions))
+	}
+	return nil
+}
+
+// ALURateGBps returns the aggregate reduction throughput.
+func (c ACEConfig) ALURateGBps() float64 {
+	return float64(c.ALUs*c.ALUBytesPerCycle) * c.FreqGHz
+}
+
+// SRAMPortRateGBps returns the per-port (read or write) SRAM throughput.
+func (c ACEConfig) SRAMPortRateGBps() float64 {
+	return float64(c.SRAMBanks*c.BusWidthBytes) * c.FreqGHz
+}
+
+// partitionSizes resolves the per-partition byte sizes.
+func (c ACEConfig) partitionSizes() []int64 {
+	if c.Partitions != nil {
+		return c.Partitions
+	}
+	n := c.Phases + 1
+	sizes := make([]int64, n)
+	each := c.SRAMBytes / int64(n)
+	for i := range sizes {
+		sizes[i] = each
+	}
+	return sizes
+}
+
+// MinPartitionBytes returns the smallest partition; chunks larger than
+// this would serialize phase traversal, so the runtime sizes chunks
+// against it.
+func (c ACEConfig) MinPartitionBytes() int64 {
+	m := int64(1) << 62
+	for _, s := range c.partitionSizes() {
+		if s < m {
+			m = s
+		}
+	}
+	return m
+}
+
+// aceChunkState is ACE-private per-chunk bookkeeping.
+type aceChunkState struct {
+	phase int   // current partition index the chunk occupies
+	held  int64 // bytes reserved in that partition
+}
+
+// ACE is the Accelerator Collectives Engine endpoint. Chunks enter through
+// a TX DMA (one HBM read), live in per-phase SRAM partitions managed by
+// FSMs, are reduced by the engine's own ALUs, and leave through an RX DMA
+// (one HBM write). SMs are never used; HBM sees exactly 2 x chunk bytes.
+type ACE struct {
+	eng  *des.Engine
+	node *npu.Node
+	cfg  ACEConfig
+
+	parts []*resource.ByteGate // Phases+1 partitions
+	fsms  []*resource.SlotGate // Phases FSM pools
+	alu   *resource.Server
+	sramR *resource.Server
+	sramW *resource.Server
+
+	active int
+	start  des.Time
+	// BusyTrace records intervals with >= 1 chunk assigned (Fig 9b).
+	BusyTrace *stats.Trace
+}
+
+// NewACE builds the engine for one node. The node's CommMem server is the
+// DMA allocation (128 GB/s in the paper) and must not be SM-capped.
+func NewACE(eng *des.Engine, node *npu.Node, cfg ACEConfig) (*ACE, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &ACE{
+		eng:   eng,
+		node:  node,
+		cfg:   cfg,
+		alu:   resource.NewServer(eng, "ace.alu", cfg.ALURateGBps()),
+		sramR: resource.NewServer(eng, "ace.sram.rd", cfg.SRAMPortRateGBps()),
+		sramW: resource.NewServer(eng, "ace.sram.wr", cfg.SRAMPortRateGBps()),
+	}
+	for i, sz := range cfg.partitionSizes() {
+		a.parts = append(a.parts, resource.NewByteGate(fmt.Sprintf("ace.part%d", i), sz))
+	}
+	perPhase := cfg.FSMs / cfg.Phases
+	if perPhase < 1 {
+		perPhase = 1
+	}
+	for p := 0; p < cfg.Phases; p++ {
+		a.fsms = append(a.fsms, resource.NewSlotGate(fmt.Sprintf("ace.fsm%d", p), perPhase))
+	}
+	return a, nil
+}
+
+// Config returns the engine configuration.
+func (a *ACE) Config() ACEConfig { return a.cfg }
+
+// Active returns the number of chunks currently assigned.
+func (a *ACE) Active() int { return a.active }
+
+func (a *ACE) st(c *Chunk) *aceChunkState {
+	if c.state == nil {
+		c.state = &aceChunkState{}
+	}
+	return c.state.(*aceChunkState)
+}
+
+func (a *ACE) markActive(d int) {
+	if a.active == 0 && d > 0 {
+		a.start = a.eng.Now()
+	}
+	a.active += d
+	if a.active == 0 && d < 0 {
+		a.BusyTrace.AddBusy(a.start, a.eng.Now(), 1)
+	}
+}
+
+// phaseIndex clamps a chunk phase to the engine's partition range so
+// single-phase collectives (all-to-all) share partition 0.
+func (a *ACE) phaseIndex(p int) int {
+	if p >= a.cfg.Phases {
+		p = a.cfg.Phases - 1
+	}
+	return p
+}
+
+// Admit implements Endpoint: FSM slot, phase-0 partition space, TX DMA
+// (HBM read -> NPU-AFI bus -> SRAM write).
+func (a *ACE) Admit(c *Chunk, fn func()) {
+	a.fsms[0].Acquire(func() {
+		a.parts[0].Acquire(c.Resident[0], func() {
+			a.markActive(+1)
+			st := a.st(c)
+			st.phase, st.held = 0, c.Resident[0]
+			// The DMA's SRAM writes land through the banked crossbar
+			// (Table IV's switch & interconnect) and do not contend
+			// with the collective ports; HBM and the bus serialize it.
+			a.node.CommMem.Request(c.Bytes, func() {
+				a.node.BusTX.Request(c.Bytes, fn)
+			})
+		})
+	})
+}
+
+// NextPhase implements Endpoint: acquire the next phase's FSM and
+// partition, then release the previous ones and pay the internal SRAM
+// move. Forward progress is guaranteed because the terminal partition
+// drains unconditionally.
+func (a *ACE) NextPhase(c *Chunk, p int, fn func()) {
+	pi := a.phaseIndex(p)
+	st := a.st(c)
+	prev := st.phase
+	if pi == prev {
+		// Clamped plan: the chunk stays in this partition; grow the
+		// reservation if the new phase is larger (all-gather).
+		if grow := c.Resident[p] - st.held; grow > 0 {
+			a.parts[pi].Acquire(grow, func() {
+				st.held = c.Resident[p]
+				a.eng.After(0, fn)
+			})
+			return
+		}
+		a.eng.After(0, fn)
+		return
+	}
+	// Release the previous phase's FSM context and partition reservation
+	// before queueing for the next phase's. Never holding one phase's
+	// resources while waiting for another's keeps the inter-phase
+	// resource graph cycle-free (no hold-and-wait, so pipelined chunks
+	// cannot deadlock across nodes), at the cost of transiently
+	// under-counting SRAM residency during the hand-off.
+	a.fsms[prev].Release()
+	a.parts[prev].Release(st.held)
+	st.held = 0
+	a.fsms[pi].Acquire(func() {
+		a.parts[pi].Acquire(c.Resident[p], func() {
+			st.phase, st.held = pi, c.Resident[p]
+			// Phase hand-off is an FSM pointer update, not a copy
+			// (Section IV-F: the chunk context moves between FSM
+			// queues); no SRAM port time is charged.
+			a.eng.After(0, fn)
+		})
+	})
+}
+
+// SourceSend implements Endpoint: outgoing messages stream from SRAM
+// straight into the AFI port buffers — no HBM, no bus, no SMs.
+func (a *ACE) SourceSend(c *Chunk, p int, kind PhaseKind, bytes int64, fn func()) {
+	a.sramR.Request(bytes, fn)
+}
+
+// SinkRecv implements Endpoint: received messages are written into the
+// chunk's partition; reductions additionally stream through the ALUs.
+func (a *ACE) SinkRecv(c *Chunk, p int, kind PhaseKind, bytes int64, reduce bool, fn func()) {
+	if reduce {
+		done := join(2, fn)
+		a.alu.Request(bytes, done)
+		a.sramW.Request(bytes, done)
+		return
+	}
+	a.sramW.Request(bytes, fn)
+}
+
+// Forward implements Endpoint: relayed traffic is absorbed and re-emitted
+// by the SRAM without touching HBM (Section V, "its SRAM absorbs packets
+// and forwards the ones that have different destinations").
+func (a *ACE) Forward(bytes int64, fn func()) {
+	done := join(2, fn)
+	a.sramW.Request(bytes, done)
+	a.sramR.Request(bytes, done)
+}
+
+// Drain implements Endpoint: results move into the terminal partition,
+// the phase resources are released, and the RX DMA writes back to HBM.
+func (a *ACE) Drain(c *Chunk, fn func()) {
+	last := len(c.Resident) - 1 // terminal index in chunk terms
+	term := a.cfg.Phases        // terminal partition index
+	st := a.st(c)
+	cur := st.phase
+	out := c.Resident[last]
+	a.parts[term].Acquire(out, func() {
+		a.fsms[cur].Release()
+		a.parts[cur].Release(st.held)
+		// As with the TX DMA, the RX DMA's SRAM reads go through the
+		// banked crossbar; the bus serializes the transfer.
+		a.node.BusRX.Request(out, func() {
+			a.node.WriteMeter.Add(out)
+			a.parts[term].Release(out)
+			a.markActive(-1)
+			fn()
+		})
+	})
+}
+
+var _ Endpoint = (*ACE)(nil)
+
+// Debug summarizes internal server and gate occupancy for diagnostics.
+func (a *ACE) Debug() string {
+	s := fmt.Sprintf("alu busy=%v sramR busy=%v sramW busy=%v active=%d",
+		a.alu.BusyTime(), a.sramR.BusyTime(), a.sramW.BusyTime(), a.active)
+	for i, g := range a.fsms {
+		s += fmt.Sprintf(" fsm%d(u=%d,w=%d)", i, g.Used(), g.Waiting())
+	}
+	for i, g := range a.parts {
+		s += fmt.Sprintf(" part%d(u=%d/%d,w=%d)", i, g.Used(), g.Capacity(), g.Waiting())
+	}
+	return s
+}
+
+// FlushBusy closes the currently open busy interval (if any) so the
+// BusyTrace is complete up to the present; Fig 9b reads utilization from
+// it at the end of a run.
+func (a *ACE) FlushBusy() {
+	if a.active > 0 {
+		now := a.eng.Now()
+		a.BusyTrace.AddBusy(a.start, now, 1)
+		a.start = now
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"acesim/internal/des"
+	"acesim/internal/npu"
+	"acesim/internal/resource"
+)
+
+// BaselineConfig tunes the software (SM + HBM driven) endpoint.
+type BaselineConfig struct {
+	// MaxInflightChunks bounds how many chunks the communication kernels
+	// pipeline concurrently (the CUDA-stream depth). 0 means 16.
+	MaxInflightChunks int
+}
+
+// DefaultBaselineConfig returns the default software endpoint tuning.
+func DefaultBaselineConfig() BaselineConfig { return BaselineConfig{MaxInflightChunks: 16} }
+
+// Baseline is today's collective stack: sends read gradients from HBM
+// through the comm SMs, receives are written to HBM, reductions read the
+// local operand again. All reads pass through the node's comm memory
+// server, whose rate is min(comm HBM share, commSMs x per-SM streaming);
+// all fabric traffic crosses the NPU-AFI bus.
+type Baseline struct {
+	eng    *des.Engine
+	node   *npu.Node
+	window *resource.SlotGate
+}
+
+// NewBaseline builds the software endpoint for one node.
+func NewBaseline(eng *des.Engine, node *npu.Node, cfg BaselineConfig) *Baseline {
+	w := cfg.MaxInflightChunks
+	if w <= 0 {
+		w = 16
+	}
+	return &Baseline{
+		eng:    eng,
+		node:   node,
+		window: resource.NewSlotGate("baseline.window", w),
+	}
+}
+
+// Admit implements Endpoint.
+func (b *Baseline) Admit(c *Chunk, fn func()) { b.window.Acquire(fn) }
+
+// NextPhase implements Endpoint. Data lives in HBM between phases, so a
+// phase transition is free; per-phase costs are paid on sends/receives.
+func (b *Baseline) NextPhase(c *Chunk, p int, fn func()) { b.eng.After(0, fn) }
+
+// SourceSend implements Endpoint: one HBM read plus the bus crossing.
+func (b *Baseline) SourceSend(c *Chunk, p int, kind PhaseKind, bytes int64, fn func()) {
+	b.node.CommMem.Request(bytes, func() {
+		b.node.BusTX.Request(bytes, fn)
+	})
+}
+
+// SinkRecv implements Endpoint: the message crosses the bus and is written
+// to HBM (write metered); a reduction reads the local operand (one more
+// HBM read, which together with the per-send read reproduces the paper's
+// 2x RS / 1x AG read accounting).
+func (b *Baseline) SinkRecv(c *Chunk, p int, kind PhaseKind, bytes int64, reduce bool, fn func()) {
+	b.node.BusRX.Request(bytes, func() {
+		b.node.WriteMeter.Add(bytes)
+		if reduce {
+			b.node.CommMem.Request(bytes, fn)
+			return
+		}
+		fn()
+	})
+}
+
+// Forward implements Endpoint: multi-hop traffic is staged through HBM at
+// every intermediate node (the paper's NVLink neighbor-only observation):
+// bus in, write, read back, bus out.
+func (b *Baseline) Forward(bytes int64, fn func()) {
+	b.node.BusRX.Request(bytes, func() {
+		b.node.WriteMeter.Add(bytes)
+		b.node.CommMem.Request(bytes, func() {
+			b.node.BusTX.Request(bytes, fn)
+		})
+	})
+}
+
+// Drain implements Endpoint: final results were already written on their
+// last receive; only the pipeline slot is released.
+func (b *Baseline) Drain(c *Chunk, fn func()) {
+	b.window.Release()
+	b.eng.After(0, fn)
+}
+
+var _ Endpoint = (*Baseline)(nil)

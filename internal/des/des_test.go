@@ -1,0 +1,239 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if Seconds(1) != Second {
+		t.Fatalf("Seconds(1) = %v, want %v", Seconds(1), Second)
+	}
+	if Micros(2.5) != 2500*Nanosecond {
+		t.Fatalf("Micros(2.5) = %v", Micros(2.5))
+	}
+	if got := (1500 * Microsecond).Millis(); got != 1.5 {
+		t.Fatalf("Millis = %v, want 1.5", got)
+	}
+	if got := Second.Seconds(); got != 1 {
+		t.Fatalf("Seconds = %v, want 1", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0ps"},
+		{500, "500ps"},
+		{2 * Nanosecond, "2ns"},
+		{3 * Microsecond, "3us"},
+		{4 * Millisecond, "4ms"},
+		{5 * Second, "5s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestByteDur(t *testing.T) {
+	// 1e9 bytes at 1 GB/s is exactly one second.
+	if got := ByteDur(1e9, 1); got != Second {
+		t.Fatalf("ByteDur(1e9, 1) = %v, want 1s", got)
+	}
+	// 256 bytes at 25 GB/s = 10.24 ns.
+	if got := ByteDur(256, 25); got != 10240*Picosecond {
+		t.Fatalf("ByteDur(256, 25) = %v, want 10.24ns", got)
+	}
+	// Infinite rate and empty transfers take no time.
+	if ByteDur(100, 0) != 0 || ByteDur(0, 5) != 0 {
+		t.Fatal("degenerate ByteDur should be zero")
+	}
+	// Rounded up: 1 byte at 1000 GB/s is 1 ps, never 0.
+	if got := ByteDur(1, 1000); got != 1 {
+		t.Fatalf("ByteDur(1, 1000) = %v, want 1ps", got)
+	}
+}
+
+func TestByteDurMonotonic(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := int64(a%1<<20), int64(b%1<<20)
+		if x > y {
+			x, y = y, x
+		}
+		return ByteDur(x, 50) <= ByteDur(y, 50)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCycles(t *testing.T) {
+	// 90 cycles at 1.245 GHz ~ 72.29 ns.
+	got := Cycles(90, 1.245)
+	if got < 72280 || got > 72300 {
+		t.Fatalf("Cycles(90, 1.245) = %v ps", int64(got))
+	}
+	if Cycles(10, 0) != 0 {
+		t.Fatal("zero frequency should give zero duration")
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(1e9, Second); got != 1 {
+		t.Fatalf("Rate = %v, want 1 GB/s", got)
+	}
+	if Rate(100, 0) != 0 {
+		t.Fatal("Rate with zero duration should be 0")
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOTies(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(42, func() { got = append(got, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Fatal("same-time events must run in scheduling order")
+	}
+}
+
+func TestEnginePastClamped(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(100, func() {
+		e.At(50, func() { fired = true }) // in the past: runs "now"
+	})
+	e.Run()
+	if !fired {
+		t.Fatal("past-scheduled event did not run")
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock went backwards: %v", e.Now())
+	}
+}
+
+func TestEngineAfterNegative(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		e.After(-5, func() {})
+	})
+	e.Run()
+	if e.Now() != 10 {
+		t.Fatalf("negative delay moved the clock: %v", e.Now())
+	}
+}
+
+func TestEngineNested(t *testing.T) {
+	// Events scheduled from within events interleave correctly.
+	e := NewEngine()
+	var trace []Time
+	var tick func()
+	n := 0
+	tick = func() {
+		trace = append(trace, e.Now())
+		n++
+		if n < 5 {
+			e.After(7, tick)
+		}
+	}
+	e.At(0, tick)
+	e.Run()
+	want := []Time{0, 7, 14, 21, 28}
+	for i, w := range want {
+		if trace[i] != w {
+			t.Fatalf("trace[%d] = %v, want %v", i, trace[i], w)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i*10), func() { count++ })
+	}
+	e.RunUntil(50)
+	if count != 5 {
+		t.Fatalf("RunUntil(50) executed %d events, want 5", count)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now = %v, want 50", e.Now())
+	}
+	e.RunUntil(45) // no-op: deadline already passed
+	if e.Now() != 50 {
+		t.Fatalf("RunUntil moved clock backwards to %v", e.Now())
+	}
+	e.Run()
+	if count != 10 || e.Now() != 100 {
+		t.Fatalf("count=%d now=%v", count, e.Now())
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	// Two identical randomized runs produce identical execution traces.
+	run := func(seed int64) []Time {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var trace []Time
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			trace = append(trace, e.Now())
+			if depth < 4 {
+				for i := 0; i < 3; i++ {
+					e.After(Time(rng.Intn(100)), func() { schedule(depth + 1) })
+				}
+			}
+		}
+		e.At(0, func() { schedule(0) })
+		e.Run()
+		return trace
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEngineStepAndCounters(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty engine should report false")
+	}
+	e.At(5, func() {})
+	e.At(6, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	if !e.Step() || e.Steps() != 1 {
+		t.Fatalf("Step/Steps bookkeeping wrong: steps=%d", e.Steps())
+	}
+}

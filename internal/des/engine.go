@@ -1,0 +1,99 @@
+package des
+
+import "container/heap"
+
+// event is a single scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by time, then by scheduling order.
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() *event  { return &h[0] }
+func (h eventHeap) empty() bool   { return len(h) == 0 }
+
+// Engine is a deterministic discrete-event scheduler. The zero value is
+// ready to use at time 0.
+type Engine struct {
+	now    Time
+	heap   eventHeap
+	seq    uint64
+	nSteps uint64
+}
+
+// NewEngine returns a fresh engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events processed so far.
+func (e *Engine) Steps() uint64 { return e.nSteps }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is
+// clamped to the current time (the event runs "now", after already-queued
+// events for the current instant).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time. Negative delays are
+// clamped to zero.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step executes the next event. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if e.heap.empty() {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(event)
+	e.now = ev.at
+	e.nSteps++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty and returns the number of
+// events processed during this call.
+func (e *Engine) Run() uint64 {
+	start := e.nSteps
+	for e.Step() {
+	}
+	return e.nSteps - start
+}
+
+// RunUntil executes events with timestamps <= deadline and then advances
+// the clock to deadline (if the clock has not already passed it).
+func (e *Engine) RunUntil(deadline Time) {
+	for !e.heap.empty() && e.heap.peek().at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

@@ -1,0 +1,86 @@
+// Package des provides a deterministic discrete-event simulation engine.
+//
+// All simulated time is expressed as Time, an integer number of picoseconds.
+// Integer time keeps the simulation exactly reproducible across runs and
+// platforms: two events scheduled for the same instant are executed in the
+// order they were scheduled (FIFO tie-breaking), so a simulation is a pure
+// function of its inputs.
+package des
+
+import "fmt"
+
+// Time is a point in (or duration of) simulated time, in picoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts a floating-point number of seconds to a Time.
+func Seconds(s float64) Time { return Time(s*float64(Second) + 0.5) }
+
+// Micros converts a floating-point number of microseconds to a Time.
+func Micros(us float64) Time { return Time(us*float64(Microsecond) + 0.5) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis reports t as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the time with a human-friendly unit.
+func (t Time) String() string {
+	switch abs := max(t, -t); {
+	case abs >= Second:
+		return fmt.Sprintf("%.4gs", t.Seconds())
+	case abs >= Millisecond:
+		return fmt.Sprintf("%.4gms", t.Millis())
+	case abs >= Microsecond:
+		return fmt.Sprintf("%.4gus", t.Micros())
+	case abs >= Nanosecond:
+		return fmt.Sprintf("%.4gns", float64(t)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// ByteDur is the time needed to move bytes at rate gbps (10^9 bytes per
+// second). A non-positive rate means "infinitely fast" and yields 0.
+// The result is rounded up so a non-empty transfer always takes time.
+func ByteDur(bytes int64, gbps float64) Time {
+	if gbps <= 0 || bytes <= 0 {
+		return 0
+	}
+	// bytes / (gbps*1e9) seconds = bytes*1e3/gbps picoseconds.
+	ps := float64(bytes) * 1e3 / gbps
+	d := Time(ps)
+	if float64(d) < ps {
+		d++
+	}
+	return d
+}
+
+// Cycles is the duration of n clock cycles at freqGHz.
+func Cycles(n int, freqGHz float64) Time {
+	if freqGHz <= 0 {
+		return 0
+	}
+	return Time(float64(n)*1e3/freqGHz + 0.5)
+}
+
+// Rate converts bytes moved over a duration to GB/s (10^9 bytes per second).
+// It returns 0 when the duration is not positive.
+func Rate(bytes int64, d Time) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / 1e9
+}

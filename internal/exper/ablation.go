@@ -1,0 +1,117 @@
+package exper
+
+import (
+	"acesim/internal/collectives"
+	"acesim/internal/noc"
+	"acesim/internal/report"
+	"acesim/internal/system"
+	"acesim/internal/training"
+	"acesim/internal/workload"
+)
+
+// AblationA2ARow compares endpoint offload on the all-to-all pattern,
+// which exercises the multi-hop forwarding path where ACE's SRAM absorbs
+// relayed packets instead of staging them through HBM (Section V).
+type AblationA2ARow struct {
+	Preset     system.Preset
+	DurationUS float64
+	ReadsNode  int64
+	EffGBps    float64
+}
+
+// AblationForwarding runs one all-to-all under every preset.
+func AblationForwarding(t noc.Torus, payload int64) ([]AblationA2ARow, *report.Table, error) {
+	tab := report.New("Ablation: all-to-all forwarding (endpoint staging vs ACE SRAM absorption)",
+		"system", "duration us", "HBM reads/node", "eff GB/s per NPU")
+	var rows []AblationA2ARow
+	for _, p := range system.Presets() {
+		res, err := RunCollective(system.NewSpec(t, p), collectives.AllToAll, payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		r := AblationA2ARow{
+			Preset: p, DurationUS: res.Duration.Micros(),
+			ReadsNode: res.ReadsNode, EffGBps: res.EffGBpsNode,
+		}
+		rows = append(rows, r)
+		tab.Add(p.String(), r.DurationUS, r.ReadsNode, r.EffGBps)
+	}
+	return rows, tab, nil
+}
+
+// AblationSwitchRow compares ACE against the baseline on a switch-class
+// (flat, NVSwitch-like) topology: Table II's point that endpoint offload
+// is placement-flexible.
+type AblationSwitchRow struct {
+	Preset     system.Preset
+	DurationUS float64
+	EffGBps    float64
+}
+
+// AblationSwitch runs a single all-reduce on a flat 8-NPU, 150 GB/s
+// switch-class fabric (modeled as a ring over the switch ports, as in the
+// Fig 4 platform) under every preset.
+func AblationSwitch(payload int64) ([]AblationSwitchRow, *report.Table, error) {
+	tab := report.New("Ablation: endpoint offload on a switch-class fabric (8 NPUs, 150 GB/s)",
+		"system", "duration us", "eff GB/s per NPU")
+	var rows []AblationSwitchRow
+	for _, p := range system.Presets() {
+		spec := system.NewSpec(noc.Torus{L: 8, V: 1, H: 1}, p)
+		spec.Intra = noc.LinkClass{GBps: 75, LatCycles: 300, Efficiency: 1, FreqGHz: 1.245}
+		res, err := RunCollective(spec, collectives.AllReduce, payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		r := AblationSwitchRow{Preset: p, DurationUS: res.Duration.Micros(), EffGBps: res.EffGBpsNode}
+		rows = append(rows, r)
+		tab.Add(p.String(), r.DurationUS, r.EffGBps)
+	}
+	return rows, tab, nil
+}
+
+// AblationSchedRow compares LIFO vs FIFO collective scheduling (the
+// Section V design choice: LIFO prioritizes the first layers' gradients,
+// which the next forward pass needs first).
+type AblationSchedRow struct {
+	Preset    system.Preset
+	Policy    string
+	ComputeUS float64
+	ExposedUS float64
+	TotalUS   float64
+}
+
+// AblationScheduling trains the given workload under LIFO and FIFO chunk
+// scheduling on the ACE and CompOpt systems.
+func AblationScheduling(t noc.Torus, model string) ([]AblationSchedRow, *report.Table, error) {
+	m, err := workload.ByName(model)
+	if err != nil {
+		return nil, nil, err
+	}
+	tab := report.New("Ablation: LIFO vs FIFO collective scheduling ("+m.Name+")",
+		"system", "policy", "compute us", "exposed us", "total us")
+	var rows []AblationSchedRow
+	for _, p := range []system.Preset{system.BaselineCompOpt, system.ACE} {
+		for _, fifo := range []bool{false, true} {
+			spec := system.NewSpec(t, p)
+			spec.Coll.FIFOSched = fifo
+			FastGranularity(&spec)
+			res, _, err := RunTraining(spec, m, training.DefaultConfig())
+			if err != nil {
+				return nil, nil, err
+			}
+			policy := "LIFO"
+			if fifo {
+				policy = "FIFO"
+			}
+			r := AblationSchedRow{
+				Preset: p, Policy: policy,
+				ComputeUS: res.TotalCompute.Micros(),
+				ExposedUS: res.ExposedComm.Micros(),
+				TotalUS:   res.IterTime.Micros(),
+			}
+			rows = append(rows, r)
+			tab.Add(p.String(), policy, r.ComputeUS, r.ExposedUS, r.TotalUS)
+		}
+	}
+	return rows, tab, nil
+}

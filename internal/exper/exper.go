@@ -1,0 +1,118 @@
+// Package exper implements the experiment harness: one runner per table
+// and figure of the paper's evaluation (see DESIGN.md for the index).
+// Each runner builds fresh systems via the system package, drives the
+// simulation, and returns both structured rows and a formatted table.
+package exper
+
+import (
+	"fmt"
+
+	"acesim/internal/collectives"
+	"acesim/internal/des"
+	"acesim/internal/noc"
+	"acesim/internal/system"
+	"acesim/internal/training"
+	"acesim/internal/workload"
+)
+
+// CollectiveResult summarizes one standalone collective run.
+type CollectiveResult struct {
+	Preset       system.Preset
+	Torus        noc.Torus
+	Bytes        int64
+	Duration     des.Time
+	EffGBpsNode  float64 // injected bytes / node / duration
+	ReadsNode    int64   // HBM comm reads at node 0
+	WritesNode   int64   // HBM comm writes at node 0
+	WireBytes    int64
+	InjectedNode int64
+}
+
+// RunCollective executes one collective of the given kind and payload on
+// every node of a freshly built system and reports aggregate metrics.
+func RunCollective(spec system.Spec, kind collectives.Kind, bytes int64) (CollectiveResult, error) {
+	s, err := system.Build(spec)
+	if err != nil {
+		return CollectiveResult{}, err
+	}
+	plan := collectives.HierarchicalAllReduce(spec.Torus)
+	if kind == collectives.AllToAll {
+		plan = collectives.DirectAllToAll(spec.Torus.N())
+	}
+	cs := collectives.Spec{Kind: kind, Bytes: bytes, Plan: plan, Name: kind.String()}
+	done := 0
+	var coll *collectives.Collective
+	for i := 0; i < s.RT.Nodes(); i++ {
+		coll = s.RT.Issue(noc.NodeID(i), cs, func() { done++ })
+	}
+	s.Eng.Run()
+	if done != s.RT.Nodes() {
+		return CollectiveResult{}, fmt.Errorf("exper: collective finished on %d/%d nodes", done, s.RT.Nodes())
+	}
+	var last des.Time
+	for i := 0; i < s.RT.Nodes(); i++ {
+		if t := coll.CompleteAt(noc.NodeID(i)); t > last {
+			last = t
+		}
+	}
+	n := int64(spec.Torus.N())
+	injectedNode := s.Net.InjectedBytes() / n
+	return CollectiveResult{
+		Preset:       spec.Preset,
+		Torus:        spec.Torus,
+		Bytes:        bytes,
+		Duration:     last,
+		EffGBpsNode:  des.Rate(injectedNode, last),
+		ReadsNode:    s.Nodes[0].CommMem.Meter.Total(),
+		WritesNode:   s.Nodes[0].WriteMeter.Total(),
+		WireBytes:    s.Net.TotalWireBytes(),
+		InjectedNode: injectedNode,
+	}, nil
+}
+
+// TrainResult couples a workload run with its configuration.
+type TrainResult struct {
+	Preset   system.Preset
+	Torus    noc.Torus
+	Workload string
+	training.Result
+}
+
+// RunTraining executes the paper's two-iteration training measurement for
+// one workload on one system configuration.
+func RunTraining(spec system.Spec, m *workload.Model, tc training.Config) (TrainResult, *system.System, error) {
+	s, err := system.Build(spec)
+	if err != nil {
+		return TrainResult{}, nil, err
+	}
+	res, err := s.Runner(tc).Run(m)
+	if err != nil {
+		return TrainResult{}, nil, err
+	}
+	return TrainResult{
+		Preset:   spec.Preset,
+		Torus:    spec.Torus,
+		Workload: m.Name,
+		Result:   res,
+	}, s, nil
+}
+
+// Sizes4 returns the paper's four evaluation sizes (Fig 11):
+// 16 (4x2x2), 32 (4x4x2), 64 (4x4x4), 128 (4x8x4).
+func Sizes4() []noc.Torus {
+	return []noc.Torus{
+		{L: 4, V: 2, H: 2},
+		{L: 4, V: 4, H: 2},
+		{L: 4, V: 4, H: 4},
+		{L: 4, V: 8, H: 4},
+	}
+}
+
+// FastGranularity coarsens chunking to keep large simulations tractable
+// without changing who-wins shapes (DESIGN.md, Table III note): chunk
+// target 256 KiB, at most 24 chunks per collective. ACE's SRAM partition
+// ceiling still applies on top of this.
+func FastGranularity(spec *system.Spec) {
+	spec.Coll.ChunkBytes = 256 << 10
+	spec.Coll.MaxChunks = 24
+}

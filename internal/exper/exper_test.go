@@ -1,0 +1,277 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+
+	"acesim/internal/collectives"
+	"acesim/internal/hwmodel"
+	"acesim/internal/noc"
+	"acesim/internal/system"
+	"acesim/internal/workload"
+)
+
+var torus16 = noc.Torus{L: 4, V: 2, H: 2}
+
+func TestRunCollectiveBasics(t *testing.T) {
+	res, err := RunCollective(system.NewSpec(torus16, system.Ideal), collectives.AllReduce, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration <= 0 || res.EffGBpsNode <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	// 4x2x2 hierarchical AR injects 2 bytes per payload byte.
+	if got, want := res.InjectedNode, int64(2*16<<20); got != want {
+		t.Fatalf("injected/node = %d, want %d", got, want)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	toruses := []noc.Torus{torus16}
+	memBWs := []float64{64, 128, 450, 900}
+	pts, tab, err := Fig5(toruses, memBWs, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(memBWs) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Baseline effective BW grows with the memory allocation and
+	// saturates near ideal at 450.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Baseline < pts[i-1].Baseline-1e-9 {
+			t.Fatalf("baseline not monotone: %+v", pts)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.Baseline < 0.85*last.IdealGBps {
+		t.Fatalf("baseline @900 = %.1f, ideal %.1f: should be near ideal", last.Baseline, last.IdealGBps)
+	}
+	// ACE approaches ideal with only 128 GB/s (the paper's 3.5x
+	// memory-BW headline). At 16 NPUs the DMA-ingest bound is
+	// 2 x 128 = 256 GB/s (injection ratio 2.0), i.e. ~81% of ideal;
+	// the 4x4x4 ratio of 2.25 gives the paper's ~90% (cmd harness).
+	var ace128, base128 float64
+	for _, p := range pts {
+		if p.CommGBps == 128 {
+			ace128, base128 = p.ACE, p.Baseline
+		}
+	}
+	if ace128 < 0.72*last.IdealGBps {
+		t.Fatalf("ACE @128 = %.1f, ideal %.1f", ace128, last.IdealGBps)
+	}
+	if ace128 <= base128 {
+		t.Fatalf("ACE (%.1f) must beat baseline (%.1f) at 128 GB/s", ace128, base128)
+	}
+	if !strings.Contains(tab.String(), "Fig 5") {
+		t.Fatal("table missing title")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	pts, _, err := Fig6([]noc.Torus{torus16}, []int{1, 2, 6, 16}, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More SMs for comm -> more network bandwidth, saturating by 6 SMs
+	// (the paper's operating point).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].BWperNPU < pts[i-1].BWperNPU-1e-9 {
+			t.Fatalf("fig6 not monotone: %+v", pts)
+		}
+	}
+	if pts[2].BWperNPU < 0.85*pts[3].BWperNPU {
+		t.Fatalf("6 SMs (%.1f) should nearly saturate vs 16 SMs (%.1f)", pts[2].BWperNPU, pts[3].BWperNPU)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	kernels := []Fig4Kernel{GEMMKernel(512), GEMMKernel(2000), EmbLookupKernel(10000)}
+	rows, _, err := Fig4(kernels, []int64{10 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Slowdown < 1 {
+			t.Fatalf("%s: slowdown %.2f < 1", r.Kernel, r.Slowdown)
+		}
+	}
+	// Bigger kernels interfere more.
+	if rows[1].Slowdown <= rows[0].Slowdown {
+		t.Fatalf("GEMM 2000 (%.2f) should slow the AR more than GEMM 512 (%.2f)",
+			rows[1].Slowdown, rows[0].Slowdown)
+	}
+	// The memory-hungry embedding lookup interferes most (paper: 1.42x
+	// vs 1.16x for GEMM).
+	if rows[2].Slowdown <= rows[0].Slowdown {
+		t.Fatalf("EmbLookup (%.2f) should beat small GEMM (%.2f)", rows[2].Slowdown, rows[0].Slowdown)
+	}
+}
+
+func TestFig9bUtilization(t *testing.T) {
+	rows, _, err := Fig9b(torus16, []*workload.Model{workload.ResNet50(workload.ResNet50Batch)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	// Data-parallel: no forward communication except cross-iteration
+	// waits; backprop keeps ACE busy. The paper's 96.4% is a 128-NPU
+	// number; at 16 NPUs the collectives drain quickly between layers,
+	// so only the ordering and a floor are asserted here (the cmd
+	// harness reports the 4x8x4 values).
+	if r.BwdUtil < 0.15 {
+		t.Fatalf("bwd utilization %.2f too low", r.BwdUtil)
+	}
+	if r.FwdUtil >= r.BwdUtil {
+		t.Fatalf("fwd utilization (%.2f) should be below bwd (%.2f)", r.FwdUtil, r.BwdUtil)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rows, _, err := Fig12(noc.Torus{L: 4, V: 4, H: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Both systems benefit (paper: CompOpt 1.05x — reproduced almost
+	// exactly — and ACE 1.2x; our ACE gain is directional, ~1.03x, see
+	// EXPERIMENTS.md), compute shrinks for both, and ACE stays the
+	// fastest system in both modes.
+	compGain := rows[0].TotalUS / rows[1].TotalUS
+	aceGain := rows[2].TotalUS / rows[3].TotalUS
+	if aceGain <= 1.0 || compGain <= 1.0 {
+		t.Fatalf("optimization should help both (ACE %.3f, CompOpt %.3f)", aceGain, compGain)
+	}
+	if rows[1].ComputeUS >= rows[0].ComputeUS || rows[3].ComputeUS >= rows[2].ComputeUS {
+		t.Fatal("optimization should shrink main-stream compute")
+	}
+	if rows[3].TotalUS >= rows[1].TotalUS {
+		t.Fatalf("optimized ACE (%v) should beat optimized CompOpt (%v)", rows[3].TotalUS, rows[1].TotalUS)
+	}
+}
+
+func TestAnalyticVIA(t *testing.T) {
+	rows, _, err := AnalyticVIA([]noc.Torus{{L: 4, V: 4, H: 4}}, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.InjectedPerByte != 2.25 {
+		t.Fatalf("injected/byte = %v, want 2.25", r.InjectedPerByte)
+	}
+	if r.BaselineReadRatio != 1.5 {
+		t.Fatalf("reads/sent = %v, want 1.5", r.BaselineReadRatio)
+	}
+	if r.MemBWReduction < 3.3 || r.MemBWReduction > 3.5 {
+		t.Fatalf("memBW reduction = %v", r.MemBWReduction)
+	}
+	// The simulator's ACE meter reads exactly the payload.
+	if r.MeasuredACE != 4<<20 {
+		t.Fatalf("measured ACE reads = %d", r.MeasuredACE)
+	}
+	// Baseline measured reads match the analytic ratio within chunk
+	// rounding.
+	ratio := float64(r.MeasuredBaseline) / float64(r.MeasuredACE)
+	if ratio < 3.3 || ratio > 3.5 {
+		t.Fatalf("measured reduction = %v", ratio)
+	}
+}
+
+func TestTable4MatchesPaper(t *testing.T) {
+	total := hwmodel.Total(hwmodel.DefaultConfig())
+	// Paper Table IV prints 5,339,031 um^2 / 4,255 mW as the total; its
+	// own component rows sum to 5,290,695 / 4,231.9. We reproduce the
+	// component sum (within 1% of either).
+	if total.AreaUM2 < 5.25e6 || total.AreaUM2 > 5.35e6 {
+		t.Fatalf("total area = %v", total.AreaUM2)
+	}
+	if total.PowerMW < 4200 || total.PowerMW > 4300 {
+		t.Fatalf("total power = %v", total.PowerMW)
+	}
+	areaFrac, powerFrac := hwmodel.OverheadVsAccelerator(hwmodel.DefaultConfig())
+	if areaFrac > 0.02 || powerFrac > 0.02 {
+		t.Fatalf("overheads %v/%v exceed the paper's 2%% claim", areaFrac, powerFrac)
+	}
+	tab := Table4(hwmodel.DefaultConfig())
+	if !strings.Contains(tab.String(), "ACE (Total)") {
+		t.Fatal("table missing total row")
+	}
+}
+
+func TestTables5And6(t *testing.T) {
+	s5 := Table5(system.NewSpec(torus16, system.ACE)).String()
+	if !strings.Contains(s5, "900 GB/s") || !strings.Contains(s5, "16 FSMs") {
+		t.Fatalf("table 5 incomplete:\n%s", s5)
+	}
+	s6 := Table6().String()
+	for _, p := range system.Presets() {
+		if !strings.Contains(s6, p.String()) {
+			t.Fatalf("table 6 missing %s", p)
+		}
+	}
+}
+
+func TestAblationForwarding(t *testing.T) {
+	rows, _, err := AblationForwarding(torus16, 2<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base, ace AblationA2ARow
+	for _, r := range rows {
+		switch r.Preset {
+		case system.BaselineCompOpt:
+			base = r
+		case system.ACE:
+			ace = r
+		}
+	}
+	// ACE's SRAM absorbs forwarded traffic: far fewer HBM reads and a
+	// faster all-to-all than the equally-provisioned baseline.
+	if ace.ReadsNode >= base.ReadsNode {
+		t.Fatalf("ACE reads (%d) should be below baseline (%d)", ace.ReadsNode, base.ReadsNode)
+	}
+	if ace.DurationUS >= base.DurationUS {
+		t.Fatalf("ACE a2a (%v us) should beat baseline (%v us)", ace.DurationUS, base.DurationUS)
+	}
+}
+
+func TestAblationSwitch(t *testing.T) {
+	rows, _, err := AblationSwitch(16 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cmp, ace float64
+	for _, r := range rows {
+		switch r.Preset {
+		case system.BaselineCompOpt:
+			cmp = r.DurationUS
+		case system.ACE:
+			ace = r.DurationUS
+		}
+	}
+	// Endpoint offload works on switch-class fabrics too (Table II).
+	if ace > cmp {
+		t.Fatalf("ACE (%v us) should not lose to CompOpt (%v us) on a switch", ace, cmp)
+	}
+}
+
+func TestAblationScheduling(t *testing.T) {
+	rows, _, err := AblationScheduling(torus16, "resnet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TotalUS <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package exper
+
+import (
+	"testing"
+
+	"acesim/internal/noc"
+	"acesim/internal/system"
+	"acesim/internal/training"
+	"acesim/internal/workload"
+)
+
+// TestProbeScaling is a smoke/perf probe: the largest workload on the
+// largest system must finish and stay tractable. Run with -v to see
+// timings.
+func TestProbeScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow probe")
+	}
+	torus := noc.Torus{L: 4, V: 8, H: 4}
+	spec := system.NewSpec(torus, system.ACE)
+	FastGranularity(&spec)
+	m := workload.GNMT(workload.GNMTBatch)
+	res, s, err := RunTraining(spec, m, training.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("GNMT@128 ACE: iter=%v compute=%v exposed=%v events=%d",
+		res.IterTime, res.TotalCompute, res.ExposedComm, s.Eng.Steps())
+}

@@ -1,0 +1,110 @@
+package exper
+
+import (
+	"fmt"
+
+	"acesim/internal/collectives"
+	"acesim/internal/hwmodel"
+	"acesim/internal/noc"
+	"acesim/internal/report"
+	"acesim/internal/system"
+)
+
+// Table4 reproduces the ACE synthesis table (area/power, 28 nm) from the
+// analytical hardware model, including the <2% overhead claim.
+func Table4(cfg hwmodel.Config) *report.Table {
+	tab := report.New("Table IV: ACE synthesis results (28 nm, analytical model)",
+		"component", "area um^2", "power mW")
+	for _, c := range hwmodel.Components(cfg) {
+		tab.Add(c.Name, c.AreaUM2, c.PowerMW)
+	}
+	t := hwmodel.Total(cfg)
+	tab.Add(t.Name, t.AreaUM2, t.PowerMW)
+	areaFrac, powerFrac := hwmodel.OverheadVsAccelerator(cfg)
+	tab.Add("vs training accelerator", fmt.Sprintf("%.2f%%", 100*areaFrac), fmt.Sprintf("%.2f%%", 100*powerFrac))
+	return tab
+}
+
+// Table5 prints the simulated platform parameters (Table V).
+func Table5(spec system.Spec) *report.Table {
+	tab := report.New("Table V: system parameters", "parameter", "value")
+	tab.Add("Compute accel.", fmt.Sprintf("%.0f TOPS FP16, %d SMs @ %.3f GHz",
+		spec.NPU.PeakTOPS, spec.NPU.SMs, spec.NPU.FreqGHz))
+	tab.Add("NPU-MEM BW", fmt.Sprintf("%.0f GB/s", spec.NPU.MemGBps))
+	tab.Add("NPU-AFI BW", fmt.Sprintf("%.0f GB/s per direction", spec.NPU.BusGBps))
+	tab.Add("Intra-package link", fmt.Sprintf("%.0f GB/s, %d cycles, eff %.2f",
+		spec.Intra.GBps, spec.Intra.LatCycles, spec.Intra.Efficiency))
+	tab.Add("Inter-package link", fmt.Sprintf("%.0f GB/s, %d cycles, eff %.2f",
+		spec.Inter.GBps, spec.Inter.LatCycles, spec.Inter.Efficiency))
+	tab.Add("Links per NPU", "2 intra (1 bidir ring) + 4 inter (2 bidir rings)")
+	tab.Add("ACE", fmt.Sprintf("%d MiB SRAM, %d FSMs, %d ALUs",
+		spec.ACE.SRAMBytes>>20, spec.ACE.FSMs, spec.ACE.ALUs))
+	tab.Add("Chunk size", fmt.Sprintf("%d KiB", spec.Coll.ChunkBytes>>10))
+	return tab
+}
+
+// Table6 prints the five target system configurations (Table VI).
+func Table6() *report.Table {
+	tab := report.New("Table VI: target system configurations",
+		"system", "comm mem BW", "comm SMs", "scheduling")
+	rows := []struct {
+		p          system.Preset
+		mem, sms   string
+		scheduling string
+	}{
+		{system.BaselineNoOverlap, "900 GB/s while comm runs", "80", "fused collective after backprop, blocking"},
+		{system.BaselineCommOpt, "450 GB/s", "6", "per-layer overlap"},
+		{system.BaselineCompOpt, "128 GB/s", "2", "per-layer overlap"},
+		{system.ACE, "128 GB/s (DMA only)", "0", "per-layer overlap"},
+		{system.Ideal, "none (1-cycle endpoint)", "0", "per-layer overlap"},
+	}
+	for _, r := range rows {
+		tab.Add(r.p.String(), r.mem, r.sms, r.scheduling)
+	}
+	return tab
+}
+
+// AnalyticRow pairs the Section VI-A closed-form traffic numbers with the
+// simulator's measured meters for one system size.
+type AnalyticRow struct {
+	Torus             noc.Torus
+	InjectedPerByte   float64 // bytes on the wire per payload byte (2.25 on 4x4x4)
+	BaselineReadRatio float64 // HBM reads per byte sent (1.5)
+	MemBWReduction    float64 // baseline reads / ACE reads (~3.4x)
+	MeasuredBaseline  int64   // measured HBM reads, baseline, per node
+	MeasuredACE       int64   // measured HBM reads, ACE, per node
+}
+
+// AnalyticVIA reproduces the Section VI-A analysis: the per-byte injection
+// and read ratios of the hierarchical all-reduce, both in closed form and
+// as measured by the simulator on a real collective run.
+func AnalyticVIA(toruses []noc.Torus, payload int64) ([]AnalyticRow, *report.Table, error) {
+	tab := report.New("Section VI-A: memory traffic, analytic vs simulated (single all-reduce)",
+		"torus", "injected/byte", "baseline reads/sent", "memBW reduction",
+		"measured baseline reads", "measured ACE reads")
+	var rows []AnalyticRow
+	for _, t := range toruses {
+		plan := collectives.HierarchicalAllReduce(t)
+		tr := collectives.Analyze(plan, payload)
+		row := AnalyticRow{
+			Torus:             t,
+			InjectedPerByte:   float64(tr.Injected) / float64(payload),
+			BaselineReadRatio: float64(tr.BaselineReads) / float64(tr.Injected),
+			MemBWReduction:    collectives.MemBWReduction(plan, payload),
+		}
+		bres, err := RunCollective(system.NewSpec(t, system.BaselineCommOpt), collectives.AllReduce, payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		ares, err := RunCollective(system.NewSpec(t, system.ACE), collectives.AllReduce, payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		row.MeasuredBaseline = bres.ReadsNode
+		row.MeasuredACE = ares.ReadsNode
+		rows = append(rows, row)
+		tab.Add(t.String(), row.InjectedPerByte, row.BaselineReadRatio, row.MemBWReduction,
+			row.MeasuredBaseline, row.MeasuredACE)
+	}
+	return rows, tab, nil
+}

@@ -1,0 +1,84 @@
+// Package hwmodel reproduces the paper's Table IV: area and power of the
+// ACE design in a 28 nm node, with an analytical scaling model seeded by
+// the published synthesis numbers (the original used Verilog + Synopsys
+// Design Compiler, which we substitute with linear component scaling; see
+// DESIGN.md).
+package hwmodel
+
+import "fmt"
+
+// Component is one synthesized block of ACE.
+type Component struct {
+	Name    string
+	AreaUM2 float64 // square micrometers
+	PowerMW float64 // milliwatts
+}
+
+// Published Table IV reference points (4x1 MB SRAM banks, 16 FSMs,
+// 4 ALUs, 28 nm).
+const (
+	refALUArea     = 16112.0
+	refALUPower    = 7.552
+	refCtrlArea    = 159803.0
+	refCtrlPower   = 128.0
+	refSRAMArea    = 5113696.0 // 4 MiB total
+	refSRAMPower   = 4096.0
+	refSwitchArea  = 1084.0
+	refSwitchPower = 0.329
+	refSRAMBytes   = 4 << 20
+	refFSMs        = 16
+	refALUs        = 4
+	// Reference accelerator envelope (TPU-class, Section IV-I cites
+	// [25], [57]): ACE must stay under ~2% of both.
+	AccelAreaUM2 = 331e6 // ~331 mm^2
+	AccelPowerMW = 250e3 // ~250 W TDP class
+)
+
+// Config selects the ACE design point to model.
+type Config struct {
+	SRAMBytes int64
+	FSMs      int
+	ALUs      int
+}
+
+// DefaultConfig is the paper's chosen design point.
+func DefaultConfig() Config { return Config{SRAMBytes: refSRAMBytes, FSMs: refFSMs, ALUs: refALUs} }
+
+// Components returns the per-component estimates for the design point.
+// SRAM scales linearly with capacity, the control unit with FSM count,
+// and the ALU block with ALU count; the switch is fixed.
+func Components(c Config) []Component {
+	sramScale := float64(c.SRAMBytes) / float64(refSRAMBytes)
+	fsmScale := float64(c.FSMs) / float64(refFSMs)
+	aluScale := float64(c.ALUs) / float64(refALUs)
+	return []Component{
+		{"ALU", refALUArea * aluScale, refALUPower * aluScale},
+		{"Control unit", refCtrlArea * fsmScale, refCtrlPower * fsmScale},
+		{fmt.Sprintf("%dx1MB SRAM banks", maxInt(1, int(c.SRAMBytes>>20))), refSRAMArea * sramScale, refSRAMPower * sramScale},
+		{"Switch & Interconnect", refSwitchArea, refSwitchPower},
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Total sums the component estimates.
+func Total(c Config) Component {
+	var area, power float64
+	for _, comp := range Components(c) {
+		area += comp.AreaUM2
+		power += comp.PowerMW
+	}
+	return Component{Name: "ACE (Total)", AreaUM2: area, PowerMW: power}
+}
+
+// OverheadVsAccelerator returns ACE's area and power as fractions of a
+// high-end training accelerator (the paper reports < 2% for both).
+func OverheadVsAccelerator(c Config) (areaFrac, powerFrac float64) {
+	t := Total(c)
+	return t.AreaUM2 / AccelAreaUM2, t.PowerMW / AccelPowerMW
+}

@@ -1,0 +1,63 @@
+package hwmodel
+
+import "testing"
+
+func TestComponentsReference(t *testing.T) {
+	comps := Components(DefaultConfig())
+	if len(comps) != 4 {
+		t.Fatalf("components = %d", len(comps))
+	}
+	// At the reference design point the components reproduce the paper's
+	// Table IV rows exactly.
+	if comps[0].AreaUM2 != 16112 || comps[0].PowerMW != 7.552 {
+		t.Fatalf("ALU row: %+v", comps[0])
+	}
+	if comps[1].AreaUM2 != 159803 || comps[1].PowerMW != 128 {
+		t.Fatalf("control row: %+v", comps[1])
+	}
+	if comps[2].AreaUM2 != 5113696 || comps[2].PowerMW != 4096 {
+		t.Fatalf("SRAM row: %+v", comps[2])
+	}
+	if comps[3].AreaUM2 != 1084 {
+		t.Fatalf("switch row: %+v", comps[3])
+	}
+}
+
+func TestScaling(t *testing.T) {
+	half := DefaultConfig()
+	half.SRAMBytes = 2 << 20
+	comps := Components(half)
+	if comps[2].AreaUM2 != 5113696/2 {
+		t.Fatalf("SRAM area does not scale: %v", comps[2].AreaUM2)
+	}
+	double := DefaultConfig()
+	double.FSMs = 32
+	if Components(double)[1].PowerMW != 256 {
+		t.Fatal("control power does not scale with FSMs")
+	}
+	moreALU := DefaultConfig()
+	moreALU.ALUs = 8
+	if Components(moreALU)[0].AreaUM2 != 2*16112 {
+		t.Fatal("ALU area does not scale")
+	}
+}
+
+func TestOverheadUnder2Percent(t *testing.T) {
+	area, power := OverheadVsAccelerator(DefaultConfig())
+	if area <= 0 || area > 0.02 || power <= 0 || power > 0.02 {
+		t.Fatalf("overheads %v / %v outside (0, 2%%]", area, power)
+	}
+}
+
+func TestTotalSumsComponents(t *testing.T) {
+	cfg := DefaultConfig()
+	var area, power float64
+	for _, c := range Components(cfg) {
+		area += c.AreaUM2
+		power += c.PowerMW
+	}
+	tot := Total(cfg)
+	if tot.AreaUM2 != area || tot.PowerMW != power {
+		t.Fatalf("total %v/%v != sum %v/%v", tot.AreaUM2, tot.PowerMW, area, power)
+	}
+}

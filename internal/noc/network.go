@@ -1,0 +1,220 @@
+package noc
+
+import (
+	"fmt"
+
+	"acesim/internal/des"
+	"acesim/internal/resource"
+	"acesim/internal/stats"
+)
+
+// LinkClass describes one class of physical link (Table V).
+type LinkClass struct {
+	GBps       float64 // raw bandwidth per link, GB/s
+	LatCycles  int     // link latency in cycles at FreqGHz
+	Efficiency float64 // fraction of raw bandwidth achievable (0.94)
+	FreqGHz    float64 // clock used to convert LatCycles to time
+}
+
+// Latency returns the link's propagation latency.
+func (c LinkClass) Latency() des.Time { return des.Cycles(c.LatCycles, c.FreqGHz) }
+
+// EffGBps returns the achievable bandwidth.
+func (c LinkClass) EffGBps() float64 {
+	e := c.Efficiency
+	if e <= 0 || e > 1 {
+		e = 1
+	}
+	return c.GBps * e
+}
+
+// Link is a unidirectional point-to-point link.
+type Link struct {
+	From, To NodeID
+	Dim      Dim
+	Dir      int
+	srv      *resource.Server
+	lat      des.Time
+}
+
+// BusyTime returns the cumulative serialization time on the link.
+func (l *Link) BusyTime() des.Time { return l.srv.BusyTime() }
+
+// Bytes returns the total bytes carried.
+func (l *Link) Bytes() int64 { return l.srv.Meter.Total() }
+
+// Forwarder is the endpoint hook charged at every intermediate hop of a
+// routed transfer (store-and-forward through the endpoint). It must call
+// next() when the forwarding cost has been paid.
+type Forwarder func(node NodeID, bytes int64, next func())
+
+// Config configures a torus network.
+type Config struct {
+	Topo  Torus
+	Intra LinkClass // local-dimension links
+	Inter LinkClass // vertical/horizontal links
+	// TraceBucket, when > 0, enables the link-utilization trace used by
+	// the Fig 10 timelines.
+	TraceBucket des.Time
+}
+
+// Network is the torus accelerator fabric. Every node has two links
+// (directions +1/-1) per non-degenerate dimension.
+type Network struct {
+	eng   *des.Engine
+	cfg   Config
+	links map[linkKey]*Link
+	// Forward is charged at intermediate hops of SendRouted. If nil,
+	// forwarding is free.
+	Forward Forwarder
+	// Trace accumulates link busy intervals (weight 1 per link).
+	Trace    *stats.Trace
+	numLinks int
+	injected stats.Meter // bytes entering the fabric at source endpoints
+}
+
+type linkKey struct {
+	from NodeID
+	dim  Dim
+	dir  int // +1 / -1
+}
+
+// New builds the torus fabric.
+func New(eng *des.Engine, cfg Config) (*Network, error) {
+	if err := cfg.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		eng:   eng,
+		cfg:   cfg,
+		links: make(map[linkKey]*Link),
+		Trace: stats.NewTrace(cfg.TraceBucket),
+	}
+	t := cfg.Topo
+	for id := NodeID(0); int(id) < t.N(); id++ {
+		for d := DimLocal; d < numDims; d++ {
+			if t.Size(d) == 1 {
+				continue
+			}
+			cls := cfg.Inter
+			if d == DimLocal {
+				cls = cfg.Intra
+			}
+			// A 2-ring keeps both direction links: they are distinct
+			// wires to the same peer (one bidirectional ring).
+			for _, dir := range []int{+1, -1} {
+				to := t.Neighbor(id, d, dir)
+				l := &Link{
+					From: id, To: to, Dim: d, Dir: dir,
+					srv: resource.NewServer(eng, fmt.Sprintf("link(%d,%s,%+d)", id, d, dir), cls.EffGBps()),
+					lat: cls.Latency(),
+				}
+				l.srv.Trace = n.Trace
+				n.links[linkKey{id, d, dir}] = l
+				n.numLinks++
+			}
+		}
+	}
+	return n, nil
+}
+
+// Topo returns the torus shape.
+func (n *Network) Topo() Torus { return n.cfg.Topo }
+
+// NumLinks returns the number of unidirectional links in the fabric.
+func (n *Network) NumLinks() int { return n.numLinks }
+
+// InjectedBytes returns total bytes injected at source endpoints
+// (excluding forwarded re-injections).
+func (n *Network) InjectedBytes() int64 { return n.injected.Total() }
+
+// Link returns the link leaving node from along d in direction dir.
+func (n *Network) Link(from NodeID, d Dim, dir int) *Link {
+	return n.links[linkKey{from, d, dir}]
+}
+
+// TotalLinkBusy sums busy time over all links.
+func (n *Network) TotalLinkBusy() des.Time {
+	var sum des.Time
+	for _, l := range n.links {
+		sum += l.BusyTime()
+	}
+	return sum
+}
+
+// TotalWireBytes sums bytes over all links (multi-hop transfers count once
+// per traversed link).
+func (n *Network) TotalWireBytes() int64 {
+	var sum int64
+	for _, l := range n.links {
+		sum += l.Bytes()
+	}
+	return sum
+}
+
+// SendNeighbor transfers bytes from src to its ring neighbor along d in
+// direction dir and calls deliver at the destination when the full message
+// has arrived. Ring collectives use this path; it never forwards.
+func (n *Network) SendNeighbor(src NodeID, d Dim, dir int, bytes int64, deliver func()) {
+	l := n.links[linkKey{src, d, dir}]
+	if l == nil {
+		panic(fmt.Sprintf("noc: no link from %d along %s dir %+d", src, d, dir))
+	}
+	n.injected.Add(bytes)
+	n.sendOnLink(l, bytes, deliver)
+}
+
+func (n *Network) sendOnLink(l *Link, bytes int64, deliver func()) {
+	lat := l.lat
+	l.srv.Request(bytes, func() {
+		n.eng.After(lat, deliver)
+	})
+}
+
+// SendRouted transfers bytes from src to an arbitrary dst using XYZ
+// dimension-order routing. The Forward hook is charged at every
+// intermediate endpoint (store-and-forward); deliver runs at dst.
+// src == dst delivers after zero network time.
+func (n *Network) SendRouted(src, dst NodeID, bytes int64, deliver func()) {
+	path := n.cfg.Topo.RouteXYZ(src, dst)
+	n.injected.Add(bytes)
+	if len(path) == 0 {
+		n.eng.After(0, deliver)
+		return
+	}
+	cur := src
+	var step func(i int)
+	step = func(i int) {
+		hop := path[i]
+		l := n.linkTo(cur, hop)
+		cur = hop
+		n.sendOnLink(l, bytes, func() {
+			if i == len(path)-1 {
+				deliver()
+				return
+			}
+			if n.Forward != nil {
+				n.Forward(hop, bytes, func() { step(i + 1) })
+			} else {
+				step(i + 1)
+			}
+		})
+	}
+	step(0)
+}
+
+// linkTo finds the link from a to its neighbor b.
+func (n *Network) linkTo(a, b NodeID) *Link {
+	t := n.cfg.Topo
+	for d := DimLocal; d < numDims; d++ {
+		if t.Size(d) == 1 {
+			continue
+		}
+		for _, dir := range []int{+1, -1} {
+			if t.Neighbor(a, d, dir) == b {
+				return n.links[linkKey{a, d, dir}]
+			}
+		}
+	}
+	panic(fmt.Sprintf("noc: nodes %d and %d are not neighbors", a, b))
+}

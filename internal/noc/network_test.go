@@ -1,0 +1,199 @@
+package noc
+
+import (
+	"testing"
+
+	"acesim/internal/des"
+)
+
+func testConfig(t Torus) Config {
+	return Config{
+		Topo:  t,
+		Intra: LinkClass{GBps: 200, LatCycles: 90, Efficiency: 0.94, FreqGHz: 1.245},
+		Inter: LinkClass{GBps: 25, LatCycles: 500, Efficiency: 0.94, FreqGHz: 1.245},
+	}
+}
+
+func TestNetworkLinkCount(t *testing.T) {
+	eng := des.NewEngine()
+	// 4x2x2: every node has 2 local + 2 vertical + 2 horizontal links.
+	n, err := New(eng, testConfig(Torus{4, 2, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := n.NumLinks(), 16*6; got != want {
+		t.Fatalf("links = %d, want %d", got, want)
+	}
+	// Degenerate dims have no links.
+	n2, _ := New(eng, testConfig(Torus{4, 1, 1}))
+	if got, want := n2.NumLinks(), 4*2; got != want {
+		t.Fatalf("links = %d, want %d", got, want)
+	}
+}
+
+func TestNetworkInvalidTopo(t *testing.T) {
+	if _, err := New(des.NewEngine(), testConfig(Torus{0, 1, 1})); err == nil {
+		t.Fatal("want error for invalid torus")
+	}
+}
+
+func TestSendNeighborTiming(t *testing.T) {
+	eng := des.NewEngine()
+	n, _ := New(eng, testConfig(Torus{4, 2, 2}))
+	var arrive des.Time
+	// 188 GB/s effective on local links; 1e6 bytes.
+	n.SendNeighbor(0, DimLocal, +1, 1e6, func() { arrive = eng.Now() })
+	eng.Run()
+	want := des.ByteDur(1e6, 200*0.94) + des.Cycles(90, 1.245)
+	if arrive != want {
+		t.Fatalf("arrival %v, want %v", arrive, want)
+	}
+	if n.InjectedBytes() != 1e6 {
+		t.Fatalf("injected = %d", n.InjectedBytes())
+	}
+}
+
+func TestSendNeighborSerializes(t *testing.T) {
+	eng := des.NewEngine()
+	n, _ := New(eng, testConfig(Torus{4, 1, 1}))
+	var t1, t2 des.Time
+	n.SendNeighbor(0, DimLocal, +1, 1e6, func() { t1 = eng.Now() })
+	n.SendNeighbor(0, DimLocal, +1, 1e6, func() { t2 = eng.Now() })
+	eng.Run()
+	ser := des.ByteDur(1e6, 188)
+	if t2-t1 != ser {
+		t.Fatalf("second message should queue one serialization behind: %v vs %v", t1, t2)
+	}
+	// Opposite directions do not interfere.
+	var t3 des.Time
+	n2, _ := New(des.NewEngine(), testConfig(Torus{4, 1, 1}))
+	_ = n2
+	eng2 := des.NewEngine()
+	n3, _ := New(eng2, testConfig(Torus{4, 1, 1}))
+	n3.SendNeighbor(0, DimLocal, +1, 1e6, nil_)
+	n3.SendNeighbor(0, DimLocal, -1, 1e6, func() { t3 = eng2.Now() })
+	eng2.Run()
+	if t3 != ser+des.Cycles(90, 1.245) {
+		t.Fatalf("reverse direction was blocked: %v", t3)
+	}
+}
+
+func nil_() {}
+
+func TestSendRoutedForwardHook(t *testing.T) {
+	eng := des.NewEngine()
+	n, _ := New(eng, testConfig(Torus{4, 1, 1}))
+	var fwdNodes []NodeID
+	n.Forward = func(node NodeID, bytes int64, next func()) {
+		fwdNodes = append(fwdNodes, node)
+		eng.After(des.Nanosecond, next)
+	}
+	delivered := false
+	n.SendRouted(0, 2, 1000, func() { delivered = true }) // 0 -> 1 -> 2
+	eng.Run()
+	if !delivered {
+		t.Fatal("not delivered")
+	}
+	if len(fwdNodes) != 1 || fwdNodes[0] != 1 {
+		t.Fatalf("forward hook at %v, want [1]", fwdNodes)
+	}
+}
+
+func TestSendRoutedSelf(t *testing.T) {
+	eng := des.NewEngine()
+	n, _ := New(eng, testConfig(Torus{4, 2, 2}))
+	done := false
+	n.SendRouted(3, 3, 1000, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("self delivery did not happen")
+	}
+	if n.TotalWireBytes() != 0 {
+		t.Fatal("self delivery should not touch the wire")
+	}
+}
+
+func TestSendRoutedWireBytes(t *testing.T) {
+	eng := des.NewEngine()
+	n, _ := New(eng, testConfig(Torus{4, 4, 1}))
+	// 2 local hops + 2 vertical hops from (0,0) to (2,2).
+	src, dst := n.Topo().ID(0, 0, 0), n.Topo().ID(2, 2, 0)
+	n.SendRouted(src, dst, 1000, nil_)
+	eng.Run()
+	if got := n.TotalWireBytes(); got != 4000 {
+		t.Fatalf("wire bytes = %d, want 4000 (4 hops)", got)
+	}
+	if got := n.InjectedBytes(); got != 1000 {
+		t.Fatalf("injected = %d, want 1000", got)
+	}
+}
+
+func TestNetworkTrace(t *testing.T) {
+	eng := des.NewEngine()
+	cfg := testConfig(Torus{4, 1, 1})
+	cfg.TraceBucket = des.Microsecond
+	n, _ := New(eng, cfg)
+	n.SendNeighbor(0, DimLocal, +1, 188_000, nil_) // 1us at 188 GB/s
+	eng.Run()
+	if n.Trace.Len() == 0 {
+		t.Fatal("trace recorded nothing")
+	}
+	// One of 8 links busy for one bucket.
+	if got := n.Trace.Utilization(0, float64(n.NumLinks())); got < 0.1 || got > 0.14 {
+		t.Fatalf("trace util = %v, want ~1/8", got)
+	}
+}
+
+func TestSwitchBasics(t *testing.T) {
+	eng := des.NewEngine()
+	sw, err := NewSwitch(eng, SwitchConfig{N: 8, PortGBps: 150, LatCycles: 100, Efficiency: 1, FreqGHz: 1.245})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrive des.Time
+	sw.Send(0, 5, 150e3, func() { arrive = eng.Now() }) // 1us egress + 1us ingress + latency
+	eng.Run()
+	want := 2*des.ByteDur(150e3, 150) + des.Cycles(100, 1.245)
+	if arrive != want {
+		t.Fatalf("arrive = %v, want %v", arrive, want)
+	}
+	if sw.N() != 8 || sw.NumPorts() != 16 {
+		t.Fatal("switch shape wrong")
+	}
+}
+
+func TestSwitchEgressContention(t *testing.T) {
+	eng := des.NewEngine()
+	sw, _ := NewSwitch(eng, SwitchConfig{N: 4, PortGBps: 100, FreqGHz: 1, Efficiency: 1})
+	var done []des.Time
+	// Two messages from node 0 to different destinations share the egress.
+	sw.Send(0, 1, 100e3, func() { done = append(done, eng.Now()) })
+	sw.Send(0, 2, 100e3, func() { done = append(done, eng.Now()) })
+	eng.Run()
+	if len(done) != 2 {
+		t.Fatal("messages lost")
+	}
+	if done[1]-done[0] != des.ByteDur(100e3, 100) {
+		t.Fatalf("no egress serialization: %v", done)
+	}
+}
+
+func TestSwitchRing(t *testing.T) {
+	eng := des.NewEngine()
+	sw, _ := NewSwitch(eng, SwitchConfig{N: 4, PortGBps: 100, FreqGHz: 1, Efficiency: 1})
+	got := -1
+	sw.SendNeighbor(3, DimLocal, +1, 10, func() { got = 0 })
+	eng.Run()
+	if got != 0 {
+		t.Fatal("wraparound neighbor send failed")
+	}
+	if sw.EgressBusy(3) == 0 {
+		t.Fatal("egress busy not recorded")
+	}
+}
+
+func TestSwitchInvalid(t *testing.T) {
+	if _, err := NewSwitch(des.NewEngine(), SwitchConfig{N: 1}); err == nil {
+		t.Fatal("want error for N < 2")
+	}
+}

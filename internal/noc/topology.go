@@ -1,0 +1,149 @@
+// Package noc models the Accelerator Fabric (AF) of a training platform:
+// a 3D torus of NPUs built from per-dimension bidirectional rings
+// (Table V of the paper), and an NVSwitch-like single-hop switch fabric
+// used by the Section III microbenchmark platform.
+//
+// Links are modeled at message granularity: a transfer of B bytes holds a
+// link for B/(BW·efficiency) and is delivered after the link latency.
+// Multi-hop transfers (direct all-to-all) are store-and-forward at every
+// intermediate endpoint, with an endpoint-supplied forwarding cost hook.
+package noc
+
+import "fmt"
+
+// NodeID identifies an NPU endpoint in the fabric.
+type NodeID int32
+
+// Dim is a torus dimension. The paper's LxVxH notation: Local is the
+// intra-package ring, Vertical and Horizontal are inter-package rings.
+type Dim uint8
+
+// Torus dimensions in XYZ routing order (local, vertical, horizontal).
+const (
+	DimLocal Dim = iota
+	DimVertical
+	DimHorizontal
+	numDims
+)
+
+// String names the dimension.
+func (d Dim) String() string {
+	switch d {
+	case DimLocal:
+		return "local"
+	case DimVertical:
+		return "vertical"
+	case DimHorizontal:
+		return "horizontal"
+	}
+	return fmt.Sprintf("dim(%d)", uint8(d))
+}
+
+// Torus describes an LxVxH 3D torus: L NPUs per package connected by an
+// intra-package ring; same-offset NPUs across packages form VxH 2D tori
+// over vertical and horizontal rings.
+type Torus struct {
+	L, V, H int
+}
+
+// N returns the number of NPUs.
+func (t Torus) N() int { return t.L * t.V * t.H }
+
+// String formats the torus as LxVxH.
+func (t Torus) String() string { return fmt.Sprintf("%dx%dx%d", t.L, t.V, t.H) }
+
+// Validate reports an error for degenerate shapes.
+func (t Torus) Validate() error {
+	if t.L < 1 || t.V < 1 || t.H < 1 {
+		return fmt.Errorf("noc: invalid torus %s: all dims must be >= 1", t)
+	}
+	return nil
+}
+
+// Size returns the ring size along dimension d.
+func (t Torus) Size(d Dim) int {
+	switch d {
+	case DimLocal:
+		return t.L
+	case DimVertical:
+		return t.V
+	case DimHorizontal:
+		return t.H
+	}
+	return 0
+}
+
+// Coords returns the (l, v, h) coordinates of id.
+func (t Torus) Coords(id NodeID) (l, v, h int) {
+	n := int(id)
+	l = n % t.L
+	n /= t.L
+	v = n % t.V
+	h = n / t.V
+	return
+}
+
+// ID returns the node at coordinates (l, v, h).
+func (t Torus) ID(l, v, h int) NodeID {
+	return NodeID(l + t.L*(v+t.V*h))
+}
+
+// Coord returns id's coordinate along dimension d.
+func (t Torus) Coord(id NodeID, d Dim) int {
+	l, v, h := t.Coords(id)
+	switch d {
+	case DimLocal:
+		return l
+	case DimVertical:
+		return v
+	}
+	return h
+}
+
+// Neighbor returns the ring neighbor of id along d in direction dir
+// (+1 or -1), with wraparound.
+func (t Torus) Neighbor(id NodeID, d Dim, dir int) NodeID {
+	l, v, h := t.Coords(id)
+	n := t.Size(d)
+	step := func(x int) int { return ((x+dir)%n + n) % n }
+	switch d {
+	case DimLocal:
+		l = step(l)
+	case DimVertical:
+		v = step(v)
+	case DimHorizontal:
+		h = step(h)
+	}
+	return t.ID(l, v, h)
+}
+
+// RingRank returns id's position within its ring along d (= its coordinate).
+func (t Torus) RingRank(id NodeID, d Dim) int { return t.Coord(id, d) }
+
+// RouteXYZ returns the hop-by-hop path from src to dst using dimension-order
+// (local, vertical, horizontal) routing, taking the shorter ring direction
+// in each dimension (ties go to +1, which keeps routing invariant under
+// torus rotations: every node then sees an identical traffic pattern, a
+// symmetry the chunk scheduler relies on). The returned path excludes src
+// and includes dst; it is empty when src == dst.
+func (t Torus) RouteXYZ(src, dst NodeID) []NodeID {
+	var path []NodeID
+	cur := src
+	for d := DimLocal; d < numDims; d++ {
+		n := t.Size(d)
+		if n == 1 {
+			continue
+		}
+		from, to := t.Coord(cur, d), t.Coord(dst, d)
+		delta := ((to-from)%n + n) % n // steps in +1 direction
+		dir, steps := 1, delta
+		if delta > n-delta {
+			dir, steps = -1, n-delta
+		}
+		for i := 0; i < steps; i++ {
+			cur = t.Neighbor(cur, d, dir)
+			path = append(path, cur)
+		}
+	}
+	return path
+}

@@ -1,0 +1,151 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTorusCoordsRoundTrip(t *testing.T) {
+	tor := Torus{L: 4, V: 8, H: 4}
+	for id := NodeID(0); int(id) < tor.N(); id++ {
+		l, v, h := tor.Coords(id)
+		if got := tor.ID(l, v, h); got != id {
+			t.Fatalf("round trip failed: %d -> (%d,%d,%d) -> %d", id, l, v, h, got)
+		}
+		if l < 0 || l >= tor.L || v < 0 || v >= tor.V || h < 0 || h >= tor.H {
+			t.Fatalf("coords out of range: (%d,%d,%d)", l, v, h)
+		}
+	}
+}
+
+func TestTorusValidate(t *testing.T) {
+	if err := (Torus{4, 2, 2}).Validate(); err != nil {
+		t.Fatalf("valid torus rejected: %v", err)
+	}
+	if err := (Torus{0, 2, 2}).Validate(); err == nil {
+		t.Fatal("degenerate torus accepted")
+	}
+}
+
+func TestTorusNeighborWraparound(t *testing.T) {
+	tor := Torus{L: 4, V: 2, H: 2}
+	id := tor.ID(3, 0, 0)
+	if got := tor.Neighbor(id, DimLocal, +1); got != tor.ID(0, 0, 0) {
+		t.Fatalf("wraparound +1 failed: %d", got)
+	}
+	if got := tor.Neighbor(tor.ID(0, 0, 0), DimLocal, -1); got != id {
+		t.Fatalf("wraparound -1 failed: %d", got)
+	}
+	// Vertical neighbor keeps l and h.
+	n := tor.Neighbor(tor.ID(1, 0, 1), DimVertical, +1)
+	l, v, h := tor.Coords(n)
+	if l != 1 || v != 1 || h != 1 {
+		t.Fatalf("vertical neighbor wrong: (%d,%d,%d)", l, v, h)
+	}
+}
+
+func TestTorusNeighborInverse(t *testing.T) {
+	// neighbor(+1) then neighbor(-1) is the identity on every dim.
+	f := func(a, b, c uint8, dimRaw uint8) bool {
+		tor := Torus{L: int(a%5) + 1, V: int(b%5) + 1, H: int(c%5) + 1}
+		d := Dim(dimRaw % 3)
+		for id := NodeID(0); int(id) < tor.N(); id++ {
+			if tor.Neighbor(tor.Neighbor(id, d, +1), d, -1) != id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteXYZReachesDst(t *testing.T) {
+	tor := Torus{L: 4, V: 4, H: 4}
+	for src := NodeID(0); int(src) < tor.N(); src += 7 {
+		for dst := NodeID(0); int(dst) < tor.N(); dst += 5 {
+			path := tor.RouteXYZ(src, dst)
+			if src == dst {
+				if len(path) != 0 {
+					t.Fatalf("self-route not empty: %v", path)
+				}
+				continue
+			}
+			if path[len(path)-1] != dst {
+				t.Fatalf("route %d->%d ends at %d", src, dst, path[len(path)-1])
+			}
+			// Every consecutive pair must be torus neighbors.
+			cur := src
+			for _, hop := range path {
+				ok := false
+				for d := DimLocal; d < numDims; d++ {
+					if tor.Size(d) == 1 {
+						continue
+					}
+					if tor.Neighbor(cur, d, +1) == hop || tor.Neighbor(cur, d, -1) == hop {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Fatalf("route %d->%d: %d and %d not neighbors", src, dst, cur, hop)
+				}
+				cur = hop
+			}
+		}
+	}
+}
+
+func TestRouteXYZShortest(t *testing.T) {
+	// On each dimension the route takes at most size/2 hops.
+	tor := Torus{L: 8, V: 4, H: 2}
+	maxHops := 8/2 + 4/2 + 2/2
+	f := func(s, d uint16) bool {
+		src := NodeID(int(s) % tor.N())
+		dst := NodeID(int(d) % tor.N())
+		return len(tor.RouteXYZ(src, dst)) <= maxHops
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteXYZDimOrder(t *testing.T) {
+	// XYZ routing resolves local first, then vertical, then horizontal.
+	tor := Torus{L: 4, V: 4, H: 4}
+	src := tor.ID(0, 0, 0)
+	dst := tor.ID(1, 1, 1)
+	path := tor.RouteXYZ(src, dst)
+	if len(path) != 3 {
+		t.Fatalf("path length %d, want 3", len(path))
+	}
+	want := []NodeID{tor.ID(1, 0, 0), tor.ID(1, 1, 0), tor.ID(1, 1, 1)}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path[%d] = %d, want %d", i, path[i], want[i])
+		}
+	}
+}
+
+func TestRingRank(t *testing.T) {
+	tor := Torus{L: 4, V: 8, H: 4}
+	id := tor.ID(2, 5, 3)
+	if tor.RingRank(id, DimLocal) != 2 || tor.RingRank(id, DimVertical) != 5 || tor.RingRank(id, DimHorizontal) != 3 {
+		t.Fatal("ring ranks do not match coordinates")
+	}
+}
+
+func TestDimString(t *testing.T) {
+	if DimLocal.String() != "local" || DimVertical.String() != "vertical" || DimHorizontal.String() != "horizontal" {
+		t.Fatal("dim names wrong")
+	}
+	if Dim(9).String() != "dim(9)" {
+		t.Fatalf("unknown dim: %s", Dim(9))
+	}
+}
+
+func TestTorusString(t *testing.T) {
+	if got := (Torus{4, 8, 4}).String(); got != "4x8x4" {
+		t.Fatalf("String = %q", got)
+	}
+}

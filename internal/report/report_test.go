@@ -1,0 +1,60 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := New("demo", "name", "value")
+	tab.Add("alpha", 1.2345)
+	tab.Add("a-much-longer-name", 42)
+	out := tab.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: "value" starts at the same offset in header and rows.
+	head := strings.Index(lines[1], "value")
+	row := strings.Index(lines[3], "1.23")
+	if head != row {
+		t.Fatalf("columns misaligned (%d vs %d):\n%s", head, row, out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tab := New("", "v")
+	tab.Add(0.0)
+	tab.Add(3.14159)
+	tab.Add(42.5)
+	tab.Add(12345.6)
+	want := []string{"0", "3.14", "42.5", "12346"}
+	for i, w := range want {
+		if tab.Rows[i][0] != w {
+			t.Fatalf("row %d = %q, want %q", i, tab.Rows[i][0], w)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tab := New("x", "a", "b")
+	tab.Add(1, 2)
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "a,b\n1,2\n" {
+		t.Fatalf("csv = %q", sb.String())
+	}
+}
+
+func TestUntitled(t *testing.T) {
+	tab := New("", "h")
+	tab.Add("x")
+	if strings.Contains(tab.String(), "==") {
+		t.Fatal("untitled table should have no title banner")
+	}
+}

@@ -1,0 +1,219 @@
+// Package resource models contended hardware resources for the simulator:
+//
+//   - Server: a FIFO rate server (a link, a memory-bandwidth partition, an
+//     ALU, a DMA bus). A request of B bytes occupies the server for
+//     B/rate and completes in arrival order.
+//   - ByteGate: a byte-capacity admission gate (SRAM partition space).
+//   - SlotGate: a unit-capacity semaphore (FSM slots, in-flight windows).
+//
+// All primitives are event-driven and deterministic; completion callbacks
+// run on the owning des.Engine.
+package resource
+
+import (
+	"fmt"
+
+	"acesim/internal/des"
+	"acesim/internal/stats"
+)
+
+// Server is a FIFO rate server. Requests are served in order at Rate GB/s;
+// a request of n bytes holds the server for des.ByteDur(n, rate).
+// A rate <= 0 means "infinitely fast": requests complete after zero time
+// (but still in FIFO order on the event queue).
+type Server struct {
+	eng  *des.Engine
+	name string
+	rate float64 // GB/s; <= 0 means infinite
+
+	freeAt des.Time
+	busy   des.Time
+	Meter  stats.Meter
+	Trace  *stats.Trace // optional: busy intervals with weight 1
+}
+
+// NewServer returns a server with the given rate in GB/s.
+func NewServer(eng *des.Engine, name string, rateGBps float64) *Server {
+	return &Server{eng: eng, name: name, rate: rateGBps}
+}
+
+// Name returns the server's diagnostic name.
+func (s *Server) Name() string { return s.name }
+
+// Rate returns the configured rate in GB/s (0 meaning infinite).
+func (s *Server) Rate() float64 { return s.rate }
+
+// SetRate changes the service rate. In-flight requests keep their original
+// completion times; only subsequently issued requests see the new rate.
+// This models coarse-grained dynamic contention (Fig 4 microbenchmark).
+func (s *Server) SetRate(rateGBps float64) { s.rate = rateGBps }
+
+// BusyTime returns the cumulative time the server has been occupied.
+func (s *Server) BusyTime() des.Time { return s.busy }
+
+// FreeAt returns the earliest time a new request could start service.
+func (s *Server) FreeAt() des.Time {
+	if s.freeAt < s.eng.Now() {
+		return s.eng.Now()
+	}
+	return s.freeAt
+}
+
+// Request enqueues a transfer of n bytes and calls done when it completes.
+// A nil done is allowed (pure occupancy). Zero or negative sizes complete
+// immediately (still via the event queue, preserving ordering).
+func (s *Server) Request(n int64, done func()) {
+	now := s.eng.Now()
+	start := s.freeAt
+	if start < now {
+		start = now
+	}
+	d := des.ByteDur(n, s.rate)
+	end := start + d
+	s.freeAt = end
+	s.busy += d
+	if n > 0 {
+		s.Meter.Add(n)
+	}
+	s.Trace.AddBusy(start, end, 1)
+	if done != nil {
+		s.eng.At(end, done)
+	}
+}
+
+// String describes the server state for debugging.
+func (s *Server) String() string {
+	return fmt.Sprintf("server(%s %vGB/s busy=%v)", s.name, s.rate, s.busy)
+}
+
+// byteWaiter is one queued ByteGate acquisition.
+type byteWaiter struct {
+	n  int64
+	fn func()
+}
+
+// ByteGate grants byte-sized reservations against a fixed capacity, FIFO.
+// The head waiter blocks all later waiters (no bypass), which keeps
+// admission fair and the simulation deterministic.
+type ByteGate struct {
+	name     string
+	capacity int64
+	used     int64
+	q        []byteWaiter
+	maxUsed  int64
+}
+
+// NewByteGate returns a gate with the given byte capacity.
+// capacity <= 0 means unlimited.
+func NewByteGate(name string, capacity int64) *ByteGate {
+	return &ByteGate{name: name, capacity: capacity}
+}
+
+// Capacity returns the configured capacity (0 = unlimited).
+func (g *ByteGate) Capacity() int64 { return g.capacity }
+
+// Used returns the currently reserved bytes.
+func (g *ByteGate) Used() int64 { return g.used }
+
+// MaxUsed returns the high-water mark of reserved bytes.
+func (g *ByteGate) MaxUsed() int64 { return g.maxUsed }
+
+// Waiting returns the number of queued acquisitions.
+func (g *ByteGate) Waiting() int { return len(g.q) }
+
+// Acquire reserves n bytes, calling fn once the reservation is granted.
+// Requests larger than the whole capacity are granted when the gate is
+// completely empty (they would otherwise deadlock).
+func (g *ByteGate) Acquire(n int64, fn func()) {
+	if n < 0 {
+		n = 0
+	}
+	g.q = append(g.q, byteWaiter{n, fn})
+	g.drain()
+}
+
+// Release returns n bytes to the gate and grants queued waiters in order.
+func (g *ByteGate) Release(n int64) {
+	g.used -= n
+	if g.used < 0 {
+		panic(fmt.Sprintf("bytegate %s: released more than acquired", g.name))
+	}
+	g.drain()
+}
+
+func (g *ByteGate) fits(n int64) bool {
+	if g.capacity <= 0 {
+		return true
+	}
+	if n >= g.capacity {
+		// Oversized request: admit only into an empty gate.
+		return g.used == 0
+	}
+	return g.used+n <= g.capacity
+}
+
+func (g *ByteGate) drain() {
+	for len(g.q) > 0 && g.fits(g.q[0].n) {
+		w := g.q[0]
+		g.q = g.q[1:]
+		g.used += w.n
+		if g.used > g.maxUsed {
+			g.maxUsed = g.used
+		}
+		w.fn()
+	}
+}
+
+// SlotGate is a counting semaphore with FIFO waiters.
+type SlotGate struct {
+	name    string
+	cap     int
+	used    int
+	q       []func()
+	maxUsed int
+}
+
+// NewSlotGate returns a gate with the given slot count. cap <= 0 means
+// unlimited.
+func NewSlotGate(name string, capacity int) *SlotGate {
+	return &SlotGate{name: name, cap: capacity}
+}
+
+// Capacity returns the slot count (0 = unlimited).
+func (g *SlotGate) Capacity() int { return g.cap }
+
+// Used returns the number of slots currently held.
+func (g *SlotGate) Used() int { return g.used }
+
+// MaxUsed returns the high-water mark of held slots.
+func (g *SlotGate) MaxUsed() int { return g.maxUsed }
+
+// Waiting returns the number of queued acquisitions.
+func (g *SlotGate) Waiting() int { return len(g.q) }
+
+// Acquire takes one slot, calling fn when granted.
+func (g *SlotGate) Acquire(fn func()) {
+	g.q = append(g.q, fn)
+	g.drain()
+}
+
+// Release returns one slot.
+func (g *SlotGate) Release() {
+	g.used--
+	if g.used < 0 {
+		panic(fmt.Sprintf("slotgate %s: released more than acquired", g.name))
+	}
+	g.drain()
+}
+
+func (g *SlotGate) drain() {
+	for len(g.q) > 0 && (g.cap <= 0 || g.used < g.cap) {
+		fn := g.q[0]
+		g.q = g.q[1:]
+		g.used++
+		if g.used > g.maxUsed {
+			g.maxUsed = g.used
+		}
+		fn()
+	}
+}

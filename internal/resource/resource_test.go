@@ -1,0 +1,253 @@
+package resource
+
+import (
+	"testing"
+	"testing/quick"
+
+	"acesim/internal/des"
+	"acesim/internal/stats"
+)
+
+func TestServerRate(t *testing.T) {
+	eng := des.NewEngine()
+	s := NewServer(eng, "mem", 100) // 100 GB/s
+	var done des.Time
+	s.Request(1e9, func() { done = eng.Now() }) // 1 GB at 100 GB/s = 10 ms
+	eng.Run()
+	if done != 10*des.Millisecond {
+		t.Fatalf("completion at %v, want 10ms", done)
+	}
+	if s.BusyTime() != 10*des.Millisecond {
+		t.Fatalf("busy = %v", s.BusyTime())
+	}
+	if s.Meter.Total() != 1e9 {
+		t.Fatalf("meter = %d", s.Meter.Total())
+	}
+}
+
+func TestServerFIFO(t *testing.T) {
+	eng := des.NewEngine()
+	s := NewServer(eng, "link", 1) // 1 GB/s -> 1 byte = 1 ns
+	var order []int
+	s.Request(1000, func() { order = append(order, 1) })
+	s.Request(10, func() { order = append(order, 2) })
+	eng.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	// Second request queues behind the first: 1000ns + 10ns.
+	if eng.Now() != 1010*des.Nanosecond {
+		t.Fatalf("finished at %v", eng.Now())
+	}
+}
+
+func TestServerIdleGap(t *testing.T) {
+	eng := des.NewEngine()
+	s := NewServer(eng, "link", 1)
+	s.Request(100, nil)
+	eng.Run() // idle until t=500
+	eng.At(500*des.Nanosecond, func() { s.Request(100, func() {}) })
+	eng.Run()
+	// Busy time excludes the idle gap.
+	if s.BusyTime() != 200*des.Nanosecond {
+		t.Fatalf("busy = %v, want 200ns", s.BusyTime())
+	}
+	if eng.Now() != 600*des.Nanosecond {
+		t.Fatalf("now = %v", eng.Now())
+	}
+}
+
+func TestServerInfiniteRate(t *testing.T) {
+	eng := des.NewEngine()
+	s := NewServer(eng, "ideal", 0)
+	fired := false
+	s.Request(1e12, func() { fired = true })
+	eng.Run()
+	if !fired || eng.Now() != 0 {
+		t.Fatalf("infinite server should complete instantly (now=%v)", eng.Now())
+	}
+}
+
+func TestServerSetRate(t *testing.T) {
+	eng := des.NewEngine()
+	s := NewServer(eng, "mem", 100)
+	var t1, t2 des.Time
+	s.Request(1e9, func() { t1 = eng.Now() })
+	s.SetRate(50) // later requests are slower
+	s.Request(1e9, func() { t2 = eng.Now() })
+	eng.Run()
+	if t1 != 10*des.Millisecond {
+		t.Fatalf("t1 = %v", t1)
+	}
+	if t2 != 30*des.Millisecond { // 10ms + 20ms
+		t.Fatalf("t2 = %v", t2)
+	}
+}
+
+func TestServerTrace(t *testing.T) {
+	eng := des.NewEngine()
+	s := NewServer(eng, "mem", 1)
+	s.Trace = stats.NewTrace(100 * des.Nanosecond)
+	s.Request(100, nil) // busy [0,100ns)
+	eng.Run()
+	if got := s.Trace.Utilization(0, 1); got != 1.0 {
+		t.Fatalf("trace util = %v", got)
+	}
+}
+
+func TestServerConservation(t *testing.T) {
+	// Busy time equals sum of per-request durations for any request mix.
+	f := func(sizes []uint16) bool {
+		eng := des.NewEngine()
+		s := NewServer(eng, "x", 7)
+		var want des.Time
+		for _, sz := range sizes {
+			n := int64(sz)
+			want += des.ByteDur(n, 7)
+			s.Request(n, nil)
+		}
+		eng.Run()
+		return s.BusyTime() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByteGateBasic(t *testing.T) {
+	g := NewByteGate("sram", 100)
+	var got []int
+	g.Acquire(60, func() { got = append(got, 1) })
+	g.Acquire(60, func() { got = append(got, 2) }) // must wait
+	if len(got) != 1 {
+		t.Fatalf("got %v", got)
+	}
+	if g.Used() != 60 || g.Waiting() != 1 {
+		t.Fatalf("used=%d waiting=%d", g.Used(), g.Waiting())
+	}
+	g.Release(60)
+	if len(got) != 2 || g.Used() != 60 {
+		t.Fatalf("got=%v used=%d", got, g.Used())
+	}
+}
+
+func TestByteGateFIFONoBypass(t *testing.T) {
+	g := NewByteGate("sram", 100)
+	var got []int
+	g.Acquire(90, func() { got = append(got, 1) })
+	g.Acquire(50, func() { got = append(got, 2) }) // waits
+	g.Acquire(5, func() { got = append(got, 3) })  // would fit, must NOT bypass
+	if len(got) != 1 {
+		t.Fatalf("bypass happened: %v", got)
+	}
+	g.Release(90)
+	if len(got) != 3 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("wrong grant order: %v", got)
+	}
+}
+
+func TestByteGateOversized(t *testing.T) {
+	g := NewByteGate("sram", 100)
+	okBig := false
+	g.Acquire(250, func() { okBig = true }) // larger than capacity
+	if !okBig {
+		t.Fatal("oversized request should be admitted into empty gate")
+	}
+	small := false
+	g.Acquire(10, func() { small = true })
+	if small {
+		t.Fatal("gate should be saturated by oversized request")
+	}
+	g.Release(250)
+	if !small {
+		t.Fatal("waiter not granted after release")
+	}
+}
+
+func TestByteGateUnlimited(t *testing.T) {
+	g := NewByteGate("x", 0)
+	n := 0
+	for i := 0; i < 10; i++ {
+		g.Acquire(1<<40, func() { n++ })
+	}
+	if n != 10 {
+		t.Fatalf("unlimited gate blocked: %d", n)
+	}
+}
+
+func TestByteGateReleasePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on over-release")
+		}
+	}()
+	NewByteGate("x", 10).Release(1)
+}
+
+func TestByteGateInvariant(t *testing.T) {
+	// used never exceeds capacity for in-range requests.
+	f := func(reqs []uint8) bool {
+		g := NewByteGate("x", 64)
+		var held []int64
+		for _, r := range reqs {
+			n := int64(r % 64)
+			g.Acquire(n, func() { held = append(held, n) })
+			if g.Used() > 64 {
+				return false
+			}
+			if len(held) > 2 {
+				// Free some in FIFO order to keep things moving.
+				g.Release(held[0])
+				held = held[1:]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlotGate(t *testing.T) {
+	g := NewSlotGate("fsm", 2)
+	n := 0
+	for i := 0; i < 5; i++ {
+		g.Acquire(func() { n++ })
+	}
+	if n != 2 || g.Used() != 2 || g.Waiting() != 3 {
+		t.Fatalf("n=%d used=%d waiting=%d", n, g.Used(), g.Waiting())
+	}
+	g.Release()
+	if n != 3 {
+		t.Fatalf("n=%d after release", n)
+	}
+	g.Release()
+	g.Release()
+	g.Release()
+	if n != 5 || g.Used() != 1 {
+		t.Fatalf("n=%d used=%d", n, g.Used())
+	}
+	if g.MaxUsed() != 2 {
+		t.Fatalf("maxUsed=%d", g.MaxUsed())
+	}
+}
+
+func TestSlotGateUnlimited(t *testing.T) {
+	g := NewSlotGate("x", 0)
+	n := 0
+	for i := 0; i < 100; i++ {
+		g.Acquire(func() { n++ })
+	}
+	if n != 100 {
+		t.Fatalf("n=%d", n)
+	}
+}
+
+func TestSlotGateReleasePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on over-release")
+		}
+	}()
+	NewSlotGate("x", 1).Release()
+}

@@ -1,0 +1,133 @@
+// Package stats provides lightweight measurement primitives for the
+// simulator: byte meters and time-bucketed busy traces. Traces back the
+// compute/network utilization timelines of Fig 10 in the paper.
+package stats
+
+import (
+	"fmt"
+	"io"
+
+	"acesim/internal/des"
+)
+
+// Meter accumulates a byte count (memory reads, wire bytes, ...).
+type Meter struct {
+	Name  string
+	total int64
+	ops   int64
+}
+
+// Add records n more bytes.
+func (m *Meter) Add(n int64) {
+	m.total += n
+	m.ops++
+}
+
+// Total returns the accumulated byte count.
+func (m *Meter) Total() int64 { return m.total }
+
+// Ops returns the number of Add calls.
+func (m *Meter) Ops() int64 { return m.ops }
+
+// Reset zeroes the meter.
+func (m *Meter) Reset() { m.total, m.ops = 0, 0 }
+
+// Rate reports the average rate in GB/s over the given duration.
+func (m *Meter) Rate(d des.Time) float64 { return des.Rate(m.total, d) }
+
+// Trace accumulates "busy time" into fixed-width time buckets. A resource
+// that is busy with weight w during [start, end) contributes w·overlap to
+// every bucket it overlaps. Dividing a bucket's value by (bucket width ×
+// capacity) yields a utilization fraction.
+type Trace struct {
+	Bucket des.Time // bucket width; <= 0 disables the trace
+	vals   []float64
+}
+
+// NewTrace returns a trace with the given bucket width.
+func NewTrace(bucket des.Time) *Trace { return &Trace{Bucket: bucket} }
+
+// Enabled reports whether the trace records anything.
+func (t *Trace) Enabled() bool { return t != nil && t.Bucket > 0 }
+
+// AddBusy records that the resource was busy with the given weight over
+// [start, end). It is safe to call on a nil or disabled trace.
+func (t *Trace) AddBusy(start, end des.Time, weight float64) {
+	if !t.Enabled() || end <= start {
+		return
+	}
+	first := int(start / t.Bucket)
+	last := int((end - 1) / t.Bucket)
+	for len(t.vals) <= last {
+		t.vals = append(t.vals, 0)
+	}
+	for b := first; b <= last; b++ {
+		lo := des.Time(b) * t.Bucket
+		hi := lo + t.Bucket
+		if start > lo {
+			lo = start
+		}
+		if end < hi {
+			hi = end
+		}
+		t.vals[b] += weight * float64(hi-lo)
+	}
+}
+
+// Len returns the number of buckets recorded so far.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.vals)
+}
+
+// Busy returns the accumulated weighted busy time in bucket b.
+func (t *Trace) Busy(b int) float64 {
+	if t == nil || b < 0 || b >= len(t.vals) {
+		return 0
+	}
+	return t.vals[b]
+}
+
+// Utilization returns bucket b's busy time as a fraction of
+// capacity × bucket width. capacity is e.g. the number of links (weight 1
+// each) sharing the trace.
+func (t *Trace) Utilization(b int, capacity float64) float64 {
+	if !t.Enabled() || capacity <= 0 {
+		return 0
+	}
+	return t.Busy(b) / (capacity * float64(t.Bucket))
+}
+
+// Mean returns the average utilization over buckets [from, to).
+func (t *Trace) Mean(from, to int, capacity float64) float64 {
+	if !t.Enabled() || to <= from {
+		return 0
+	}
+	var sum float64
+	for b := from; b < to; b++ {
+		sum += t.Utilization(b, capacity)
+	}
+	return sum / float64(to-from)
+}
+
+// MeanAll returns the average utilization over every recorded bucket.
+func (t *Trace) MeanAll(capacity float64) float64 { return t.Mean(0, t.Len(), capacity) }
+
+// WriteCSV emits "time_us,utilization" rows, one per bucket.
+func (t *Trace) WriteCSV(w io.Writer, capacity float64) error {
+	if !t.Enabled() {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "time_us,utilization"); err != nil {
+		return err
+	}
+	for b := 0; b < t.Len(); b++ {
+		ts := (des.Time(b) * t.Bucket).Micros()
+		if _, err := fmt.Fprintf(w, "%.3f,%.4f\n", ts, t.Utilization(b, capacity)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"acesim/internal/des"
+)
+
+func TestMeter(t *testing.T) {
+	var m Meter
+	m.Add(100)
+	m.Add(200)
+	if m.Total() != 300 || m.Ops() != 2 {
+		t.Fatalf("total=%d ops=%d", m.Total(), m.Ops())
+	}
+	if got := m.Rate(des.Second); got != 300e-9 {
+		t.Fatalf("rate = %v", got)
+	}
+	m.Reset()
+	if m.Total() != 0 || m.Ops() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestTraceSingleBucket(t *testing.T) {
+	tr := NewTrace(100)
+	tr.AddBusy(10, 60, 1)
+	if got := tr.Busy(0); got != 50 {
+		t.Fatalf("busy = %v, want 50", got)
+	}
+	if got := tr.Utilization(0, 1); got != 0.5 {
+		t.Fatalf("util = %v, want 0.5", got)
+	}
+}
+
+func TestTraceSpansBuckets(t *testing.T) {
+	tr := NewTrace(100)
+	tr.AddBusy(50, 250, 2) // buckets 0,1,2 with overlaps 50,100,50, weight 2
+	want := []float64{100, 200, 100}
+	for b, w := range want {
+		if got := tr.Busy(b); got != w {
+			t.Fatalf("bucket %d = %v, want %v", b, got, w)
+		}
+	}
+}
+
+func TestTraceBoundary(t *testing.T) {
+	tr := NewTrace(100)
+	tr.AddBusy(0, 100, 1) // exactly one bucket, not two
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d, want 1", tr.Len())
+	}
+	if got := tr.Busy(0); got != 100 {
+		t.Fatalf("busy = %v, want 100", got)
+	}
+}
+
+func TestTraceDegenerate(t *testing.T) {
+	var nilTrace *Trace
+	nilTrace.AddBusy(0, 10, 1) // must not panic
+	if nilTrace.Len() != 0 || nilTrace.Busy(0) != 0 {
+		t.Fatal("nil trace should be inert")
+	}
+	tr := NewTrace(0) // disabled
+	tr.AddBusy(0, 10, 1)
+	if tr.Enabled() || tr.Len() != 0 {
+		t.Fatal("disabled trace should record nothing")
+	}
+	tr2 := NewTrace(10)
+	tr2.AddBusy(5, 5, 1) // empty interval
+	if tr2.Len() != 0 {
+		t.Fatal("empty interval should record nothing")
+	}
+}
+
+func TestTraceConservation(t *testing.T) {
+	// Total recorded busy time equals the interval length regardless of
+	// how it straddles buckets.
+	f := func(s, d uint16) bool {
+		start := des.Time(s)
+		end := start + des.Time(d%5000) + 1
+		tr := NewTrace(37)
+		tr.AddBusy(start, end, 1)
+		var sum float64
+		for b := 0; b < tr.Len(); b++ {
+			sum += tr.Busy(b)
+		}
+		return sum == float64(end-start)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceMean(t *testing.T) {
+	tr := NewTrace(100)
+	tr.AddBusy(0, 100, 1)   // bucket 0 util 1.0
+	tr.AddBusy(150, 200, 1) // bucket 1 util 0.5
+	if got := tr.Mean(0, 2, 1); got != 0.75 {
+		t.Fatalf("mean = %v, want 0.75", got)
+	}
+	if got := tr.MeanAll(1); got != 0.75 {
+		t.Fatalf("meanAll = %v, want 0.75", got)
+	}
+}
+
+func TestTraceCSV(t *testing.T) {
+	tr := NewTrace(des.Microsecond)
+	tr.AddBusy(0, des.Microsecond, 1)
+	var sb strings.Builder
+	if err := tr.WriteCSV(&sb, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "time_us,utilization\n") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "0.000,1.0000") {
+		t.Fatalf("missing row: %q", out)
+	}
+}

@@ -1,0 +1,283 @@
+// Package system assembles complete simulated training platforms from the
+// paper's Table V parameters and Table VI system configurations, and
+// provides the experiment runners behind every figure and table.
+package system
+
+import (
+	"fmt"
+
+	"acesim/internal/collectives"
+	"acesim/internal/core"
+	"acesim/internal/des"
+	"acesim/internal/noc"
+	"acesim/internal/npu"
+	"acesim/internal/stats"
+	"acesim/internal/training"
+)
+
+// Preset selects one of the five Table VI system configurations.
+type Preset uint8
+
+// Table VI configurations.
+const (
+	BaselineNoOverlap Preset = iota
+	BaselineCommOpt
+	BaselineCompOpt
+	ACE
+	Ideal
+)
+
+// Presets lists all five configurations in the paper's order.
+func Presets() []Preset {
+	return []Preset{BaselineNoOverlap, BaselineCommOpt, BaselineCompOpt, ACE, Ideal}
+}
+
+// String names the preset as in the paper.
+func (p Preset) String() string {
+	switch p {
+	case BaselineNoOverlap:
+		return "BaselineNoOverlap"
+	case BaselineCommOpt:
+		return "BaselineCommOpt"
+	case BaselineCompOpt:
+		return "BaselineCompOpt"
+	case ACE:
+		return "ACE"
+	case Ideal:
+		return "Ideal"
+	}
+	return "unknown"
+}
+
+// ParsePreset resolves a preset name (case-sensitive, as printed).
+func ParsePreset(s string) (Preset, error) {
+	for _, p := range Presets() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("system: unknown preset %q", s)
+}
+
+// Spec fully describes a simulated platform.
+type Spec struct {
+	Torus  noc.Torus
+	Preset Preset
+	NPU    npu.Params
+	Intra  noc.LinkClass
+	Inter  noc.LinkClass
+	ACE    core.ACEConfig
+	Coll   collectives.Config
+	// TraceBucket > 0 enables utilization traces (Fig 10).
+	TraceBucket des.Time
+}
+
+// DefaultLinkClasses returns the Table V link parameters.
+func DefaultLinkClasses() (intra, inter noc.LinkClass) {
+	intra = noc.LinkClass{GBps: 200, LatCycles: 90, Efficiency: 0.94, FreqGHz: 1.245}
+	inter = noc.LinkClass{GBps: 25, LatCycles: 500, Efficiency: 0.94, FreqGHz: 1.245}
+	return
+}
+
+// NewSpec returns the Table V platform in the given Table VI
+// configuration.
+func NewSpec(t noc.Torus, p Preset) Spec {
+	np := npu.DefaultParams()
+	switch p {
+	case BaselineNoOverlap:
+		np.CommMemGBps, np.CommSMs = 900, 80
+		np.ExclusiveComm = true
+	case BaselineCommOpt:
+		np.CommMemGBps, np.CommSMs = 450, 6
+	case BaselineCompOpt:
+		np.CommMemGBps, np.CommSMs = 128, 2
+	case ACE:
+		np.CommMemGBps, np.CommSMs = 128, 0
+	case Ideal:
+		np.CommMemGBps, np.CommSMs = 0, 0
+	}
+	intra, inter := DefaultLinkClasses()
+	plan := collectives.HierarchicalAllReduce(t)
+	phases := len(plan.Phases)
+	if phases == 0 {
+		phases = 1
+	}
+	return Spec{
+		Torus:  t,
+		Preset: p,
+		NPU:    np,
+		Intra:  intra,
+		Inter:  inter,
+		ACE:    core.DefaultACEConfig(phases),
+		Coll:   collectives.DefaultConfig(),
+	}
+}
+
+// Schedule returns the training schedule this preset uses (Table VI).
+func (s Spec) Schedule() training.Schedule {
+	if s.Preset == BaselineNoOverlap {
+		return training.NoOverlap
+	}
+	return training.Overlap
+}
+
+// System is a fully wired simulated platform.
+type System struct {
+	Spec     Spec
+	Eng      *des.Engine
+	Net      *noc.Network
+	Nodes    []*npu.Node
+	Eps      []core.Endpoint
+	ACEs     []*core.ACE // non-nil entries only for Preset == ACE
+	RT       *collectives.Runtime
+	Computes []*npu.Compute
+}
+
+// Build constructs the platform.
+func Build(spec Spec) (*System, error) {
+	eng := des.NewEngine()
+	net, err := noc.New(eng, noc.Config{
+		Topo:        spec.Torus,
+		Intra:       spec.Intra,
+		Inter:       spec.Inter,
+		TraceBucket: spec.TraceBucket,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &System{Spec: spec, Eng: eng, Net: net}
+
+	if spec.Preset == ACE {
+		plan := collectives.HierarchicalAllReduce(spec.Torus)
+		parts, maxChunk := acePartitions(spec.ACE, plan, spec)
+		spec.ACE.Partitions = parts
+		if spec.Coll.MaxChunkBytes == 0 || spec.Coll.MaxChunkBytes > maxChunk {
+			spec.Coll.MaxChunkBytes = maxChunk
+		}
+		s.Spec = spec
+	}
+
+	n := spec.Torus.N()
+	for i := 0; i < n; i++ {
+		smCapped := spec.Preset == BaselineNoOverlap || spec.Preset == BaselineCommOpt || spec.Preset == BaselineCompOpt
+		node, err := npu.NewNode(eng, i, spec.NPU, smCapped)
+		if err != nil {
+			return nil, err
+		}
+		if spec.TraceBucket > 0 {
+			node.Compute().Trace = newTrace(spec.TraceBucket)
+		}
+		s.Nodes = append(s.Nodes, node)
+		s.Computes = append(s.Computes, node.Compute())
+
+		var ep core.Endpoint
+		switch spec.Preset {
+		case ACE:
+			ace, err := core.NewACE(eng, node, spec.ACE)
+			if err != nil {
+				return nil, err
+			}
+			if spec.TraceBucket > 0 {
+				ace.BusyTrace = newTrace(spec.TraceBucket)
+			}
+			s.ACEs = append(s.ACEs, ace)
+			ep = ace
+		case Ideal:
+			ep = core.NewIdeal(eng, spec.NPU.FreqGHz)
+		default:
+			ep = core.NewBaseline(eng, node, core.DefaultBaselineConfig())
+		}
+		s.Eps = append(s.Eps, ep)
+	}
+	s.RT = collectives.NewRuntime(eng, net, s.Eps, spec.Coll)
+	return s, nil
+}
+
+// Plans returns the topology-aware collective plans for this platform.
+func (s *System) Plans() training.Plans {
+	return training.Plans{
+		AllReduce: collectives.HierarchicalAllReduce(s.Spec.Torus),
+		AllToAll:  collectives.DirectAllToAll(s.Spec.Torus.N()),
+	}
+}
+
+// Runner builds a training runner on this platform.
+func (s *System) Runner(tc training.Config) *training.Runner {
+	tc.Schedule = s.Spec.Schedule()
+	return &training.Runner{
+		Eng:      s.Eng,
+		RT:       s.RT,
+		Computes: s.Computes,
+		Plans:    s.Plans(),
+		Cfg:      tc,
+	}
+}
+
+// acePartitions applies the Section IV-I sizing heuristic: each phase's
+// partition is proportional to (phase link bandwidth x phase input bytes),
+// with the terminal partition sized like the last phase. It also derives
+// the largest chunk whose per-phase residency fits every partition.
+func acePartitions(cfg core.ACEConfig, plan collectives.Plan, spec Spec) ([]int64, int64) {
+	const ref = 1 << 20 // reference chunk for linear residency factors
+	shapes := collectives.Shapes(plan, ref)
+	if len(shapes) == 0 {
+		even := cfg.SRAMBytes / int64(cfg.Phases+1)
+		parts := make([]int64, cfg.Phases+1)
+		for i := range parts {
+			parts[i] = even
+		}
+		return parts, even
+	}
+	intraBW := 2 * spec.Intra.EffGBps()
+	interBW := 2 * spec.Inter.EffGBps()
+	weights := make([]float64, 0, len(shapes)+1)
+	var sum float64
+	for _, sh := range shapes {
+		bw := interBW
+		if sh.Dim == noc.DimLocal {
+			bw = intraBW
+		}
+		w := bw * float64(sh.In)
+		weights = append(weights, w)
+		sum += w
+	}
+	weights = append(weights, weights[len(weights)-1]) // terminal = last phase
+	sum += weights[len(weights)-1]
+
+	parts := make([]int64, len(weights))
+	minPart := int64(4 << 10)
+	var used int64
+	for i, w := range weights {
+		p := int64(float64(cfg.SRAMBytes) * w / sum)
+		if p < minPart {
+			p = minPart
+		}
+		parts[i] = p
+		used += p
+	}
+	// Largest admissible chunk: every phase partition must hold at least
+	// two chunks' residency (double buffering — without it a chunk
+	// serializes behind the inter-package link latency and the DMA
+	// starves; Section IV-I picks parameters "enough to fill most of the
+	// network pipeline").
+	const depth = 2
+	maxChunk := cfg.SRAMBytes
+	for i, sh := range shapes {
+		factor := float64(sh.Resident) / float64(ref)
+		if limit := int64(float64(parts[i]) / factor / depth); limit < maxChunk {
+			maxChunk = limit
+		}
+	}
+	last := shapes[len(shapes)-1]
+	termFactor := float64(last.Out) / float64(ref)
+	if limit := int64(float64(parts[len(parts)-1]) / termFactor); limit < maxChunk {
+		maxChunk = limit
+	}
+	if maxChunk < 4<<10 {
+		maxChunk = 4 << 10
+	}
+	return parts, maxChunk
+}
+
+// newTrace builds a utilization trace with the given bucket.
+func newTrace(bucket des.Time) *stats.Trace { return stats.NewTrace(bucket) }

@@ -1,0 +1,314 @@
+package training
+
+import (
+	"fmt"
+
+	"acesim/internal/collectives"
+	"acesim/internal/des"
+	"acesim/internal/noc"
+	"acesim/internal/npu"
+	"acesim/internal/workload"
+)
+
+// step is one unit of the per-node training program. It must call next
+// exactly once (possibly asynchronously).
+type step func(d *driver, next func())
+
+// driver executes the training program of one node.
+type driver struct {
+	r     *Runner
+	node  noc.NodeID
+	model *workload.Model
+	steps []step
+	pc    int
+
+	events  map[string]bool
+	waiters map[string][]func()
+
+	issued     int
+	onFinish   func()
+	finishedAt des.Time
+
+	fwdWindows []Window
+	bwdWindows []Window
+	markStart  des.Time
+}
+
+func newDriver(r *Runner, node noc.NodeID, m *workload.Model) (*driver, error) {
+	d := &driver{
+		r:       r,
+		node:    node,
+		model:   m,
+		events:  make(map[string]bool),
+		waiters: make(map[string][]func()),
+	}
+	if err := d.build(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// advance runs the next program step.
+func (d *driver) advance() {
+	if d.pc >= len(d.steps) {
+		d.finishedAt = d.r.Eng.Now()
+		if d.onFinish != nil {
+			d.onFinish()
+		}
+		return
+	}
+	s := d.steps[d.pc]
+	d.pc++
+	s(d, d.advance)
+}
+
+// signal fires an event, releasing waiters.
+func (d *driver) signal(tag string) {
+	d.events[tag] = true
+	ws := d.waiters[tag]
+	delete(d.waiters, tag)
+	for _, w := range ws {
+		w()
+	}
+}
+
+// --- program steps ---
+
+// kernel runs a compute kernel on the node's main stream.
+func kernel(k npu.Kernel) step {
+	return func(d *driver, next func()) {
+		d.r.Computes[d.node].Run(k, next)
+	}
+}
+
+// issue launches a collective and signals tag when it completes locally.
+func issue(tag string, spec collectives.Spec) step {
+	return func(d *driver, next func()) {
+		d.issued++
+		d.r.RT.Issue(d.node, spec, func() { d.signal(tag) })
+		next()
+	}
+}
+
+// wait blocks the program until tag has been signalled.
+func wait(tag string) step {
+	return func(d *driver, next func()) {
+		if d.events[tag] {
+			next()
+			return
+		}
+		d.waiters[tag] = append(d.waiters[tag], next)
+	}
+}
+
+// mark records a pass-boundary timestamp.
+func mark(kind string) step {
+	return func(d *driver, next func()) {
+		now := d.r.Eng.Now()
+		switch kind {
+		case "fwdStart", "bwdStart":
+			d.markStart = now
+		case "fwdEnd":
+			d.fwdWindows = append(d.fwdWindows, Window{d.markStart, now})
+		case "bwdEnd":
+			d.bwdWindows = append(d.bwdWindows, Window{d.markStart, now})
+		}
+		next()
+	}
+}
+
+// sidePart is one kernel on the spare-resource embedding stream
+// (Fig 12: 1 SM + SideMemGBps). A non-empty gate tag delays the kernel
+// until that event fires; a non-empty done tag is signalled when the
+// kernel completes.
+type sidePart struct {
+	gate  string
+	bytes int64
+	done  string
+}
+
+// sideChain runs parts sequentially on the side stream. The main stream
+// is never blocked.
+func sideChain(parts []sidePart) step {
+	return func(d *driver, next func()) {
+		eng := d.r.Eng
+		rate := d.r.Cfg.SideMemGBps
+		var chain func(i int)
+		run := func(i int) {
+			eng.After(des.ByteDur(parts[i].bytes, rate), func() {
+				if tag := parts[i].done; tag != "" {
+					d.signal(tag)
+				}
+				chain(i + 1)
+			})
+		}
+		chain = func(i int) {
+			if i >= len(parts) {
+				return
+			}
+			if g := parts[i].gate; g != "" && !d.events[g] {
+				d.waiters[g] = append(d.waiters[g], func() { run(i) })
+				return
+			}
+			run(i)
+		}
+		chain(0)
+		next() // the main stream does not block
+	}
+}
+
+// --- program construction ---
+
+func arTag(it, layer int) string { return fmt.Sprintf("ar.%d.%d", it, layer) }
+func a2aFTag(it int) string      { return fmt.Sprintf("a2af.%d", it) }
+func a2aBTag(it int) string      { return fmt.Sprintf("a2ab.%d", it) }
+func fusedTag(it int) string     { return fmt.Sprintf("fused.%d", it) }
+func sideReadyTag(it int) string { return fmt.Sprintf("side.ready.%d", it) }
+
+func (d *driver) arSpec(name string, bytes int64) collectives.Spec {
+	return collectives.Spec{Kind: collectives.AllReduce, Bytes: bytes, Plan: d.r.Plans.AllReduce, Name: name}
+}
+
+func (d *driver) a2aSpec(name string, bytes int64) collectives.Spec {
+	return collectives.Spec{Kind: collectives.AllToAll, Bytes: bytes, Plan: d.r.Plans.AllToAll, Name: name}
+}
+
+// build assembles the program for Cfg.Iterations of the model.
+func (d *driver) build() error {
+	m := d.model
+	cfg := d.r.Cfg
+	overlap := cfg.Schedule == Overlap
+	hybrid := m.Parallelism == workload.HybridParallel
+	if hybrid && m.Emb == nil {
+		return fmt.Errorf("training: hybrid model %q without embedding stage", m.Name)
+	}
+	if hybrid && len(m.Layers) <= m.BottomLayers {
+		return fmt.Errorf("training: hybrid model %q without top layers", m.Name)
+	}
+	globalBatch := m.MiniBatchPerNPU * d.r.RT.Nodes()
+	add := func(s step) { d.steps = append(d.steps, s) }
+
+	// fwdLayer emits the wait (cross-iteration dependency) and forward
+	// kernel of one layer.
+	fwdLayer := func(it, li int) {
+		l := m.Layers[li]
+		if overlap && it > 0 && l.GradBytes() > 0 {
+			add(wait(arTag(it-1, li)))
+		}
+		add(kernel(npu.Kernel{Name: l.Name + ".fwd", MACs: l.FwdMACs, Bytes: l.FwdBytes}))
+	}
+
+	optimized := hybrid && cfg.DLRMOptimized && overlap
+	for it := 0; it < cfg.Iterations; it++ {
+		// ---------- forward ----------
+		add(mark("fwdStart"))
+		if optimized {
+			// Fig 12 side stream for this iteration: prefetch the next
+			// iteration's lookup (embedding indices do not depend on the
+			// pending update), then apply the previous iteration's
+			// update (gated on its backward all-to-all), all overlapped
+			// with this iteration's compute. Embedding rows are barely
+			// reused across consecutive iterations, so the one-
+			// iteration-stale update is safe (Section VI-D).
+			var parts []sidePart
+			if it+1 < cfg.Iterations {
+				parts = append(parts, sidePart{
+					bytes: m.Emb.LookupBytes(globalBatch),
+					done:  sideReadyTag(it + 1),
+				})
+			}
+			if it > 0 {
+				parts = append(parts, sidePart{
+					gate:  a2aBTag(it - 1),
+					bytes: m.Emb.UpdateBytes(globalBatch),
+				})
+			}
+			if len(parts) > 0 {
+				add(sideChain(parts))
+			}
+			if it > 0 {
+				// The prefetched lookup lets the forward all-to-all be
+				// issued immediately, overlapping the bottom MLP. It
+				// yields priority to the bottom layers' gradient
+				// all-reduces, which the forward pass needs first.
+				add(wait(sideReadyTag(it)))
+				spec := d.a2aSpec("emb.a2a.fwd", m.Emb.ExchangeBytes(globalBatch))
+				spec.PrioBias = int64(m.BottomLayers + 1)
+				add(issue(a2aFTag(it), spec))
+			}
+		}
+		topStart := len(m.Layers)
+		if hybrid {
+			topStart = m.BottomLayers
+		}
+		for li := 0; li < topStart; li++ {
+			fwdLayer(it, li)
+		}
+		if hybrid {
+			emb := m.Emb
+			if !optimized || it == 0 {
+				// No prefetch available: the lookup runs on the main
+				// stream at full bandwidth, then the exchange is issued.
+				add(kernel(npu.Kernel{Name: "emb.lookup", Bytes: emb.LookupBytes(globalBatch), MaxGBps: workload.EmbRandomGBps}))
+				add(issue(a2aFTag(it), d.a2aSpec("emb.a2a.fwd", emb.ExchangeBytes(globalBatch))))
+			}
+			// The forward all-to-all blocks the top MLP (Section V).
+			add(wait(a2aFTag(it)))
+			for li := topStart; li < len(m.Layers); li++ {
+				fwdLayer(it, li)
+			}
+		}
+		add(mark("fwdEnd"))
+
+		// ---------- backward ----------
+		add(mark("bwdStart"))
+		for li := len(m.Layers) - 1; li >= 0; li-- {
+			l := m.Layers[li]
+			if hybrid && overlap && li == m.BottomLayers-1 {
+				// Leaving the top MLP: exchange embedding gradients.
+				add(issue(a2aBTag(it), d.a2aSpec("emb.a2a.bwd", m.Emb.ExchangeBytes(globalBatch))))
+			}
+			if li > 0 {
+				add(kernel(npu.Kernel{Name: l.Name + ".igrad", MACs: l.IgradMACs, Bytes: l.IgradBytes}))
+			}
+			add(kernel(npu.Kernel{Name: l.Name + ".wgrad", MACs: l.WgradMACs, Bytes: l.WgradBytes}))
+			if overlap && l.GradBytes() > 0 {
+				add(issue(arTag(it, li), d.arSpec(l.Name+".ar", l.GradBytes())))
+			}
+		}
+		switch {
+		case !overlap:
+			// NoOverlap: every gradient collective is gathered into one
+			// fused kernel issued at the end of back-propagation, then
+			// the loop blocks (Table VI; the forward all-to-all above is
+			// the paper's sole exception).
+			add(issue(fusedTag(it), d.arSpec("fused.ar", m.TotalGradBytes())))
+			if hybrid {
+				add(issue(a2aBTag(it), d.a2aSpec("emb.a2a.bwd", m.Emb.ExchangeBytes(globalBatch))))
+			}
+			add(wait(fusedTag(it)))
+			if hybrid {
+				add(wait(a2aBTag(it)))
+				add(kernel(npu.Kernel{Name: "emb.update", Bytes: m.Emb.UpdateBytes(globalBatch), MaxGBps: workload.EmbRandomGBps}))
+			}
+		case optimized:
+			// The embedding update runs on the next iteration's side
+			// chain; the main stream never blocks here.
+		case hybrid:
+			add(wait(a2aBTag(it)))
+			add(kernel(npu.Kernel{Name: "emb.update", Bytes: m.Emb.UpdateBytes(globalBatch), MaxGBps: workload.EmbRandomGBps}))
+		}
+		add(mark("bwdEnd"))
+
+		// Final iteration: drain every outstanding collective so the
+		// measured time covers full synchronization.
+		if it == cfg.Iterations-1 && overlap {
+			for li := range m.Layers {
+				if m.Layers[li].GradBytes() > 0 {
+					add(wait(arTag(it, li)))
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+// Package training simulates the distributed training loop of Section V:
+// per-layer forward and backward kernels on every NPU's compute stream,
+// per-layer weight-gradient all-reduces issued during back-propagation
+// (LIFO-prioritized), the cross-iteration dependency that exposes
+// communication (forward of layer i in iteration k waits for layer i's
+// all-reduce from iteration k-1), and DLRM's blocking all-to-all embedding
+// exchanges. The metrics are the paper's: total computation time, exposed
+// communication time, and their sum, the iteration time.
+package training
+
+import (
+	"fmt"
+
+	"acesim/internal/collectives"
+	"acesim/internal/des"
+	"acesim/internal/noc"
+	"acesim/internal/npu"
+	"acesim/internal/workload"
+)
+
+// Schedule selects the communication scheduling policy (Table VI).
+type Schedule uint8
+
+// Scheduling policies.
+const (
+	// Overlap issues each layer's all-reduce as soon as its weight
+	// gradient is computed, overlapping communication with the rest of
+	// back-propagation and the next forward pass.
+	Overlap Schedule = iota
+	// NoOverlap gathers all gradients and issues one fused collective
+	// at the end of back-propagation, then blocks (BaselineNoOverlap).
+	NoOverlap
+)
+
+// Config tunes a training run.
+type Config struct {
+	Iterations int // the paper simulates 2
+	Schedule   Schedule
+	// DLRMOptimized enables the Fig 12 optimization: embedding
+	// lookup/update for the next/previous iteration run on a spare
+	// 80 GB/s memory allocation and 1 SM, off the critical path, and
+	// the forward all-to-all is issued as soon as the prefetch lookup
+	// finishes.
+	DLRMOptimized bool
+	// SideMemGBps is the memory allocation of the optimized embedding
+	// stream (80 GB/s in the paper's experiment).
+	SideMemGBps float64
+}
+
+// DefaultConfig returns the paper's two-iteration setup.
+func DefaultConfig() Config {
+	return Config{Iterations: 2, Schedule: Overlap, SideMemGBps: 80}
+}
+
+// Plans carries the topology-aware collective plans the loop issues.
+type Plans struct {
+	AllReduce collectives.Plan
+	AllToAll  collectives.Plan
+}
+
+// Result summarizes one simulated run (per node; the system is
+// symmetric, node 0 is reported).
+type Result struct {
+	// IterTime is the wall time of the whole run (Config.Iterations).
+	IterTime des.Time
+	// TotalCompute is the busy time of the main compute stream.
+	TotalCompute des.Time
+	// ExposedComm = IterTime - TotalCompute: time the training loop sat
+	// blocked on communication.
+	ExposedComm des.Time
+	// FwdWindows / BwdWindows are the [start, end) spans of each
+	// iteration's forward and backward passes on node 0 (Fig 9b).
+	FwdWindows []Window
+	BwdWindows []Window
+	// Collectives is the number of collective operations issued per node.
+	Collectives int
+}
+
+// Window is a half-open time interval.
+type Window struct{ Start, End des.Time }
+
+// Dur returns the window length.
+func (w Window) Dur() des.Time { return w.End - w.Start }
+
+// Runner couples a collectives runtime with per-node compute engines and
+// executes a workload's training program on every node.
+type Runner struct {
+	Eng      *des.Engine
+	RT       *collectives.Runtime
+	Computes []*npu.Compute // one per node
+	Plans    Plans
+	Cfg      Config
+}
+
+// Run executes the model for Cfg.Iterations on every node and returns
+// node 0's metrics. It drives the engine to completion.
+func (r *Runner) Run(m *workload.Model) (Result, error) {
+	if len(r.Computes) != r.RT.Nodes() {
+		return Result{}, fmt.Errorf("training: %d compute engines for %d nodes", len(r.Computes), r.RT.Nodes())
+	}
+	if r.Cfg.Iterations <= 0 {
+		return Result{}, fmt.Errorf("training: non-positive iteration count")
+	}
+	drivers := make([]*driver, r.RT.Nodes())
+	finished := 0
+	for i := range drivers {
+		d, err := newDriver(r, noc.NodeID(i), m)
+		if err != nil {
+			return Result{}, err
+		}
+		d.onFinish = func() { finished++ }
+		drivers[i] = d
+	}
+	for _, d := range drivers {
+		d.advance()
+	}
+	r.Eng.Run()
+	if finished != len(drivers) {
+		return Result{}, fmt.Errorf("training: %d/%d nodes finished (deadlock)", finished, len(drivers))
+	}
+	d0 := drivers[0]
+	res := Result{
+		IterTime:     d0.finishedAt,
+		TotalCompute: r.Computes[0].BusyTime(),
+		FwdWindows:   d0.fwdWindows,
+		BwdWindows:   d0.bwdWindows,
+		Collectives:  d0.issued,
+	}
+	res.ExposedComm = res.IterTime - res.TotalCompute
+	if res.ExposedComm < 0 {
+		res.ExposedComm = 0
+	}
+	return res, nil
+}

@@ -1,0 +1,193 @@
+// Package workload defines the three evaluation workloads of the paper
+// (Section V): ResNet-50 (vision, data-parallel), GNMT (NLP,
+// data-parallel), and a production-class DLRM (recommendation, hybrid
+// parallel with model-parallel embedding tables exchanged by all-to-all).
+//
+// Layer tables are generated from the public architectures. Compute is
+// expressed in MACs (1 MAC = 1 op against the 120 T-ops/s Table V peak,
+// which reproduces the paper's ~3.5 ms/iteration ResNet-50 baseline at
+// batch 32) plus HBM byte traffic for the roofline model; recurrent GNMT
+// layers stream their weights once per timestep, which is what makes GNMT
+// memory-bandwidth sensitive in the paper. Gradients are communicated in
+// FP16 (2 bytes per parameter).
+package workload
+
+import "fmt"
+
+// Parallelism is the distribution strategy.
+type Parallelism uint8
+
+// Parallelism strategies used in the paper's evaluation.
+const (
+	DataParallel   Parallelism = iota // all-reduce on weight gradients
+	HybridParallel                    // DLRM: data-parallel MLPs + model-parallel embeddings
+)
+
+// BytesPerElement is the training precision (FP16).
+const BytesPerElement = 2
+
+// EmbRandomGBps is the effective HBM bandwidth of random-access embedding
+// gathers/scatters (row-miss dominated), far below the streaming rate.
+// It is what makes a dedicated 80 GB/s side allocation (Fig 12) able to
+// keep up with the embedding work of an iteration.
+const EmbRandomGBps = 100
+
+// Layer is one compute layer with per-mini-batch costs.
+type Layer struct {
+	Name   string
+	Params int64 // parameter count (0 for activation-only layers)
+
+	FwdMACs   float64
+	IgradMACs float64
+	WgradMACs float64
+
+	FwdBytes   int64 // HBM traffic of the forward kernel
+	IgradBytes int64
+	WgradBytes int64
+}
+
+// GradBytes is the all-reduce payload for this layer's weight gradients.
+func (l Layer) GradBytes() int64 { return l.Params * BytesPerElement }
+
+// Embedding describes the model-parallel embedding stage of DLRM.
+type Embedding struct {
+	TablesPerNPU     int
+	Rows             int64
+	Dim              int
+	LookupsPerSample int
+}
+
+// LookupBytes is the HBM read traffic of one iteration's pooled lookups
+// on one NPU: every NPU gathers rows for the global batch over its local
+// tables.
+func (e Embedding) LookupBytes(globalBatch int) int64 {
+	return int64(globalBatch) * int64(e.TablesPerNPU) * int64(e.LookupsPerSample) *
+		int64(e.Dim) * BytesPerElement
+}
+
+// UpdateBytes is the HBM traffic of the backward embedding update
+// (read + write of the touched rows).
+func (e Embedding) UpdateBytes(globalBatch int) int64 {
+	return 2 * e.LookupBytes(globalBatch)
+}
+
+// ExchangeBytes is the per-NPU all-to-all payload: pooled embedding
+// vectors for the global batch over the local tables.
+func (e Embedding) ExchangeBytes(globalBatch int) int64 {
+	return int64(globalBatch) * int64(e.TablesPerNPU) * int64(e.Dim) * BytesPerElement
+}
+
+// Model is a complete workload.
+type Model struct {
+	Name            string
+	Parallelism     Parallelism
+	MiniBatchPerNPU int
+	Layers          []Layer // forward order
+	// BottomLayers is the number of leading Layers below the embedding
+	// interaction (DLRM only; the rest form the top MLP).
+	BottomLayers int
+	// Emb is the embedding stage (DLRM only).
+	Emb *Embedding
+}
+
+// TotalParams sums parameters over all layers (embedding tables excluded:
+// they are model-parallel and never all-reduced).
+func (m *Model) TotalParams() int64 {
+	var p int64
+	for _, l := range m.Layers {
+		p += l.Params
+	}
+	return p
+}
+
+// TotalGradBytes is the per-iteration all-reduce volume.
+func (m *Model) TotalGradBytes() int64 { return m.TotalParams() * BytesPerElement }
+
+// FwdMACs sums forward MACs across layers.
+func (m *Model) FwdMACs() float64 {
+	var s float64
+	for _, l := range m.Layers {
+		s += l.FwdMACs
+	}
+	return s
+}
+
+// String describes the model.
+func (m *Model) String() string {
+	return fmt.Sprintf("%s (%d layers, %.1fM params, batch %d/NPU)",
+		m.Name, len(m.Layers), float64(m.TotalParams())/1e6, m.MiniBatchPerNPU)
+}
+
+// convLayer builds a convolution layer's costs.
+// MACs = K*K*Cin*Cout*H*W per sample; igrad and wgrad each cost the same
+// as forward (standard 3x rule). Byte traffic covers streamed weights and
+// in/out activations.
+func convLayer(name string, k, cin, cout, hout, wout, batch int) Layer {
+	params := int64(k)*int64(k)*int64(cin)*int64(cout) + 2*int64(cout) // + BN scale/shift
+	macs := float64(k*k*cin*cout) * float64(hout*wout) * float64(batch)
+	// Convolutions block activations in on-chip storage (and fuse
+	// BN/ReLU), so HBM sees roughly half the raw activation footprint;
+	// without this, early ResNet layers come out memory-bound, which
+	// contradicts the compute-bound conv kernels of the paper's model.
+	const actReuse = 2
+	inAct := int64(cin) * int64(hout*wout) * int64(batch) * BytesPerElement / actReuse
+	outAct := int64(cout) * int64(hout*wout) * int64(batch) * BytesPerElement / actReuse
+	w := params * BytesPerElement
+	return Layer{
+		Name:      name,
+		Params:    params,
+		FwdMACs:   macs,
+		IgradMACs: macs,
+		WgradMACs: macs,
+		FwdBytes:  w + inAct + outAct,
+		// igrad reads weights + output grads, writes input grads.
+		IgradBytes: w + inAct + outAct,
+		// wgrad reads input acts + output grads, writes weight grads.
+		WgradBytes: w + inAct + outAct,
+	}
+}
+
+// fcLayer builds a fully connected layer. eff is the achievable fraction
+// of peak for the layer's GEMM shape (large conv-sized GEMMs run near
+// peak; skinny recommendation-model MLPs are far below it, cf. Naumov et
+// al.); effective MACs are scaled by 1/eff.
+func fcLayer(name string, in, out, batch int, eff float64) Layer {
+	if eff <= 0 || eff > 1 {
+		eff = 1
+	}
+	params := int64(in)*int64(out) + int64(out)
+	macs := float64(in) * float64(out) * float64(batch) / eff
+	acts := int64(in+out) * int64(batch) * BytesPerElement
+	w := params * BytesPerElement
+	return Layer{
+		Name:       name,
+		Params:     params,
+		FwdMACs:    macs,
+		IgradMACs:  macs,
+		WgradMACs:  macs,
+		FwdBytes:   w + acts,
+		IgradBytes: w + acts,
+		WgradBytes: w + acts,
+	}
+}
+
+// lstmLayer builds a recurrent layer aggregated over the sequence.
+// Weights are streamed from HBM once per timestep (the GEMMs are too
+// small to keep weights resident), which is what makes GNMT sensitive to
+// the memory-bandwidth split.
+func lstmLayer(name string, in, hidden, seq, batch int) Layer {
+	params := 4 * int64(in+hidden) * int64(hidden)
+	macs := float64(params) * float64(seq) * float64(batch)
+	w := params * BytesPerElement * int64(seq) // streamed every timestep
+	acts := int64(in+hidden) * int64(seq) * int64(batch) * BytesPerElement
+	return Layer{
+		Name:       name,
+		Params:     params,
+		FwdMACs:    macs,
+		IgradMACs:  macs,
+		WgradMACs:  macs,
+		FwdBytes:   w + acts,
+		IgradBytes: w + acts,
+		WgradBytes: w + acts,
+	}
+}

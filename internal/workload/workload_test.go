@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResNet50Shape(t *testing.T) {
+	m := ResNet50(ResNet50Batch)
+	// 53 convolutions (conv1 + 48 block convs + 4 downsamples) + fc.
+	if got := len(m.Layers); got != 54 {
+		t.Fatalf("layers = %d, want 54", got)
+	}
+	// Published parameter count ~25.6M (we add BN scale/shift).
+	p := m.TotalParams()
+	if p < 25_000_000 || p > 26_300_000 {
+		t.Fatalf("params = %d, want ~25.6M", p)
+	}
+	// Forward compute ~4.1 GMAC/sample.
+	perSample := m.FwdMACs() / float64(m.MiniBatchPerNPU)
+	if perSample < 3.5e9 || perSample > 4.8e9 {
+		t.Fatalf("fwd MACs/sample = %.3g, want ~4.1G", perSample)
+	}
+	if m.Parallelism != DataParallel || m.Emb != nil {
+		t.Fatal("ResNet-50 must be pure data-parallel")
+	}
+}
+
+func TestResNet50ManySmallCollectives(t *testing.T) {
+	// The paper: ResNet-50 issues many small collectives. Median layer
+	// gradient should be well under 1 MB.
+	m := ResNet50(ResNet50Batch)
+	small := 0
+	for _, l := range m.Layers {
+		if l.GradBytes() < 1<<20 {
+			small++
+		}
+	}
+	if small < len(m.Layers)/2 {
+		t.Fatalf("only %d/%d layers have <1MB gradients", small, len(m.Layers))
+	}
+}
+
+func TestGNMTShape(t *testing.T) {
+	m := GNMT(GNMTBatch)
+	p := m.TotalParams()
+	if p < 200_000_000 || p > 300_000_000 {
+		t.Fatalf("params = %d, want GNMT-class (~250M)", p)
+	}
+	// Large per-layer collectives: the biggest layer well above 10 MB.
+	var maxGrad int64
+	for _, l := range m.Layers {
+		if g := l.GradBytes(); g > maxGrad {
+			maxGrad = g
+		}
+	}
+	if maxGrad < 10<<20 {
+		t.Fatalf("max grad = %d, want large collectives", maxGrad)
+	}
+}
+
+func TestGNMTMemorySensitive(t *testing.T) {
+	// Recurrent layers stream weights per timestep: forward bytes must
+	// dominate parameters by roughly the sequence length.
+	m := GNMT(GNMTBatch)
+	for _, l := range m.Layers {
+		if !strings.Contains(l.Name, "enc.l3") {
+			continue
+		}
+		if l.FwdBytes < l.Params*BytesPerElement*(GNMTSeqLen-1) {
+			t.Fatalf("LSTM layer not weight-streaming: bytes=%d params=%d", l.FwdBytes, l.Params)
+		}
+	}
+}
+
+func TestDLRMShape(t *testing.T) {
+	m := DLRM(DLRMBatch)
+	if m.Parallelism != HybridParallel || m.Emb == nil {
+		t.Fatal("DLRM must be hybrid parallel with embeddings")
+	}
+	if m.BottomLayers != 4 {
+		t.Fatalf("bottom layers = %d, want 4", m.BottomLayers)
+	}
+	if len(m.Layers) <= m.BottomLayers {
+		t.Fatal("no top MLP layers")
+	}
+	// MLP parameters ~30M (tens-of-MB all-reduces, Fig 4b range).
+	p := m.TotalParams()
+	if p < 25_000_000 || p > 40_000_000 {
+		t.Fatalf("MLP params = %d", p)
+	}
+}
+
+func TestDLRMEmbeddingScaling(t *testing.T) {
+	e := DLRM(DLRMBatch).Emb
+	// Weak scaling: doubling the global batch doubles every volume.
+	if e.LookupBytes(1024) != 2*e.LookupBytes(512) {
+		t.Fatal("lookup bytes not linear in global batch")
+	}
+	if e.ExchangeBytes(1024) != 2*e.ExchangeBytes(512) {
+		t.Fatal("exchange bytes not linear")
+	}
+	if e.UpdateBytes(512) != 2*e.LookupBytes(512) {
+		t.Fatal("update should read+write")
+	}
+	// Pooling: lookups cost LookupsPerSample x the exchange volume.
+	if e.LookupBytes(512) != int64(e.LookupsPerSample)*e.ExchangeBytes(512) {
+		t.Fatal("pooling ratio wrong")
+	}
+}
+
+func TestGradBytesFP16(t *testing.T) {
+	l := Layer{Params: 1000}
+	if l.GradBytes() != 2000 {
+		t.Fatalf("grad bytes = %d, want FP16", l.GradBytes())
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"resnet50", "gnmt", "dlrm"} {
+		m, err := ByName(name)
+		if err != nil || m == nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if got := len(All()); got != 3 {
+		t.Fatalf("All() = %d models", got)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	s := ResNet50(32).String()
+	if !strings.Contains(s, "ResNet-50") || !strings.Contains(s, "batch 32") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestLayerCostsPositive(t *testing.T) {
+	for _, m := range All() {
+		for _, l := range m.Layers {
+			if l.FwdBytes <= 0 {
+				t.Fatalf("%s/%s: non-positive fwd bytes", m.Name, l.Name)
+			}
+			if l.FwdMACs < 0 || l.IgradMACs < 0 || l.WgradMACs < 0 {
+				t.Fatalf("%s/%s: negative MACs", m.Name, l.Name)
+			}
+		}
+	}
+}
