@@ -18,10 +18,14 @@
 package acesim
 
 import (
+	"io"
+
 	"acesim/internal/collectives"
 	"acesim/internal/des"
 	"acesim/internal/exper"
 	"acesim/internal/noc"
+	"acesim/internal/scenario"
+	"acesim/internal/scenario/runner"
 	"acesim/internal/system"
 	"acesim/internal/training"
 	"acesim/internal/workload"
@@ -121,3 +125,30 @@ func Sizes4() []Torus { return exper.Sizes4() }
 // FastGranularity coarsens chunking for large simulations (fidelity knob;
 // see DESIGN.md).
 func FastGranularity(spec *Spec) { exper.FastGranularity(spec) }
+
+// Scenario is a declarative experiment: a platform grid, a list of jobs
+// and optional assertions (see README.md for the JSON schema).
+type Scenario = scenario.Scenario
+
+// ScenarioOptions tunes scenario execution (worker-pool width).
+type ScenarioOptions = runner.Options
+
+// ScenarioResults is the deterministic outcome of a scenario run: one
+// result per work unit in expansion order, plus assertion outcomes. It
+// renders as text tables, JSON or CSV.
+type ScenarioResults = runner.Results
+
+// LoadScenario reads and parses a scenario file (call Validate or
+// RunScenario to check it).
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
+
+// ParseScenario decodes a scenario from JSON.
+func ParseScenario(r io.Reader) (*Scenario, error) { return scenario.Parse(r) }
+
+// RunScenario validates the scenario, expands its grid into independent
+// work units, executes them on a bounded worker pool and checks the
+// assertions. Results are ordered deterministically regardless of the
+// worker count.
+func RunScenario(sc *Scenario, opts ScenarioOptions) (*ScenarioResults, error) {
+	return runner.Run(sc, opts)
+}

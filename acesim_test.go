@@ -1,6 +1,7 @@
 package acesim_test
 
 import (
+	"strings"
 	"testing"
 
 	"acesim"
@@ -39,6 +40,34 @@ func TestFacadeWorkloads(t *testing.T) {
 		t.Fatal("enumerations wrong")
 	}
 	if _, err := acesim.ParsePreset("ACE"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeScenario(t *testing.T) {
+	sc, err := acesim.ParseScenario(strings.NewReader(`{
+	  "name": "facade",
+	  "platform": {"toruses": ["4x2x2"], "presets": ["Ideal", "ACE"]},
+	  "jobs": [{"kind": "collective", "payloads_mb": [1, 2]}],
+	  "assertions": [{"metric": "eff_gbps_node", "op": ">", "value": 0}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := acesim.RunScenario(sc, acesim.ScenarioOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Units) != 4 {
+		t.Fatalf("units = %d, want 4", len(res.Units))
+	}
+	if f := res.Failures(); len(f) != 0 {
+		t.Fatalf("assertion failures: %v", f)
+	}
+	if _, err := acesim.LoadScenario("examples/scenarios/fig4.json"); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,18 +1,28 @@
 // Command acesim regenerates every table and figure of the paper's
-// evaluation (see DESIGN.md for the experiment index).
+// evaluation (see DESIGN.md for the experiment index) and runs
+// declarative scenario files (see README.md for the schema).
 //
 // Usage:
 //
 //	acesim <experiment> [flags]
+//	acesim scenario run|validate|list [flags] <file>...
 //
 // Experiments: fig4 fig5 fig6 fig9a fig9b fig10 fig11 fig12 table4 table5
 // table6 analytic ablation all
 //
-// Flags:
+// Experiment flags:
 //
 //	-size LxVxH   torus for single-size experiments (default 4x8x4)
 //	-quick        shrink sweeps for a fast pass (small sizes, fewer points)
 //	-csv dir      write Fig 10 utilization timelines as CSV files into dir
+//
+// Scenario flags:
+//
+//	-workers N    parallel work units (default GOMAXPROCS)
+//	-format f     run output format: text, json or csv (default text)
+//
+// Bundled scenarios live under examples/scenarios/; `acesim scenario run
+// examples/scenarios/fig4.json` reproduces the hard-coded fig4 rows.
 package main
 
 import (
@@ -26,6 +36,8 @@ import (
 	"acesim/internal/hwmodel"
 	"acesim/internal/noc"
 	"acesim/internal/report"
+	"acesim/internal/scenario"
+	scrunner "acesim/internal/scenario/runner"
 	"acesim/internal/system"
 	"acesim/internal/workload"
 )
@@ -43,6 +55,9 @@ func run(args []string) error {
 		return fmt.Errorf("missing experiment")
 	}
 	cmd := args[0]
+	if cmd == "scenario" {
+		return runScenario(args[1:])
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	sizeStr := fs.String("size", "4x8x4", "torus LxVxH for single-size experiments")
 	quick := fs.Bool("quick", false, "shrink sweeps for a fast pass")
@@ -84,16 +99,118 @@ func run(args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: acesim <experiment> [-size LxVxH] [-quick] [-csv dir]
+       acesim scenario run|validate|list [-workers N] [-format text|json|csv] <file>...
 experiments: fig4 fig5 fig6 fig9a fig9b fig10 fig11 fig12
              table4 table5 table6 analytic ablation all`)
 }
 
 func parseTorus(s string) (noc.Torus, error) {
-	var t noc.Torus
-	if _, err := fmt.Sscanf(strings.ToLower(s), "%dx%dx%d", &t.L, &t.V, &t.H); err != nil {
-		return t, fmt.Errorf("bad -size %q (want LxVxH): %w", s, err)
+	t, err := scenario.ParseTorus(s)
+	if err != nil {
+		return t, fmt.Errorf("bad -size: %w", err)
 	}
-	return t, t.Validate()
+	return t, nil
+}
+
+// runScenario dispatches the scenario subcommands.
+func runScenario(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing scenario subcommand (run, validate or list)")
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet("scenario "+sub, flag.ExitOnError)
+	workers := fs.Int("workers", 0, "parallel work units (default GOMAXPROCS)")
+	format := fs.String("format", "text", "run output format: text, json or csv")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		usage()
+		return fmt.Errorf("scenario %s: missing scenario file", sub)
+	}
+	switch sub {
+	case "validate":
+		for _, path := range files {
+			sc, err := scenario.Load(path)
+			if err != nil {
+				return err
+			}
+			units, err := sc.Expand()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: ok (%s, %d units, %d assertions)\n",
+				path, sc.Name, len(units), len(sc.Assertions))
+		}
+		return nil
+	case "list":
+		for _, path := range files {
+			sc, err := scenario.Load(path)
+			if err != nil {
+				return err
+			}
+			units, err := sc.Expand()
+			if err != nil {
+				return err
+			}
+			kinds := map[scenario.JobKind]int{}
+			for _, u := range units {
+				kinds[u.Kind]++
+			}
+			fmt.Printf("%s: %s\n", path, sc.Name)
+			if sc.Description != "" {
+				fmt.Printf("  %s\n", sc.Description)
+			}
+			for _, k := range []scenario.JobKind{scenario.KindCollective, scenario.KindTraining, scenario.KindMicrobench} {
+				if n := kinds[k]; n > 0 {
+					fmt.Printf("  %d %s units\n", n, k)
+				}
+			}
+		}
+		return nil
+	case "run":
+		// Reject a bad -format before simulating anything: grids can
+		// take minutes and the results would be thrown away.
+		switch *format {
+		case "text", "json", "csv":
+		default:
+			return fmt.Errorf("scenario run: unknown -format %q (want text, json or csv)", *format)
+		}
+		var failed []string
+		for _, path := range files {
+			sc, err := scenario.Load(path)
+			if err != nil {
+				return err
+			}
+			res, err := scrunner.Run(sc, scrunner.Options{Workers: *workers})
+			if err != nil {
+				return err
+			}
+			switch *format {
+			case "text":
+				err = res.WriteText(os.Stdout)
+			case "json":
+				err = res.WriteJSON(os.Stdout)
+			case "csv":
+				err = res.WriteCSV(os.Stdout)
+			}
+			if err != nil {
+				return err
+			}
+			for _, f := range res.Failures() {
+				failed = append(failed, fmt.Sprintf("%s: %s", sc.Name, f))
+			}
+		}
+		if len(failed) > 0 {
+			return fmt.Errorf("scenario run: %d assertion failure(s):\n  %s",
+				len(failed), strings.Join(failed, "\n  "))
+		}
+		return nil
+	}
+	usage()
+	return fmt.Errorf("unknown scenario subcommand %q (want run, validate or list)", sub)
 }
 
 type runner struct {

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"acesim/internal/noc"
+)
+
+// silence redirects stdout to /dev/null for the duration of fn so table
+// output does not pollute the test log.
+func silence(t *testing.T, fn func() error) error {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	return fn()
+}
+
+func writeScenario(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseTorus(t *testing.T) {
+	cases := []struct {
+		in   string
+		want noc.Torus
+		ok   bool
+	}{
+		{"4x2x2", noc.Torus{L: 4, V: 2, H: 2}, true},
+		{"4X8X4", noc.Torus{L: 4, V: 8, H: 4}, true},
+		{"8x1x1", noc.Torus{L: 8, V: 1, H: 1}, true},
+		{"4x2", noc.Torus{}, false},
+		{"0x2x2", noc.Torus{}, false},
+		{"axbxc", noc.Torus{}, false},
+		{"", noc.Torus{}, false},
+	}
+	for _, tc := range cases {
+		got, err := parseTorus(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("parseTorus(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("parseTorus(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // empty = success
+	}{
+		{"no args", nil, "missing experiment"},
+		{"unknown experiment", []string{"fig99"}, `unknown experiment "fig99"`},
+		{"bad size", []string{"table5", "-size", "4x2"}, "bad -size"},
+		{"table4", []string{"table4"}, ""},
+		{"table5", []string{"table5"}, ""},
+		{"table6", []string{"table6"}, ""},
+		{"scenario no sub", []string{"scenario"}, "missing scenario subcommand"},
+		{"scenario bad sub", []string{"scenario", "explode", "x.json"}, "unknown scenario subcommand"},
+		{"scenario no file", []string{"scenario", "validate"}, "missing scenario file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := silence(t, func() error { return run(tc.args) })
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("run(%v) = %v", tc.args, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("run(%v) = %v, want error containing %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestScenarioValidateCommand(t *testing.T) {
+	good := writeScenario(t, "good.json", `{
+	  "name": "good",
+	  "platform": {"toruses": ["4x2x2"], "presets": ["Ideal"]},
+	  "jobs": [{"kind": "collective", "payloads_mb": [1]}]
+	}`)
+	if err := silence(t, func() error { return run([]string{"scenario", "validate", good}) }); err != nil {
+		t.Fatalf("validate good: %v", err)
+	}
+	if err := silence(t, func() error { return run([]string{"scenario", "list", good}) }); err != nil {
+		t.Fatalf("list good: %v", err)
+	}
+
+	malformed := writeScenario(t, "malformed.json", `{"name": "x", jobs}`)
+	if err := silence(t, func() error { return run([]string{"scenario", "validate", malformed}) }); err == nil {
+		t.Fatal("validated malformed JSON")
+	}
+	invalid := writeScenario(t, "invalid.json", `{
+	  "name": "bad",
+	  "platform": {"toruses": ["4x2x2"], "presets": ["Warp9"]},
+	  "jobs": [{"kind": "collective", "payloads_mb": [1]}]
+	}`)
+	err := silence(t, func() error { return run([]string{"scenario", "validate", invalid}) })
+	if err == nil || !strings.Contains(err.Error(), "unknown preset") {
+		t.Fatalf("validate invalid = %v, want unknown preset", err)
+	}
+	missing := filepath.Join(t.TempDir(), "nope.json")
+	if err := silence(t, func() error { return run([]string{"scenario", "validate", missing}) }); err == nil {
+		t.Fatal("validated missing file")
+	}
+}
+
+func TestScenarioRunCommand(t *testing.T) {
+	ok := writeScenario(t, "ok.json", `{
+	  "name": "ok",
+	  "platform": {"toruses": ["4x2x2"], "presets": ["Ideal"]},
+	  "jobs": [{"kind": "collective", "payloads_mb": [1]}],
+	  "assertions": [{"metric": "duration_us", "op": ">", "value": 0}]
+	}`)
+	for _, format := range []string{"text", "json", "csv"} {
+		if err := silence(t, func() error {
+			return run([]string{"scenario", "run", "-workers", "2", "-format", format, ok})
+		}); err != nil {
+			t.Fatalf("run -format %s: %v", format, err)
+		}
+	}
+	if err := silence(t, func() error {
+		return run([]string{"scenario", "run", "-format", "yaml", ok})
+	}); err == nil {
+		t.Fatal("accepted unknown format")
+	}
+
+	failing := writeScenario(t, "failing.json", `{
+	  "name": "failing",
+	  "platform": {"toruses": ["4x2x2"], "presets": ["Ideal"]},
+	  "jobs": [{"kind": "collective", "payloads_mb": [1]}],
+	  "assertions": [{"metric": "duration_us", "op": "<", "value": 0}]
+	}`)
+	err := silence(t, func() error { return run([]string{"scenario", "run", failing}) })
+	if err == nil || !strings.Contains(err.Error(), "assertion failure") {
+		t.Fatalf("run failing = %v, want assertion failure", err)
+	}
+}
+
+func TestBundledScenariosValidate(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.json"))
+	if err != nil || len(files) < 3 {
+		t.Fatalf("bundled scenarios missing: %v, %v", files, err)
+	}
+	args := append([]string{"scenario", "validate"}, files...)
+	if err := silence(t, func() error { return run(args) }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module acesim
+
+go 1.24

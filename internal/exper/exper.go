@@ -41,16 +41,20 @@ func RunCollective(spec system.Spec, kind collectives.Kind, bytes int64) (Collec
 	}
 	cs := collectives.Spec{Kind: kind, Bytes: bytes, Plan: plan, Name: kind.String()}
 	done := 0
-	var coll *collectives.Collective
-	for i := 0; i < s.RT.Nodes(); i++ {
-		coll = s.RT.Issue(noc.NodeID(i), cs, func() { done++ })
+	// Track the collective handle issued to each node rather than only
+	// the last one: the runtime happens to dedupe symmetric issues onto
+	// one object, but completion must be read through each node's own
+	// handle, not an aliasing accident.
+	colls := make([]*collectives.Collective, s.RT.Nodes())
+	for i := range colls {
+		colls[i] = s.RT.Issue(noc.NodeID(i), cs, func() { done++ })
 	}
 	s.Eng.Run()
 	if done != s.RT.Nodes() {
 		return CollectiveResult{}, fmt.Errorf("exper: collective finished on %d/%d nodes", done, s.RT.Nodes())
 	}
 	var last des.Time
-	for i := 0; i < s.RT.Nodes(); i++ {
+	for i, coll := range colls {
 		if t := coll.CompleteAt(noc.NodeID(i)); t > last {
 			last = t
 		}

@@ -132,6 +132,9 @@ func TestFig9bUtilization(t *testing.T) {
 }
 
 func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-NPU DLRM sweep in -short mode")
+	}
 	rows, _, err := Fig12(noc.Torus{L: 4, V: 4, H: 4})
 	if err != nil {
 		t.Fatal(err)

@@ -153,9 +153,9 @@ func fig4Run(k *Fig4Kernel, arBytes int64) (des.Time, error) {
 	}
 	plan := collectives.RingAllReduce(8, noc.DimLocal)
 	done := 0
-	var coll *collectives.Collective
-	for i := 0; i < s.RT.Nodes(); i++ {
-		coll = s.RT.Issue(noc.NodeID(i), collectives.Spec{
+	colls := make([]*collectives.Collective, s.RT.Nodes())
+	for i := range colls {
+		colls[i] = s.RT.Issue(noc.NodeID(i), collectives.Spec{
 			Kind: collectives.AllReduce, Bytes: arBytes, Plan: plan, Name: "ar",
 		}, func() { done++ })
 	}
@@ -164,10 +164,18 @@ func fig4Run(k *Fig4Kernel, arBytes int64) (des.Time, error) {
 		return 0, fmt.Errorf("fig4: all-reduce incomplete")
 	}
 	var last des.Time
-	for i := 0; i < s.RT.Nodes(); i++ {
+	for i, coll := range colls {
 		if t := coll.CompleteAt(noc.NodeID(i)); t > last {
 			last = t
 		}
 	}
 	return last, nil
+}
+
+// Fig4Measure measures one all-reduce on the Section III platform,
+// optionally overlapped with kernel k running twice back-to-back from
+// t=0. It is the single-point form of Fig4, exported for the scenario
+// engine's microbench units.
+func Fig4Measure(k *Fig4Kernel, arBytes int64) (des.Time, error) {
+	return fig4Run(k, arBytes)
 }

@@ -1,0 +1,413 @@
+// Package runner executes expanded scenarios on a bounded worker pool.
+// Every work unit builds its own system.System, so units are
+// embarrassingly parallel; results are written into a slice indexed by
+// the unit's expansion position, making the output deterministic
+// regardless of worker count or completion order.
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"acesim/internal/des"
+	"acesim/internal/exper"
+	"acesim/internal/report"
+	"acesim/internal/scenario"
+	"acesim/internal/system"
+	"acesim/internal/training"
+	"acesim/internal/workload"
+)
+
+// Options tunes a scenario run.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// UnitResult couples one work unit with its measured metrics.
+type UnitResult struct {
+	Unit    scenario.Unit
+	Metrics map[string]float64
+}
+
+// AssertionOutcome records how one assertion fared against the results.
+type AssertionOutcome struct {
+	Assertion scenario.Assertion
+	// Matched counts the units the assertion applied to.
+	Matched int
+	// Violations lists one message per violating unit (or a single
+	// "matched no units" entry).
+	Violations []string
+}
+
+// OK reports whether the assertion passed.
+func (o AssertionOutcome) OK() bool { return len(o.Violations) == 0 }
+
+// Results is the deterministic outcome of one scenario run: units in
+// expansion order plus one outcome per assertion.
+type Results struct {
+	Name       string
+	Units      []UnitResult
+	Assertions []AssertionOutcome
+}
+
+// Run expands the scenario and executes every unit on the worker pool.
+// It fails on the first unit error; assertion violations do not fail
+// the run — inspect Results.Failures.
+func Run(sc *scenario.Scenario, opts Options) (*Results, error) {
+	units, err := sc.Expand()
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	alone, err := aloneBaselines(units)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	results := make([]UnitResult, len(units))
+	errs := make([]error, len(units))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				m, err := execUnit(units[i], alone)
+				results[i] = UnitResult{Unit: units[i], Metrics: m}
+				errs[i] = err
+			}
+		}()
+	}
+	for i := range units {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: unit %d (%s): %w", sc.Name, i, describe(units[i]), err)
+		}
+	}
+	res := &Results{Name: sc.Name, Units: results}
+	for _, a := range sc.Assertions {
+		res.Assertions = append(res.Assertions, check(a, results))
+	}
+	return res, nil
+}
+
+// Failures lists every assertion violation across the run.
+func (r *Results) Failures() []string {
+	var out []string
+	for _, o := range r.Assertions {
+		for _, v := range o.Violations {
+			out = append(out, fmt.Sprintf("%s: %s", o.Assertion, v))
+		}
+	}
+	return out
+}
+
+// describe labels a unit for error messages and JSON output.
+func describe(u scenario.Unit) string {
+	switch u.Kind {
+	case scenario.KindCollective:
+		return fmt.Sprintf("%s %s %s %gMB", u.Torus, u.Preset, u.Collective, payloadMB(u.Bytes))
+	case scenario.KindTraining:
+		return fmt.Sprintf("%s %s %s", u.Torus, u.Preset, u.Workload)
+	case scenario.KindMicrobench:
+		return fmt.Sprintf("%s ar=%gMB", u.Kernel.KernelName(), payloadMB(u.Bytes))
+	}
+	return string(u.Kind)
+}
+
+// payloadMB converts a payload to MB without truncating sub-MB sweeps.
+func payloadMB(bytes int64) float64 { return float64(bytes) / (1 << 20) }
+
+// aloneBaselines pre-measures the kernel-free microbench baseline once
+// per distinct payload; every kernel unit of that payload reuses it
+// instead of re-running the identical deterministic simulation.
+func aloneBaselines(units []scenario.Unit) (map[int64]float64, error) {
+	var alone map[int64]float64
+	for _, u := range units {
+		if u.Kind != scenario.KindMicrobench {
+			continue
+		}
+		if _, ok := alone[u.Bytes]; ok {
+			continue
+		}
+		t, err := exper.Fig4Measure(nil, u.Bytes)
+		if err != nil {
+			return nil, fmt.Errorf("microbench baseline %gMB: %w", payloadMB(u.Bytes), err)
+		}
+		if alone == nil {
+			alone = map[int64]float64{}
+		}
+		alone[u.Bytes] = float64(t)
+	}
+	return alone, nil
+}
+
+// buildSpec materializes the platform for a collective or training unit.
+func buildSpec(u scenario.Unit) system.Spec {
+	spec := system.NewSpec(u.Torus, u.Preset)
+	if o := u.Overrides; o != nil {
+		if o.CommMemGBps != nil {
+			spec.NPU.CommMemGBps = *o.CommMemGBps
+		}
+		if o.CommSMs != nil {
+			spec.NPU.CommSMs = *o.CommSMs
+		}
+		if o.IntraGBps != nil {
+			spec.Intra.GBps = *o.IntraGBps
+		}
+		if o.InterGBps != nil {
+			spec.Inter.GBps = *o.InterGBps
+		}
+		if o.ACESRAMBytes != nil {
+			spec.ACE.SRAMBytes = *o.ACESRAMBytes
+		}
+		if o.ACEFSMs != nil {
+			spec.ACE.FSMs = *o.ACEFSMs
+		}
+	}
+	if u.FastGranularity {
+		exper.FastGranularity(&spec)
+	}
+	return spec
+}
+
+// execUnit runs one work unit on a freshly built system. alone carries
+// the pre-measured microbench baselines keyed by payload (read-only
+// across workers).
+func execUnit(u scenario.Unit, alone map[int64]float64) (map[string]float64, error) {
+	switch u.Kind {
+	case scenario.KindCollective:
+		res, err := exper.RunCollective(buildSpec(u), u.Collective, u.Bytes)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]float64{
+			"duration_us":   res.Duration.Micros(),
+			"eff_gbps_node": res.EffGBpsNode,
+			"reads_node":    float64(res.ReadsNode),
+			"writes_node":   float64(res.WritesNode),
+			"wire_bytes":    float64(res.WireBytes),
+		}, nil
+	case scenario.KindTraining:
+		m, err := workload.ByName(u.Workload)
+		if err != nil {
+			return nil, err
+		}
+		tc := training.DefaultConfig()
+		if u.Iterations > 0 {
+			tc.Iterations = u.Iterations
+		}
+		tc.DLRMOptimized = u.DLRMOptimized
+		res, _, err := exper.RunTraining(buildSpec(u), m, tc)
+		if err != nil {
+			return nil, err
+		}
+		frac := 0.0
+		if res.IterTime > 0 {
+			frac = float64(res.ExposedComm) / float64(res.IterTime)
+		}
+		return map[string]float64{
+			"iter_time_us":      res.IterTime.Micros(),
+			"compute_us":        res.TotalCompute.Micros(),
+			"exposed_us":        res.ExposedComm.Micros(),
+			"exposed_comm_frac": frac,
+			"collectives":       float64(res.Collectives),
+		}, nil
+	case scenario.KindMicrobench:
+		var k exper.Fig4Kernel
+		if u.Kernel.GEMMN > 0 {
+			k = exper.GEMMKernel(u.Kernel.GEMMN)
+		} else {
+			k = exper.EmbLookupKernel(u.Kernel.EmbBatch)
+		}
+		base, ok := alone[u.Bytes]
+		if !ok {
+			return nil, fmt.Errorf("no baseline measured for %gMB", payloadMB(u.Bytes))
+		}
+		over, err := exper.Fig4Measure(&k, u.Bytes)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]float64{
+			"alone_us":   des.Time(base).Micros(),
+			"overlap_us": over.Micros(),
+			"slowdown":   float64(over) / base,
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown unit kind %q", u.Kind)
+}
+
+// check evaluates one assertion against all matching units.
+func check(a scenario.Assertion, units []UnitResult) AssertionOutcome {
+	out := AssertionOutcome{Assertion: a}
+	// Units carry canonical workload names; canonicalize the filter the
+	// same way so aliases like "resnet50" match "ResNet-50" units.
+	wantWorkload := a.Workload
+	if wantWorkload != "" {
+		if m, err := workload.ByName(wantWorkload); err == nil {
+			wantWorkload = m.Name
+		}
+	}
+	for _, ur := range units {
+		u := ur.Unit
+		if a.Kind != "" && a.Kind != u.Kind {
+			continue
+		}
+		if a.Preset != "" && (u.Kind == scenario.KindMicrobench || a.Preset != u.Preset.String()) {
+			continue
+		}
+		if wantWorkload != "" && wantWorkload != u.Workload {
+			continue
+		}
+		v, ok := ur.Metrics[a.Metric]
+		if !ok {
+			continue
+		}
+		out.Matched++
+		if !a.Holds(v) {
+			out.Violations = append(out.Violations,
+				fmt.Sprintf("unit %d (%s): %s = %g", u.Index, describe(u), a.Metric, v))
+		}
+	}
+	if out.Matched == 0 {
+		out.Violations = append(out.Violations, "matched no units")
+	}
+	return out
+}
+
+// Tables renders the results as one aligned table per job kind present
+// (in expansion order), plus an assertion table when the scenario has
+// assertions.
+func (r *Results) Tables() []*report.Table {
+	var tabs []*report.Table
+	byKind := map[scenario.JobKind]*report.Table{}
+	get := func(k scenario.JobKind) *report.Table {
+		if t, ok := byKind[k]; ok {
+			return t
+		}
+		var t *report.Table
+		switch k {
+		case scenario.KindCollective:
+			t = report.New(r.Name+": collectives",
+				"torus", "preset", "collective", "MB", "duration us", "GB/s/node", "reads/node", "writes/node")
+		case scenario.KindTraining:
+			t = report.New(r.Name+": training (per node)",
+				"torus", "preset", "workload", "compute us", "exposed us", "iter us", "exposed frac")
+		case scenario.KindMicrobench:
+			t = report.New(r.Name+": microbench (8 NPUs, 150 GB/s switch)",
+				"kernel", "AR MB", "alone us", "overlapped us", "slowdown")
+		}
+		byKind[k] = t
+		tabs = append(tabs, t)
+		return t
+	}
+	for _, ur := range r.Units {
+		u, m := ur.Unit, ur.Metrics
+		switch u.Kind {
+		case scenario.KindCollective:
+			get(u.Kind).Add(u.Torus.String(), u.Preset.String(), u.Collective.String(), payloadMB(u.Bytes),
+				m["duration_us"], m["eff_gbps_node"], int64(m["reads_node"]), int64(m["writes_node"]))
+		case scenario.KindTraining:
+			get(u.Kind).Add(u.Torus.String(), u.Preset.String(), u.Workload,
+				m["compute_us"], m["exposed_us"], m["iter_time_us"], m["exposed_comm_frac"])
+		case scenario.KindMicrobench:
+			get(u.Kind).Add(u.Kernel.KernelName(), payloadMB(u.Bytes),
+				m["alone_us"], m["overlap_us"], m["slowdown"])
+		}
+	}
+	if len(r.Assertions) > 0 {
+		t := report.New(r.Name+": assertions", "assertion", "matched", "status")
+		for _, o := range r.Assertions {
+			status := "ok"
+			if !o.OK() {
+				status = fmt.Sprintf("FAIL (%d)", len(o.Violations))
+			}
+			t.Add(o.Assertion.String(), o.Matched, status)
+		}
+		tabs = append(tabs, t)
+	}
+	return tabs
+}
+
+// unitJSON is the flattened machine-readable form of a unit result.
+type unitJSON struct {
+	Index        int                `json:"index"`
+	Kind         string             `json:"kind"`
+	Torus        string             `json:"torus,omitempty"`
+	Preset       string             `json:"preset,omitempty"`
+	Collective   string             `json:"collective,omitempty"`
+	PayloadBytes int64              `json:"payload_bytes,omitempty"`
+	Workload     string             `json:"workload,omitempty"`
+	Kernel       string             `json:"kernel,omitempty"`
+	Metrics      map[string]float64 `json:"metrics"`
+}
+
+type resultsJSON struct {
+	Name     string     `json:"name"`
+	Units    []unitJSON `json:"units"`
+	Failures []string   `json:"failures,omitempty"`
+}
+
+// WriteJSON renders the results as one indented JSON document.
+func (r *Results) WriteJSON(w io.Writer) error {
+	out := resultsJSON{Name: r.Name, Failures: r.Failures()}
+	for _, ur := range r.Units {
+		u := ur.Unit
+		uj := unitJSON{Index: u.Index, Kind: string(u.Kind), Metrics: ur.Metrics}
+		switch u.Kind {
+		case scenario.KindCollective:
+			uj.Torus, uj.Preset = u.Torus.String(), u.Preset.String()
+			uj.Collective, uj.PayloadBytes = u.Collective.String(), u.Bytes
+		case scenario.KindTraining:
+			uj.Torus, uj.Preset, uj.Workload = u.Torus.String(), u.Preset.String(), u.Workload
+		case scenario.KindMicrobench:
+			uj.Kernel, uj.PayloadBytes = u.Kernel.KernelName(), u.Bytes
+		}
+		out.Units = append(out.Units, uj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteCSV renders every table as CSV, separated by blank lines.
+func (r *Results) WriteCSV(w io.Writer) error {
+	for i, t := range r.Tables() {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := t.WriteCSV(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText renders every table as aligned text.
+func (r *Results) WriteText(w io.Writer) error {
+	for _, t := range r.Tables() {
+		if err := t.Write(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

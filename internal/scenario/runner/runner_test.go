@@ -1,0 +1,228 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"acesim/internal/exper"
+	"acesim/internal/scenario"
+)
+
+// gridScenario expands to 8 cheap collective units (2 toruses x 2
+// presets x 2 payloads) — the worker-pool determinism fixture.
+const gridScenario = `{
+  "name": "grid",
+  "platform": {"toruses": ["4x2x2", "4x4x2"], "presets": ["Ideal", "ACE"]},
+  "jobs": [{"kind": "collective", "payloads_mb": [1, 2]}],
+  "assertions": [{"metric": "eff_gbps_node", "op": ">", "value": 0}]
+}`
+
+func parse(t *testing.T, src string) *scenario.Scenario {
+	t.Helper()
+	sc, err := scenario.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestFig4Equivalence is the acceptance check: running the bundled
+// examples/scenarios/fig4.json must reproduce exactly the rows of the
+// hard-coded `acesim fig4` path.
+func TestFig4Equivalence(t *testing.T) {
+	kernels, sizes := exper.Fig4Defaults()
+	if testing.Short() {
+		sizes = sizes[:1]
+	}
+	rows, _, err := exper.Fig4(kernels, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Load(filepath.Join("..", "..", "..", "examples", "scenarios", "fig4.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testing.Short() {
+		sc.Jobs[0].PayloadsMB = sc.Jobs[0].PayloadsMB[:1]
+	}
+	res, err := Run(sc, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Units) != len(rows) {
+		t.Fatalf("scenario ran %d units, hard-coded path has %d rows", len(res.Units), len(rows))
+	}
+	for i, row := range rows {
+		u, m := res.Units[i].Unit, res.Units[i].Metrics
+		if u.Kernel.KernelName() != row.Kernel || u.Bytes != row.ARBytes {
+			t.Fatalf("unit %d is (%s, %d), hard-coded row is (%s, %d)",
+				i, u.Kernel.KernelName(), u.Bytes, row.Kernel, row.ARBytes)
+		}
+		if m["alone_us"] != row.AloneUS || m["overlap_us"] != row.OverlapUS || m["slowdown"] != row.Slowdown {
+			t.Fatalf("unit %d metrics %v != hard-coded row %+v", i, m, row)
+		}
+	}
+	if f := res.Failures(); len(f) != 0 {
+		t.Fatalf("bundled fig4 assertions failed: %v", f)
+	}
+}
+
+// TestWorkerPoolDeterminism runs a >= 8 unit grid under several worker
+// counts and requires bit-identical results in expansion order.
+func TestWorkerPoolDeterminism(t *testing.T) {
+	ref, err := Run(parse(t, gridScenario), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Units) != 8 {
+		t.Fatalf("grid expands to %d units, want 8", len(ref.Units))
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got, err := Run(parse(t, gridScenario), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref.Units, got.Units) {
+			t.Fatalf("results differ between -workers 1 and -workers %d", workers)
+		}
+		if !reflect.DeepEqual(ref.Assertions, got.Assertions) {
+			t.Fatalf("assertion outcomes differ at -workers %d", workers)
+		}
+	}
+}
+
+func TestAssertionOutcomes(t *testing.T) {
+	res, err := Run(parse(t, `{
+	  "name": "asserts",
+	  "platform": {"toruses": ["4x2x2"], "presets": ["Ideal"]},
+	  "jobs": [{"kind": "collective", "payloads_mb": [1]}],
+	  "assertions": [
+	    {"metric": "eff_gbps_node", "op": ">", "value": 0},
+	    {"metric": "eff_gbps_node", "op": ">", "value": 1e9},
+	    {"metric": "eff_gbps_node", "op": ">", "value": 0, "preset": "ACE"}
+	  ]
+	}`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assertions) != 3 {
+		t.Fatalf("outcomes = %d", len(res.Assertions))
+	}
+	if !res.Assertions[0].OK() || res.Assertions[0].Matched != 1 {
+		t.Fatalf("passing assertion reported %+v", res.Assertions[0])
+	}
+	if res.Assertions[1].OK() {
+		t.Fatal("impossible bound passed")
+	}
+	// The preset filter matches no unit: that is a failure, not a pass.
+	if res.Assertions[2].OK() || res.Assertions[2].Matched != 0 {
+		t.Fatalf("unmatched assertion reported %+v", res.Assertions[2])
+	}
+	if f := res.Failures(); len(f) != 2 {
+		t.Fatalf("failures = %v", f)
+	}
+}
+
+func TestOverridesApply(t *testing.T) {
+	// Starving the baseline's comm memory bandwidth must slow the
+	// collective down relative to the preset default.
+	run := func(src string) float64 {
+		t.Helper()
+		res, err := Run(parse(t, src), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Units[0].Metrics["eff_gbps_node"]
+	}
+	def := run(`{
+	  "name": "default",
+	  "platform": {"toruses": ["4x2x2"], "presets": ["BaselineCommOpt"]},
+	  "jobs": [{"kind": "collective", "payloads_mb": [4]}]
+	}`)
+	starved := run(`{
+	  "name": "starved",
+	  "platform": {"toruses": ["4x2x2"], "presets": ["BaselineCommOpt"],
+	               "overrides": {"comm_mem_gbps": 32}},
+	  "jobs": [{"kind": "collective", "payloads_mb": [4]}]
+	}`)
+	if starved >= def {
+		t.Fatalf("comm_mem_gbps override had no effect: default %.1f, starved %.1f", def, starved)
+	}
+}
+
+func TestTrainingUnits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run in -short mode")
+	}
+	// The job spells the workload with a different alias than the
+	// assertion filter; both must canonicalize to the same unit.
+	res, err := Run(parse(t, `{
+	  "name": "train",
+	  "platform": {"toruses": ["4x2x2"], "presets": ["ACE"], "fast_granularity": true},
+	  "jobs": [{"kind": "training", "workloads": ["ResNet-50"]}],
+	  "assertions": [{"metric": "iter_time_us", "op": ">", "value": 0, "workload": "resnet50"}]
+	}`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Units[0].Metrics
+	if m["iter_time_us"] <= 0 || m["compute_us"] <= 0 {
+		t.Fatalf("degenerate training metrics: %v", m)
+	}
+	if m["exposed_comm_frac"] < 0 || m["exposed_comm_frac"] > 1 {
+		t.Fatalf("exposed_comm_frac out of range: %v", m)
+	}
+	if o := res.Assertions[0]; !o.OK() || o.Matched != 1 {
+		t.Fatalf("workload alias filter did not match canonical unit: %+v", o)
+	}
+}
+
+func TestOutputFormats(t *testing.T) {
+	res, err := Run(parse(t, `{
+	  "name": "fmt",
+	  "platform": {"toruses": ["4x2x2"], "presets": ["Ideal"]},
+	  "jobs": [{"kind": "collective", "payloads_mb": [1]}],
+	  "assertions": [{"metric": "duration_us", "op": ">", "value": 0}]
+	}`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt bytes.Buffer
+	if err := res.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fmt: collectives", "fmt: assertions", "4x2x2", "Ideal"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Fatalf("text output missing %q:\n%s", want, txt.String())
+		}
+	}
+	var js bytes.Buffer
+	if err := res.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Name  string `json:"name"`
+		Units []struct {
+			Kind    string             `json:"kind"`
+			Torus   string             `json:"torus"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"units"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatalf("JSON output does not round-trip: %v", err)
+	}
+	if decoded.Name != "fmt" || len(decoded.Units) != 1 || decoded.Units[0].Torus != "4x2x2" {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	var csv bytes.Buffer
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "torus,preset,collective,MB") {
+		t.Fatalf("csv header wrong:\n%s", csv.String())
+	}
+}

@@ -1,0 +1,478 @@
+// Package scenario defines the declarative scenario format: a JSON file
+// describing a platform grid (torus sizes x Table VI presets), a list of
+// jobs (standalone collectives with payload sweeps, training workloads,
+// or the Section III interference microbenchmark), and optional
+// assertions over the measured metrics. A scenario expands into a flat
+// list of independent work units that the runner package executes on a
+// bounded worker pool. See README.md for the schema and
+// examples/scenarios/ for bundled files.
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"acesim/internal/collectives"
+	"acesim/internal/noc"
+	"acesim/internal/system"
+	"acesim/internal/workload"
+)
+
+// Scenario is one declarative experiment description.
+type Scenario struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Platform is the grid every collective and training job runs on.
+	// It may be omitted when all jobs are microbenchmarks (those run on
+	// the fixed Section III platform).
+	Platform   *Platform   `json:"platform,omitempty"`
+	Jobs       []Job       `json:"jobs"`
+	Assertions []Assertion `json:"assertions,omitempty"`
+}
+
+// Platform is the grid of simulated platforms: the cross product of
+// torus shapes and Table VI presets, with optional spec overrides.
+type Platform struct {
+	// Toruses lists fabric shapes as "LxVxH" strings (e.g. "4x2x2").
+	Toruses []string `json:"toruses"`
+	// Presets lists Table VI configuration names; empty means all five.
+	Presets []string `json:"presets,omitempty"`
+	// FastGranularity coarsens collective chunking for large grids
+	// (the same fidelity knob the harness uses for training sweeps).
+	FastGranularity bool `json:"fast_granularity,omitempty"`
+	// Overrides tweaks individual Spec fields on every grid point.
+	Overrides *Overrides `json:"overrides,omitempty"`
+}
+
+// Overrides adjusts individual platform parameters away from the preset
+// defaults. Nil fields keep the preset value.
+type Overrides struct {
+	CommMemGBps  *float64 `json:"comm_mem_gbps,omitempty"`
+	CommSMs      *int     `json:"comm_sms,omitempty"`
+	IntraGBps    *float64 `json:"intra_gbps,omitempty"`
+	InterGBps    *float64 `json:"inter_gbps,omitempty"`
+	ACESRAMBytes *int64   `json:"ace_sram_bytes,omitempty"`
+	ACEFSMs      *int     `json:"ace_fsms,omitempty"`
+}
+
+// JobKind discriminates the three job types.
+type JobKind string
+
+// Job kinds.
+const (
+	// KindCollective runs one standalone collective per payload on
+	// every platform grid point.
+	KindCollective JobKind = "collective"
+	// KindTraining runs the two-iteration training measurement for
+	// every listed workload on every platform grid point.
+	KindTraining JobKind = "training"
+	// KindMicrobench runs the Section III interference microbenchmark
+	// (all-reduce overlapped with a compute kernel) on the paper's
+	// fixed 8-NPU switch platform; the platform grid does not apply.
+	KindMicrobench JobKind = "microbench"
+)
+
+// Job is one sweep within a scenario.
+type Job struct {
+	Kind JobKind `json:"kind"`
+	// Collective selects "allreduce" (default) or "alltoall" for
+	// collective jobs.
+	Collective string `json:"collective,omitempty"`
+	// PayloadsMB and PayloadBytes define the payload sweep for
+	// collective and microbench jobs; both lists are concatenated.
+	PayloadsMB   []float64 `json:"payloads_mb,omitempty"`
+	PayloadBytes []int64   `json:"payload_bytes,omitempty"`
+	// Workloads lists training workloads by name (resnet50, gnmt, dlrm).
+	Workloads []string `json:"workloads,omitempty"`
+	// Iterations overrides the paper's two-iteration default (0 keeps it).
+	Iterations int `json:"iterations,omitempty"`
+	// DLRMOptimized enables the Fig 12 optimized DLRM training loop.
+	DLRMOptimized bool `json:"dlrm_optimized,omitempty"`
+	// Kernels lists the interfering compute kernels of a microbench job.
+	Kernels []Kernel `json:"kernels,omitempty"`
+}
+
+// Kernel describes one Section III interference kernel: exactly one of
+// GEMMN (GEMM NxN) or EmbBatch (pooled embedding lookup, batch B) must
+// be positive.
+type Kernel struct {
+	GEMMN    int `json:"gemm_n,omitempty"`
+	EmbBatch int `json:"emb_batch,omitempty"`
+}
+
+// Assertion is a predicate over the metrics of matching work units. It
+// fails the scenario if any matching unit violates it, or if no unit
+// matches at all.
+type Assertion struct {
+	// Metric names a measured quantity (see Metrics for the registry).
+	Metric string `json:"metric"`
+	// Op is one of ">=", "<=", ">", "<", "==", "!=".
+	Op    string  `json:"op"`
+	Value float64 `json:"value"`
+	// Optional filters narrow which units the assertion applies to.
+	Preset   string  `json:"preset,omitempty"`
+	Workload string  `json:"workload,omitempty"`
+	Kind     JobKind `json:"kind,omitempty"`
+}
+
+// Holds reports whether the measured value satisfies the assertion.
+func (a Assertion) Holds(v float64) bool {
+	switch a.Op {
+	case ">=":
+		return v >= a.Value
+	case "<=":
+		return v <= a.Value
+	case ">":
+		return v > a.Value
+	case "<":
+		return v < a.Value
+	case "==":
+		return v == a.Value
+	case "!=":
+		return v != a.Value
+	}
+	return false
+}
+
+// String formats the assertion predicate.
+func (a Assertion) String() string {
+	var filters []string
+	if a.Kind != "" {
+		filters = append(filters, string(a.Kind))
+	}
+	if a.Preset != "" {
+		filters = append(filters, a.Preset)
+	}
+	if a.Workload != "" {
+		filters = append(filters, a.Workload)
+	}
+	where := ""
+	if len(filters) > 0 {
+		where = " [" + strings.Join(filters, " ") + "]"
+	}
+	return fmt.Sprintf("%s %s %g%s", a.Metric, a.Op, a.Value, where)
+}
+
+// Metrics maps every assertable metric to the job kind that produces it.
+var Metrics = map[string]JobKind{
+	// collective metrics
+	"duration_us":   KindCollective,
+	"eff_gbps_node": KindCollective,
+	"reads_node":    KindCollective,
+	"writes_node":   KindCollective,
+	"wire_bytes":    KindCollective,
+	// training metrics
+	"iter_time_us":      KindTraining,
+	"compute_us":        KindTraining,
+	"exposed_us":        KindTraining,
+	"exposed_comm_frac": KindTraining,
+	"collectives":       KindTraining,
+	// microbench metrics
+	"alone_us":   KindMicrobench,
+	"overlap_us": KindMicrobench,
+	"slowdown":   KindMicrobench,
+}
+
+// Unit is one independent work item of an expanded scenario: a single
+// simulation on a freshly built system. Units carry everything the
+// runner needs and nothing shared, so they execute embarrassingly
+// parallel.
+type Unit struct {
+	// Index is the unit's position in deterministic expansion order;
+	// results are reported in this order regardless of worker count.
+	Index int
+	// Job is the index of the originating job in Scenario.Jobs.
+	Job  int
+	Kind JobKind
+
+	// Platform point (collective and training units).
+	Torus           noc.Torus
+	Preset          system.Preset
+	FastGranularity bool
+	Overrides       *Overrides
+
+	// Collective and microbench payload.
+	Collective collectives.Kind
+	Bytes      int64
+
+	// Training unit.
+	Workload      string
+	Iterations    int
+	DLRMOptimized bool
+
+	// Microbench unit.
+	Kernel Kernel
+}
+
+// Load reads and parses a scenario file. Call Validate (or Expand) to
+// check it.
+func Load(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	sc, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// Parse decodes a scenario from JSON. Unknown fields are rejected so
+// typos surface at validate time rather than silently changing the
+// experiment.
+func Parse(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, err
+	}
+	if dec.More() {
+		return nil, errors.New("trailing data after scenario object")
+	}
+	return &sc, nil
+}
+
+// Validate checks the scenario without running it.
+func (s *Scenario) Validate() error {
+	_, err := s.Expand()
+	return err
+}
+
+// ParseTorus parses an "LxVxH" shape string.
+func ParseTorus(s string) (noc.Torus, error) {
+	var t noc.Torus
+	if _, err := fmt.Sscanf(strings.ToLower(s), "%dx%dx%d", &t.L, &t.V, &t.H); err != nil {
+		return t, fmt.Errorf("bad torus %q (want LxVxH): %w", s, err)
+	}
+	return t, t.Validate()
+}
+
+// ParseCollective resolves a collective name ("allreduce" or
+// "alltoall", case-insensitive; empty defaults to allreduce).
+func ParseCollective(s string) (collectives.Kind, error) {
+	switch strings.ToLower(s) {
+	case "", "allreduce", "all-reduce":
+		return collectives.AllReduce, nil
+	case "alltoall", "all-to-all":
+		return collectives.AllToAll, nil
+	}
+	return 0, fmt.Errorf("unknown collective %q (want allreduce or alltoall)", s)
+}
+
+// Expand validates the scenario and flattens it into work units in
+// deterministic order: jobs in file order; within a collective or
+// training job, torus (outer) x preset x sweep point; within a
+// microbench job, payload (outer) x kernel — the same order as the
+// paper's Fig 4 rows.
+func (s *Scenario) Expand() ([]Unit, error) {
+	if s.Name == "" {
+		return nil, errors.New("scenario: missing name")
+	}
+	if len(s.Jobs) == 0 {
+		return nil, fmt.Errorf("scenario %s: no jobs", s.Name)
+	}
+	toruses, presets, err := s.platformGrid()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	var units []Unit
+	for ji, j := range s.Jobs {
+		fail := func(format string, args ...any) ([]Unit, error) {
+			return nil, fmt.Errorf("scenario %s: job %d (%s): %s",
+				s.Name, ji, j.Kind, fmt.Sprintf(format, args...))
+		}
+		switch j.Kind {
+		case KindCollective:
+			if s.Platform == nil {
+				return fail("requires a platform grid")
+			}
+			ck, err := ParseCollective(j.Collective)
+			if err != nil {
+				return fail("%v", err)
+			}
+			payloads, err := j.payloads()
+			if err != nil {
+				return fail("%v", err)
+			}
+			if len(j.Workloads) > 0 || len(j.Kernels) > 0 {
+				return fail("workloads/kernels do not apply to collective jobs")
+			}
+			for _, t := range toruses {
+				for _, p := range presets {
+					for _, b := range payloads {
+						units = append(units, Unit{
+							Index: len(units), Job: ji, Kind: KindCollective,
+							Torus: t, Preset: p,
+							FastGranularity: s.Platform.FastGranularity,
+							Overrides:       s.Platform.Overrides,
+							Collective:      ck, Bytes: b,
+						})
+					}
+				}
+			}
+		case KindTraining:
+			if s.Platform == nil {
+				return fail("requires a platform grid")
+			}
+			if len(j.Workloads) == 0 {
+				return fail("no workloads")
+			}
+			// Canonicalize names so aliases ("resnet50", "ResNet-50")
+			// expand to one spelling that assertion filters can match.
+			names := make([]string, len(j.Workloads))
+			for wi, w := range j.Workloads {
+				m, err := workload.ByName(w)
+				if err != nil {
+					return fail("%v", err)
+				}
+				names[wi] = m.Name
+			}
+			if j.Iterations < 0 {
+				return fail("negative iterations")
+			}
+			if len(j.PayloadsMB) > 0 || len(j.PayloadBytes) > 0 || len(j.Kernels) > 0 {
+				return fail("payloads/kernels do not apply to training jobs")
+			}
+			for _, t := range toruses {
+				for _, p := range presets {
+					for _, w := range names {
+						units = append(units, Unit{
+							Index: len(units), Job: ji, Kind: KindTraining,
+							Torus: t, Preset: p,
+							FastGranularity: s.Platform.FastGranularity,
+							Overrides:       s.Platform.Overrides,
+							Workload:        w,
+							Iterations:      j.Iterations,
+							DLRMOptimized:   j.DLRMOptimized,
+						})
+					}
+				}
+			}
+		case KindMicrobench:
+			payloads, err := j.payloads()
+			if err != nil {
+				return fail("%v", err)
+			}
+			if len(j.Kernels) == 0 {
+				return fail("no kernels")
+			}
+			for ki, k := range j.Kernels {
+				if (k.GEMMN > 0) == (k.EmbBatch > 0) {
+					return fail("kernel %d: exactly one of gemm_n or emb_batch must be positive", ki)
+				}
+			}
+			if len(j.Workloads) > 0 {
+				return fail("workloads do not apply to microbench jobs")
+			}
+			for _, b := range payloads {
+				for _, k := range j.Kernels {
+					units = append(units, Unit{
+						Index: len(units), Job: ji, Kind: KindMicrobench,
+						Bytes: b, Kernel: k,
+					})
+				}
+			}
+		default:
+			return fail("unknown kind (want collective, training or microbench)")
+		}
+	}
+	if err := s.validateAssertions(); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return units, nil
+}
+
+// platformGrid resolves the torus and preset lists.
+func (s *Scenario) platformGrid() ([]noc.Torus, []system.Preset, error) {
+	if s.Platform == nil {
+		return nil, nil, nil
+	}
+	if len(s.Platform.Toruses) == 0 {
+		return nil, nil, errors.New("platform.toruses is empty")
+	}
+	var toruses []noc.Torus
+	for _, ts := range s.Platform.Toruses {
+		t, err := ParseTorus(ts)
+		if err != nil {
+			return nil, nil, err
+		}
+		toruses = append(toruses, t)
+	}
+	presets := system.Presets()
+	if len(s.Platform.Presets) > 0 {
+		presets = presets[:0:0]
+		for _, ps := range s.Platform.Presets {
+			p, err := system.ParsePreset(ps)
+			if err != nil {
+				return nil, nil, err
+			}
+			presets = append(presets, p)
+		}
+	}
+	return toruses, presets, nil
+}
+
+// payloads concatenates the MB and byte payload lists.
+func (j Job) payloads() ([]int64, error) {
+	var out []int64
+	for _, mb := range j.PayloadsMB {
+		if mb <= 0 {
+			return nil, fmt.Errorf("non-positive payload %g MB", mb)
+		}
+		out = append(out, int64(mb*(1<<20)))
+	}
+	for _, b := range j.PayloadBytes {
+		if b <= 0 {
+			return nil, fmt.Errorf("non-positive payload %d B", b)
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no payloads")
+	}
+	return out, nil
+}
+
+func (s *Scenario) validateAssertions() error {
+	for i, a := range s.Assertions {
+		kind, ok := Metrics[a.Metric]
+		if !ok {
+			return fmt.Errorf("assertion %d: unknown metric %q", i, a.Metric)
+		}
+		if a.Kind != "" && a.Kind != kind {
+			return fmt.Errorf("assertion %d: metric %q belongs to %s jobs, not %s",
+				i, a.Metric, kind, a.Kind)
+		}
+		switch a.Op {
+		case ">=", "<=", ">", "<", "==", "!=":
+		default:
+			return fmt.Errorf("assertion %d: unknown op %q", i, a.Op)
+		}
+		if a.Preset != "" {
+			if _, err := system.ParsePreset(a.Preset); err != nil {
+				return fmt.Errorf("assertion %d: %w", i, err)
+			}
+		}
+		if a.Workload != "" {
+			if _, err := workload.ByName(a.Workload); err != nil {
+				return fmt.Errorf("assertion %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// KernelName formats the kernel the way the Fig 4 harness names it.
+func (k Kernel) KernelName() string {
+	if k.GEMMN > 0 {
+		return fmt.Sprintf("GEMM %d", k.GEMMN)
+	}
+	return fmt.Sprintf("EmbLookup %d", k.EmbBatch)
+}

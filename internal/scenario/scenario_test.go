@@ -1,0 +1,207 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"acesim/internal/noc"
+	"acesim/internal/system"
+)
+
+const goodScenario = `{
+  "name": "good",
+  "description": "grid demo",
+  "platform": {
+    "toruses": ["4x2x2", "4x4x2"],
+    "presets": ["BaselineCommOpt", "ACE"]
+  },
+  "jobs": [
+    {"kind": "collective", "collective": "allreduce", "payloads_mb": [4, 16]},
+    {"kind": "training", "workloads": ["resnet50", "dlrm"]},
+    {"kind": "microbench", "payloads_mb": [10], "kernels": [{"gemm_n": 1000}, {"emb_batch": 10000}]}
+  ],
+  "assertions": [
+    {"metric": "eff_gbps_node", "op": ">", "value": 0},
+    {"metric": "iter_time_us", "op": ">", "value": 0, "preset": "ACE", "workload": "dlrm"},
+    {"metric": "slowdown", "op": ">=", "value": 1, "kind": "microbench"}
+  ]
+}`
+
+func parse(t *testing.T, src string) *Scenario {
+	t.Helper()
+	sc, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestExpandGoodScenario(t *testing.T) {
+	sc := parse(t, goodScenario)
+	units, err := sc.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 toruses x 2 presets x 2 payloads + 2x2x2 workloads + 1x2 kernels.
+	if want := 8 + 8 + 2; len(units) != want {
+		t.Fatalf("units = %d, want %d", len(units), want)
+	}
+	for i, u := range units {
+		if u.Index != i {
+			t.Fatalf("unit %d has Index %d", i, u.Index)
+		}
+	}
+	// Expansion order: torus outer, preset, then sweep point.
+	u0 := units[0]
+	if u0.Kind != KindCollective || u0.Torus != (noc.Torus{L: 4, V: 2, H: 2}) ||
+		u0.Preset != system.BaselineCommOpt || u0.Bytes != 4<<20 {
+		t.Fatalf("unit 0 = %+v", u0)
+	}
+	if units[1].Bytes != 16<<20 {
+		t.Fatalf("payload is not the innermost axis: %+v", units[1])
+	}
+	if units[2].Preset != system.ACE {
+		t.Fatalf("preset is not the middle axis: %+v", units[2])
+	}
+	if u := units[4]; u.Torus != (noc.Torus{L: 4, V: 4, H: 2}) {
+		t.Fatalf("torus is not the outer axis: %+v", u)
+	}
+	// Training units follow (workload names canonicalized), then
+	// microbench (payload outer, kernel inner).
+	if u := units[8]; u.Kind != KindTraining || u.Workload != "ResNet-50" {
+		t.Fatalf("unit 8 = %+v", u)
+	}
+	mb := units[16]
+	if mb.Kind != KindMicrobench || mb.Kernel.KernelName() != "GEMM 1000" || mb.Bytes != 10<<20 {
+		t.Fatalf("unit 16 = %+v", mb)
+	}
+	if units[17].Kernel.KernelName() != "EmbLookup 10000" {
+		t.Fatalf("unit 17 = %+v", units[17])
+	}
+}
+
+func TestExpandDeterministic(t *testing.T) {
+	a, err := parse(t, goodScenario).Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parse(t, goodScenario).Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("unit %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEmptyPresetsMeansAllFive(t *testing.T) {
+	sc := parse(t, `{
+	  "name": "all-presets",
+	  "platform": {"toruses": ["4x2x2"]},
+	  "jobs": [{"kind": "collective", "payloads_mb": [4]}]
+	}`)
+	units, err := sc.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != len(system.Presets()) {
+		t.Fatalf("units = %d, want %d", len(units), len(system.Presets()))
+	}
+	for i, p := range system.Presets() {
+		if units[i].Preset != p {
+			t.Fatalf("unit %d preset = %s, want %s", i, units[i].Preset, p)
+		}
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse(strings.NewReader(`{"name": "x", "jbos": []}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := Parse(strings.NewReader(`{"name": "x", "jobs": []} trailing`)); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"missing name", `{"jobs": [{"kind": "microbench", "payloads_mb": [1], "kernels": [{"gemm_n": 8}]}]}`, "missing name"},
+		{"no jobs", `{"name": "x"}`, "no jobs"},
+		{"unknown kind", `{"name": "x", "jobs": [{"kind": "bench"}]}`, "unknown kind"},
+		{"bad torus", `{"name": "x", "platform": {"toruses": ["4x2"]}, "jobs": [{"kind": "collective", "payloads_mb": [1]}]}`, "bad torus"},
+		{"degenerate torus", `{"name": "x", "platform": {"toruses": ["4x0x2"]}, "jobs": [{"kind": "collective", "payloads_mb": [1]}]}`, "invalid torus"},
+		{"bad preset", `{"name": "x", "platform": {"toruses": ["4x2x2"], "presets": ["Turbo"]}, "jobs": [{"kind": "collective", "payloads_mb": [1]}]}`, "unknown preset"},
+		{"no platform", `{"name": "x", "jobs": [{"kind": "collective", "payloads_mb": [1]}]}`, "requires a platform"},
+		{"empty toruses", `{"name": "x", "platform": {"toruses": []}, "jobs": [{"kind": "collective", "payloads_mb": [1]}]}`, "toruses is empty"},
+		{"no payloads", `{"name": "x", "platform": {"toruses": ["4x2x2"]}, "jobs": [{"kind": "collective"}]}`, "no payloads"},
+		{"negative payload", `{"name": "x", "platform": {"toruses": ["4x2x2"]}, "jobs": [{"kind": "collective", "payloads_mb": [-4]}]}`, "non-positive payload"},
+		{"bad collective", `{"name": "x", "platform": {"toruses": ["4x2x2"]}, "jobs": [{"kind": "collective", "collective": "gather", "payloads_mb": [1]}]}`, "unknown collective"},
+		{"no workloads", `{"name": "x", "platform": {"toruses": ["4x2x2"]}, "jobs": [{"kind": "training"}]}`, "no workloads"},
+		{"bad workload", `{"name": "x", "platform": {"toruses": ["4x2x2"]}, "jobs": [{"kind": "training", "workloads": ["bert"]}]}`, "unknown model"},
+		{"stray field", `{"name": "x", "platform": {"toruses": ["4x2x2"]}, "jobs": [{"kind": "training", "workloads": ["dlrm"], "payloads_mb": [1]}]}`, "do not apply"},
+		{"no kernels", `{"name": "x", "jobs": [{"kind": "microbench", "payloads_mb": [1]}]}`, "no kernels"},
+		{"ambiguous kernel", `{"name": "x", "jobs": [{"kind": "microbench", "payloads_mb": [1], "kernels": [{"gemm_n": 8, "emb_batch": 8}]}]}`, "exactly one"},
+		{"empty kernel", `{"name": "x", "jobs": [{"kind": "microbench", "payloads_mb": [1], "kernels": [{}]}]}`, "exactly one"},
+		{"unknown metric", `{"name": "x", "jobs": [{"kind": "microbench", "payloads_mb": [1], "kernels": [{"gemm_n": 8}]}], "assertions": [{"metric": "latency", "op": ">", "value": 0}]}`, "unknown metric"},
+		{"unknown op", `{"name": "x", "jobs": [{"kind": "microbench", "payloads_mb": [1], "kernels": [{"gemm_n": 8}]}], "assertions": [{"metric": "slowdown", "op": "~", "value": 0}]}`, "unknown op"},
+		{"metric kind mismatch", `{"name": "x", "jobs": [{"kind": "microbench", "payloads_mb": [1], "kernels": [{"gemm_n": 8}]}], "assertions": [{"metric": "slowdown", "op": ">", "value": 0, "kind": "training"}]}`, "belongs to"},
+		{"bad assertion preset", `{"name": "x", "jobs": [{"kind": "microbench", "payloads_mb": [1], "kernels": [{"gemm_n": 8}]}], "assertions": [{"metric": "slowdown", "op": ">", "value": 0, "preset": "Nope"}]}`, "unknown preset"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, err := Parse(strings.NewReader(tc.src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			err = sc.Validate()
+			if err == nil {
+				t.Fatalf("validated bad scenario")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAssertionHolds(t *testing.T) {
+	cases := []struct {
+		op   string
+		v    float64
+		want bool
+	}{
+		{">=", 1, true}, {">=", 0.5, false},
+		{"<=", 1, true}, {"<=", 1.5, false},
+		{">", 1.1, true}, {">", 1, false},
+		{"<", 0.9, true}, {"<", 1, false},
+		{"==", 1, true}, {"==", 2, false},
+		{"!=", 2, true}, {"!=", 1, false},
+	}
+	for _, tc := range cases {
+		a := Assertion{Metric: "slowdown", Op: tc.op, Value: 1}
+		if got := a.Holds(tc.v); got != tc.want {
+			t.Errorf("%g %s 1 = %v, want %v", tc.v, tc.op, got, tc.want)
+		}
+	}
+}
+
+func TestParseCollective(t *testing.T) {
+	for _, s := range []string{"", "allreduce", "AllReduce", "all-reduce"} {
+		if k, err := ParseCollective(s); err != nil || k.String() != "all-reduce" {
+			t.Fatalf("ParseCollective(%q) = %v, %v", s, k, err)
+		}
+	}
+	if k, err := ParseCollective("alltoall"); err != nil || k.String() != "all-to-all" {
+		t.Fatalf("ParseCollective(alltoall) = %v, %v", k, err)
+	}
+	if _, err := ParseCollective("broadcast"); err == nil {
+		t.Fatal("accepted broadcast")
+	}
+}
