@@ -1,0 +1,70 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"acesim/internal/bench"
+)
+
+// runBench implements `acesim bench`: execute the fixed perf suite and
+// emit a BENCH_*.json report (methodology and schema: PERF.md). After
+// writing, the report file is re-read and schema-validated so a malformed
+// emission fails the command — this is what the CI bench-smoke job gates
+// on (structure only, never speed).
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	short := fs.Bool("short", false, "run the shrunk smoke suite (1 run per unit)")
+	runs := fs.Int("runs", 0, "runs per unit, best-of wall time (default 3, 1 with -short)")
+	out := fs.String("out", "", `output path; "-" for stdout (default BENCH_<date>.json)`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("bench: unexpected argument %q", fs.Arg(0))
+	}
+	rep, err := bench.Run(bench.Options{Short: *short, Runs: *runs})
+	if err != nil {
+		return err
+	}
+	// Validate before emission so the stdout path is gated too; the file
+	// path additionally round-trips what landed on disk below.
+	if err := bench.Validate(rep); err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = bench.DefaultFileName(time.Now())
+	}
+	if path == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// Round-trip schema check on what actually landed on disk.
+	f, err = os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := bench.ReadJSON(f); err != nil {
+		return fmt.Errorf("bench: emitted report failed validation: %w", err)
+	}
+	for _, u := range rep.Units {
+		fmt.Printf("%-32s %8.1f ms   %9d events   %10.0f events/s   %8d allocs\n",
+			u.Name, float64(u.WallNS)/1e6, u.Events, u.EventsPerSec, u.AllocsPerRun)
+	}
+	fmt.Printf("wrote %s (%d units)\n", path, len(rep.Units))
+	return nil
+}

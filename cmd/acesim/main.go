@@ -1,11 +1,13 @@
 // Command acesim regenerates every table and figure of the paper's
-// evaluation (see DESIGN.md for the experiment index) and runs
-// declarative scenario files (see README.md for the schema).
+// evaluation (see DESIGN.md for the experiment index), runs declarative
+// scenario files (see README.md for the schema), and records simulator
+// performance baselines (see PERF.md for the methodology).
 //
 // Usage:
 //
 //	acesim <experiment> [flags]
 //	acesim scenario run|validate|list [flags] <file>...
+//	acesim bench [-short] [-runs N] [-out path]
 //
 // Experiments: fig4 fig5 fig6 fig9a fig9b fig10 fig11 fig12 table4 table5
 // table6 analytic ablation all
@@ -58,6 +60,9 @@ func run(args []string) error {
 	if cmd == "scenario" {
 		return runScenario(args[1:])
 	}
+	if cmd == "bench" {
+		return runBench(args[1:])
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	sizeStr := fs.String("size", "4x8x4", "torus LxVxH for single-size experiments")
 	quick := fs.Bool("quick", false, "shrink sweeps for a fast pass")
@@ -100,6 +105,7 @@ func run(args []string) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: acesim <experiment> [-size LxVxH] [-quick] [-csv dir]
        acesim scenario run|validate|list [-workers N] [-format text|json|csv] <file>...
+       acesim bench [-short] [-runs N] [-out path]
 experiments: fig4 fig5 fig6 fig9a fig9b fig10 fig11 fig12
              table4 table5 table6 analytic ablation all`)
 }

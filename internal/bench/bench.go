@@ -1,0 +1,306 @@
+// Package bench is the simulator's performance-baseline harness behind
+// `acesim bench` (methodology: PERF.md). It runs a fixed, deterministic
+// suite of simulations — the Fig 4 microbenchmark, a collective payload
+// sweep, and a scaled training run — and measures what the simulator
+// *costs* to run them: wall-clock time, executed discrete events,
+// events/second, and heap allocations. The simulated results themselves
+// are captured alongside as drift canaries.
+//
+// Reports serialize to the versioned BENCH_*.json schema (Report); two
+// reports from different commits diff into a speedup/regression table.
+// The suite is fixed so the event counts and metrics are bit-stable
+// across runs on any machine — only the wall-clock and allocation fields
+// vary with hardware and Go version.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"acesim/internal/collectives"
+	"acesim/internal/exper"
+	"acesim/internal/noc"
+	"acesim/internal/system"
+	"acesim/internal/training"
+	"acesim/internal/workload"
+)
+
+// Schema identifies the report format; bump on incompatible change.
+const Schema = "acesim-bench/v1"
+
+// Unit is the measured cost of one suite entry.
+type Unit struct {
+	// Name identifies the suite entry ("allreduce/ace-16npu-8MB", ...).
+	Name string `json:"name"`
+	// Runs is how many times the unit was executed; WallNS is the best
+	// (minimum) run, the standard way to suppress scheduler noise.
+	Runs   int   `json:"runs"`
+	WallNS int64 `json:"wall_ns_best"`
+	// Events is the number of discrete events the engine executed per run
+	// (deterministic — identical on every machine for a given commit).
+	Events uint64 `json:"events"`
+	// EventsPerSec = Events / best wall time: the harness's headline
+	// simulator-throughput number.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// AllocsPerRun / AllocBytesPerRun are heap allocation counts and bytes
+	// for one run (runtime.MemStats deltas around the first run).
+	AllocsPerRun     uint64 `json:"allocs_per_run"`
+	AllocBytesPerRun uint64 `json:"alloc_bytes_per_run"`
+	// Metrics carries the unit's simulated headline results (durations in
+	// microseconds, slowdown ratios). They must not change between two
+	// commits unless simulator behavior intentionally changed — diff them
+	// as a determinism canary before comparing performance.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is one BENCH_*.json document.
+type Report struct {
+	Schema    string `json:"schema"`
+	Date      string `json:"date"` // RFC 3339, UTC
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Short records whether the shrunk (-short) suite ran; short and full
+	// reports are not comparable unit-for-unit.
+	Short bool   `json:"short"`
+	Units []Unit `json:"units"`
+}
+
+// stats is what one suite run reports back to the measurement loop.
+type stats struct {
+	events  uint64
+	metrics map[string]float64
+}
+
+// spec is one suite entry: a name and a deterministic simulation to cost.
+type spec struct {
+	name string
+	run  func() (stats, error)
+}
+
+// torus16 is the 16-NPU platform every suite entry uses: small enough
+// that the full suite finishes in seconds, large enough that the event
+// queue, not system construction, dominates.
+var torus16 = noc.Torus{L: 4, V: 2, H: 2}
+
+// suite returns the fixed measurement suite. The short form drops the
+// larger payloads and keeps one unit per family.
+func suite(short bool) []spec {
+	var specs []spec
+
+	// Fig 4 microbenchmark: the software endpoint under compute
+	// interference — exercises the contended-server path.
+	fig4 := func(name string, k *exper.Fig4Kernel, bytes int64) spec {
+		return spec{name: name, run: func() (stats, error) {
+			d, events, err := exper.Fig4MeasureStats(k, bytes)
+			if err != nil {
+				return stats{}, err
+			}
+			return stats{events: events, metrics: map[string]float64{"duration_us": d.Micros()}}, nil
+		}}
+	}
+	gemm := exper.GEMMKernel(1000)
+	specs = append(specs, fig4("fig4/gemm1000-10MB", &gemm, 10<<20))
+	if !short {
+		emb := exper.EmbLookupKernel(10000)
+		specs = append(specs, fig4("fig4/emb10000-10MB", &emb, 10<<20))
+	}
+
+	// Collective payload sweep: ring all-reduce on ACE (the paper's
+	// engine) across payloads, plus the software baseline and an
+	// all-to-all for the routed/forwarding path.
+	coll := func(name string, preset system.Preset, kind collectives.Kind, bytes int64) spec {
+		return spec{name: name, run: func() (stats, error) {
+			res, err := exper.RunCollective(system.NewSpec(torus16, preset), kind, bytes)
+			if err != nil {
+				return stats{}, err
+			}
+			return stats{events: res.Events, metrics: map[string]float64{
+				"duration_us":   res.Duration.Micros(),
+				"eff_gbps_node": res.EffGBpsNode,
+			}}, nil
+		}}
+	}
+	specs = append(specs, coll("allreduce/ace-16npu-8MB", system.ACE, collectives.AllReduce, 8<<20))
+	if !short {
+		specs = append(specs,
+			coll("allreduce/ace-16npu-1MB", system.ACE, collectives.AllReduce, 1<<20),
+			coll("allreduce/ace-16npu-64MB", system.ACE, collectives.AllReduce, 64<<20),
+			coll("allreduce/base-16npu-8MB", system.BaselineCommOpt, collectives.AllReduce, 8<<20),
+			coll("alltoall/ace-16npu-4MB", system.ACE, collectives.AllToAll, 4<<20),
+		)
+	}
+
+	// Scaled training run: the full stack (compute stream + LIFO
+	// collective scheduling + cross-iteration dependency) on ResNet-50.
+	specs = append(specs, spec{name: "training/resnet50-ace-16npu", run: func() (stats, error) {
+		sysSpec := system.NewSpec(torus16, system.ACE)
+		exper.FastGranularity(&sysSpec)
+		m := workload.ResNet50(workload.ResNet50Batch)
+		res, s, err := exper.RunTraining(sysSpec, m, training.DefaultConfig())
+		if err != nil {
+			return stats{}, err
+		}
+		return stats{events: s.Eng.Steps(), metrics: map[string]float64{
+			"iter_time_us": res.IterTime.Micros(),
+			"exposed_us":   res.ExposedComm.Micros(),
+		}}, nil
+	}})
+	return specs
+}
+
+// Options tunes a harness run.
+type Options struct {
+	// Short runs the shrunk suite (CI smoke). Default false.
+	Short bool
+	// Runs per unit; best-of wall time is reported. <= 0 means 3 (1 when
+	// Short).
+	Runs int
+	// Now supplies the report timestamp; nil means time.Now.
+	Now func() time.Time
+}
+
+// Run executes the suite and returns the report.
+func Run(opts Options) (*Report, error) {
+	runs := opts.Runs
+	if runs <= 0 {
+		runs = 3
+		if opts.Short {
+			runs = 1
+		}
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	rep := &Report{
+		Schema:    Schema,
+		Date:      now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Short:     opts.Short,
+	}
+	for _, sp := range suite(opts.Short) {
+		u, err := measure(sp, runs)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", sp.name, err)
+		}
+		rep.Units = append(rep.Units, u)
+	}
+	return rep, nil
+}
+
+// measure runs one unit `runs` times: allocations from the first run
+// (GC-fenced), wall time as best-of-runs, events from the last run
+// (deterministic, so any run would do — cross-checked against the first).
+func measure(sp spec, runs int) (Unit, error) {
+	u := Unit{Name: sp.name, Runs: runs}
+	var ms0, ms1 runtime.MemStats
+	for r := 0; r < runs; r++ {
+		first := r == 0
+		if first {
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+		}
+		t0 := time.Now()
+		st, err := sp.run()
+		wall := time.Since(t0)
+		if err != nil {
+			return Unit{}, err
+		}
+		if first {
+			runtime.ReadMemStats(&ms1)
+			u.AllocsPerRun = ms1.Mallocs - ms0.Mallocs
+			u.AllocBytesPerRun = ms1.TotalAlloc - ms0.TotalAlloc
+			u.Events = st.events
+			u.Metrics = st.metrics
+		} else {
+			if st.events != u.Events {
+				return Unit{}, fmt.Errorf("nondeterministic event count: run 0 executed %d events, run %d executed %d",
+					u.Events, r, st.events)
+			}
+			for k, v := range st.metrics {
+				if u.Metrics[k] != v {
+					return Unit{}, fmt.Errorf("nondeterministic metric %q: run 0 measured %g, run %d measured %g",
+						k, u.Metrics[k], r, v)
+				}
+			}
+		}
+		if u.WallNS == 0 || wall.Nanoseconds() < u.WallNS {
+			u.WallNS = wall.Nanoseconds()
+		}
+	}
+	if u.WallNS > 0 {
+		u.EventsPerSec = float64(u.Events) / (float64(u.WallNS) / 1e9)
+	}
+	return u, nil
+}
+
+// Validate checks a report against the BENCH_*.json schema contract. It
+// is structural only — it never judges performance, so CI can gate on
+// well-formedness without flaking on machine speed.
+func Validate(r *Report) error {
+	if r == nil {
+		return fmt.Errorf("bench: nil report")
+	}
+	if r.Schema != Schema {
+		return fmt.Errorf("bench: schema %q, want %q", r.Schema, Schema)
+	}
+	if _, err := time.Parse(time.RFC3339, r.Date); err != nil {
+		return fmt.Errorf("bench: bad date %q: %w", r.Date, err)
+	}
+	if r.GoVersion == "" || r.GOOS == "" || r.GOARCH == "" {
+		return fmt.Errorf("bench: missing toolchain identification")
+	}
+	if len(r.Units) == 0 {
+		return fmt.Errorf("bench: no units")
+	}
+	seen := make(map[string]bool, len(r.Units))
+	for i, u := range r.Units {
+		if u.Name == "" {
+			return fmt.Errorf("bench: unit %d has no name", i)
+		}
+		if seen[u.Name] {
+			return fmt.Errorf("bench: duplicate unit %q", u.Name)
+		}
+		seen[u.Name] = true
+		if u.Runs <= 0 || u.WallNS <= 0 {
+			return fmt.Errorf("bench: unit %q has non-positive runs/wall (%d, %d)", u.Name, u.Runs, u.WallNS)
+		}
+		if u.Events == 0 || u.EventsPerSec <= 0 {
+			return fmt.Errorf("bench: unit %q has no event accounting", u.Name)
+		}
+	}
+	return nil
+}
+
+// WriteJSON serializes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadJSON parses and validates a report.
+func ReadJSON(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: parse report: %w", err)
+	}
+	if err := Validate(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// DefaultFileName returns the conventional report file name for a date:
+// BENCH_YYYY-MM-DD.json.
+func DefaultFileName(t time.Time) string {
+	return fmt.Sprintf("BENCH_%s.json", t.UTC().Format("2006-01-02"))
+}

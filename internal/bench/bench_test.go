@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedNow pins the report timestamp for reproducible assertions.
+func fixedNow() time.Time { return time.Date(2026, 7, 28, 12, 0, 0, 0, time.UTC) }
+
+func TestShortSuiteRunsAndValidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench suite in -short mode")
+	}
+	rep, err := Run(Options{Short: true, Runs: 1, Now: fixedNow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Short {
+		t.Fatal("short run not flagged")
+	}
+	for _, u := range rep.Units {
+		if u.Events == 0 {
+			t.Fatalf("unit %q recorded no events", u.Name)
+		}
+		if len(u.Metrics) == 0 {
+			t.Fatalf("unit %q recorded no drift-canary metrics", u.Name)
+		}
+	}
+	// Round-trip: the emitted JSON must parse and validate.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Units) != len(rep.Units) {
+		t.Fatalf("round-trip lost units: %d -> %d", len(rep.Units), len(back.Units))
+	}
+}
+
+func TestSuiteEventCountsAreDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench suite in -short mode")
+	}
+	a, err := Run(Options{Short: true, Runs: 1, Now: fixedNow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Options{Short: true, Runs: 1, Now: fixedNow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Units {
+		ua, ub := a.Units[i], b.Units[i]
+		if ua.Events != ub.Events {
+			t.Fatalf("unit %q events differ across runs: %d vs %d", ua.Name, ua.Events, ub.Events)
+		}
+		for k, v := range ua.Metrics {
+			if ub.Metrics[k] != v {
+				t.Fatalf("unit %q metric %q differs across runs: %g vs %g", ua.Name, k, v, ub.Metrics[k])
+			}
+		}
+	}
+}
+
+func TestValidateRejectsMalformedReports(t *testing.T) {
+	good := func() *Report {
+		return &Report{
+			Schema: Schema, Date: "2026-07-28T12:00:00Z",
+			GoVersion: "go1.24", GOOS: "linux", GOARCH: "amd64",
+			Units: []Unit{{Name: "u", Runs: 1, WallNS: 100, Events: 10, EventsPerSec: 1e8}},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		want   string
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = "v0" }, "schema"},
+		{"bad date", func(r *Report) { r.Date = "yesterday" }, "date"},
+		{"no toolchain", func(r *Report) { r.GoVersion = "" }, "toolchain"},
+		{"no units", func(r *Report) { r.Units = nil }, "no units"},
+		{"unnamed unit", func(r *Report) { r.Units[0].Name = "" }, "no name"},
+		{"zero wall", func(r *Report) { r.Units[0].WallNS = 0 }, "non-positive"},
+		{"zero events", func(r *Report) { r.Units[0].Events = 0; r.Units[0].EventsPerSec = 0 }, "event accounting"},
+		{"duplicate units", func(r *Report) { r.Units = append(r.Units, r.Units[0]) }, "duplicate"},
+	}
+	if err := Validate(good()); err != nil {
+		t.Fatalf("baseline report invalid: %v", err)
+	}
+	for _, c := range cases {
+		r := good()
+		c.mutate(r)
+		err := Validate(r)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: Validate = %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestReadJSONRejectsUnknownFields(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"schema":"acesim-bench/v1","surprise":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestDefaultFileName(t *testing.T) {
+	if got := DefaultFileName(fixedNow()); got != "BENCH_2026-07-28.json" {
+		t.Fatalf("DefaultFileName = %q", got)
+	}
+}

@@ -4,6 +4,14 @@
 // direct all-to-all with XYZ routing, and a halving-doubling all-reduce
 // (ablation). A chunk-pipelined runtime executes plans against any
 // core.Endpoint over a noc.Network, with LIFO collective scheduling.
+//
+// Units: payloads, chunk and segment sizes are bytes; all times are
+// des.Time picoseconds. Determinism: the runtime schedules exclusively on
+// the system's single des.Engine and keeps every internal queue FIFO (or
+// explicitly priority-ordered with a stable tie-break), so a collective's
+// timeline is a pure function of (plan, payload, config, platform) — the
+// analytic formulas in this package and the DES executor agree
+// byte-for-byte, and repeated runs are bit-identical.
 package collectives
 
 import (

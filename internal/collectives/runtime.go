@@ -9,8 +9,9 @@ import (
 )
 
 // Config tunes the chunk-pipelined runtime (Table III granularity).
+// All sizes are bytes.
 type Config struct {
-	// ChunkBytes is the target chunk size (64 KiB, Table III).
+	// ChunkBytes is the target chunk size in bytes (64 KiB, Table III).
 	ChunkBytes int64
 	// MaxChunks caps the chunks per collective; large payloads use larger
 	// chunks instead of more of them (simulation fidelity knob).
@@ -47,7 +48,7 @@ func (c Config) withDefaults() Config {
 // Spec describes one collective operation as issued by the training loop.
 type Spec struct {
 	Kind  Kind
-	Bytes int64 // payload per node
+	Bytes int64 // payload per node, bytes
 	Plan  Plan
 	Name  string
 	// PrioBias lowers the collective's scheduling priority by the given
@@ -201,8 +202,8 @@ func (c *Collective) Name() string { return c.spec.Name }
 // Chunks returns the number of pipelined chunks.
 func (c *Collective) Chunks() int { return len(c.sizes) }
 
-// CompleteAt returns when the collective finished at node (zero until
-// then).
+// CompleteAt returns the simulated time (picoseconds) at which the
+// collective finished at node, or zero while still in flight.
 func (c *Collective) CompleteAt(node noc.NodeID) des.Time { return c.completeAt[node] }
 
 func (c *Collective) attach(node noc.NodeID, onDone func()) {
@@ -305,6 +306,43 @@ type ringRun struct {
 	queue        []int64 // arrived, unprocessed message sizes
 	busy         bool
 	finished     bool
+
+	// Hot-path callbacks, built once per direction-phase and reused for
+	// all Steps sends and receives. A ring direction's message geometry
+	// (destination, phase, bytes) is constant, so nothing needs to be
+	// captured per hop; this removes three closure allocations per ring
+	// step that the naive formulation pays.
+	onSourced func() // SourceSend completion: inject into the fabric
+	onRecvd   func() // SinkRecv completion: advance the receive pipeline
+	deliverFn func() // network delivery at the downstream neighbor
+}
+
+// initCallbacks builds the direction's reusable callbacks. Must run after
+// exec/dirIdx/shape are set and before the first send is issued.
+func (rr *ringRun) initCallbacks() {
+	e := rr.exec
+	rt := e.rt()
+	s := rr.shape
+	phase := e.phase
+	bytes := s.DirSeg[rr.dirIdx]
+	dir := dirVal(rr.dirIdx)
+	dst := rt.net.Topo().Neighbor(e.node, s.Dim, dir)
+	m := inMsg{chunk: e.idx, phase: phase, dirIdx: rr.dirIdx, bytes: bytes}
+	rr.deliverFn = func() { e.coll.deliver(dst, m) }
+	rr.onSourced = func() {
+		rt.net.SendNeighbor(e.node, s.Dim, dir, bytes, rr.deliverFn)
+		rr.sendsSourced++
+		rr.maybeFinish()
+	}
+	rr.onRecvd = func() {
+		rr.busy = false
+		rr.recvsDone++
+		if rr.recvsDone < s.Steps {
+			rr.issueSend()
+		}
+		rr.maybeFinish()
+		rr.pump()
+	}
 }
 
 // a2aRun is the state of an all-to-all phase.
@@ -330,6 +368,12 @@ type chunkExec struct {
 	dirsUp  int
 	a2a     *a2aRun
 	inbox   [][2][]int64
+
+	// startPhaseFn and drainedFn are built once per chunk and reused for
+	// every phase transition / the terminal drain, avoiding a method-value
+	// allocation per phase.
+	startPhaseFn func()
+	drainedFn    func()
 }
 
 func newChunkExec(c *Collective, idx int, node noc.NodeID, bytes int64) *chunkExec {
@@ -349,6 +393,12 @@ func newChunkExec(c *Collective, idx int, node noc.NodeID, bytes int64) *chunkEx
 		Bytes:    bytes,
 		Resident: ResidentBytes(shapes),
 		Prio:     prio,
+	}
+	e.startPhaseFn = e.startPhase
+	e.drainedFn = func() {
+		rt := e.rt()
+		e.coll.chunkDoneAt(e.node)
+		rt.scheds[e.node].chunkFinished()
 	}
 	return e
 }
@@ -374,6 +424,7 @@ func (e *chunkExec) startPhase() {
 			continue
 		}
 		rr := &ringRun{exec: e, dirIdx: d, shape: s}
+		rr.initCallbacks()
 		e.dirs[d] = rr
 		e.dirsUp++
 	}
@@ -397,22 +448,12 @@ func dirVal(dirIdx int) int {
 	return -1
 }
 
+// issueSend pays the endpoint's sourcing cost for the direction's next
+// outgoing message; onSourced (prebuilt) injects it into the fabric.
 func (rr *ringRun) issueSend() {
 	e := rr.exec
-	rt := e.rt()
-	s := rr.shape
-	phase := e.phase
-	bytes := s.DirSeg[rr.dirIdx]
 	rr.sendsIssued++
-	rt.eps[e.node].SourceSend(e.chunk, phase, s.Kind, bytes, func() {
-		dst := rt.net.Topo().Neighbor(e.node, s.Dim, dirVal(rr.dirIdx))
-		m := inMsg{chunk: e.idx, phase: phase, dirIdx: rr.dirIdx, bytes: bytes}
-		rt.net.SendNeighbor(e.node, s.Dim, dirVal(rr.dirIdx), bytes, func() {
-			e.coll.deliver(dst, m)
-		})
-		rr.sendsSourced++
-		rr.maybeFinish()
-	})
+	e.rt().eps[e.node].SourceSend(e.chunk, e.phase, rr.shape.Kind, rr.shape.DirSeg[rr.dirIdx], rr.onSourced)
 }
 
 func (rr *ringRun) arrive(bytes int64) {
@@ -434,15 +475,7 @@ func (rr *ringRun) pump() {
 			e.coll.spec.Name, e.node, e.phase, rr.dirIdx))
 	}
 	reduce := rr.recvsDone < s.Reduces()
-	e.rt().eps[e.node].SinkRecv(e.chunk, e.phase, s.Kind, bytes, reduce, func() {
-		rr.busy = false
-		rr.recvsDone++
-		if rr.recvsDone < s.Steps {
-			rr.issueSend()
-		}
-		rr.maybeFinish()
-		rr.pump()
-	})
+	e.rt().eps[e.node].SinkRecv(e.chunk, e.phase, s.Kind, bytes, reduce, rr.onRecvd)
 }
 
 // maybeFinish completes the direction once every receive has been
@@ -552,13 +585,10 @@ func (e *chunkExec) phaseDone() {
 	e.phase++
 	rt := e.rt()
 	if e.phase < len(e.shapes) {
-		rt.eps[e.node].NextPhase(e.chunk, e.phase, e.startPhase)
+		rt.eps[e.node].NextPhase(e.chunk, e.phase, e.startPhaseFn)
 		return
 	}
-	rt.eps[e.node].Drain(e.chunk, func() {
-		e.coll.chunkDoneAt(e.node)
-		rt.scheds[e.node].chunkFinished()
-	})
+	rt.eps[e.node].Drain(e.chunk, e.drainedFn)
 }
 
 // DebugState reports unfinished collectives and per-node scheduler state

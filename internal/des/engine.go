@@ -1,35 +1,119 @@
 package des
 
-import "container/heap"
-
-// event is a single scheduled callback.
+// event is a single scheduled callback. Exactly one of fn / ctxFn is set:
+// fn for At/After, ctxFn (+arg) for AtCtx/AfterCtx. Events are stored by
+// value in the engine's flat queue — scheduling never boxes an event
+// through an interface and never allocates per event (amortized slice
+// growth aside).
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at    Time
+	seq   uint64
+	fn    func()
+	ctxFn func(any)
+	arg   any
 }
 
-// eventHeap orders events by time, then by scheduling order.
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether e orders ahead of o: earlier time first, then
+// FIFO by scheduling sequence. This (at, seq) total order is the engine's
+// determinism contract; every queue implementation must preserve it
+// exactly.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() *event  { return &h[0] }
-func (h eventHeap) empty() bool   { return len(h) == 0 }
+
+// eventQueue is a hand-rolled 4-ary min-heap over a flat []event slice.
+//
+// Compared to container/heap it avoids the interface{} boxing that costs
+// one heap allocation per Push, and the 4-ary layout halves tree depth
+// (fewer cache lines touched per sift) — the queue is the hottest
+// structure in the simulator, every chunk hop passes through it several
+// times. The heap property is the partial order induced by event.before,
+// so pops come out in exact (at, seq) order.
+type eventQueue struct {
+	items []event
+}
+
+func (q *eventQueue) len() int { return len(q.items) }
+
+// peek returns the next event without removing it. Caller must ensure the
+// queue is non-empty.
+func (q *eventQueue) peek() *event { return &q.items[0] }
+
+// push inserts ev, keeping the heap ordered. The backing slice grows in
+// place (append); no per-event allocation occurs.
+func (q *eventQueue) push(ev event) {
+	i := len(q.items)
+	q.items = append(q.items, ev)
+	// Sift up: move the hole toward the root until ev fits.
+	for i > 0 {
+		p := (i - 1) / 4
+		if !ev.before(&q.items[p]) {
+			break
+		}
+		q.items[i] = q.items[p]
+		i = p
+	}
+	q.items[i] = ev
+}
+
+// pop removes and returns the minimum event. The vacated tail slot is
+// zeroed so the queue does not pin callback closures or context arguments
+// past their execution.
+func (q *eventQueue) pop() event {
+	top := q.items[0]
+	n := len(q.items) - 1
+	last := q.items[n]
+	q.items[n] = event{}
+	q.items = q.items[:n]
+	if n > 0 {
+		q.siftDown(last)
+	}
+	return top
+}
+
+// siftDown re-inserts ev starting from the root, moving the hole toward
+// the leaves past any smaller child.
+func (q *eventQueue) siftDown(ev event) {
+	items := q.items
+	n := len(items)
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if items[c].before(&items[min]) {
+				min = c
+			}
+		}
+		if !items[min].before(&ev) {
+			break
+		}
+		items[i] = items[min]
+		i = min
+	}
+	items[i] = ev
+}
 
 // Engine is a deterministic discrete-event scheduler. The zero value is
 // ready to use at time 0.
+//
+// Determinism guarantee: execution order is the total order (at, seq) —
+// earlier timestamps first, FIFO among events scheduled for the same
+// instant — so a simulation's outcome is a pure function of its inputs,
+// independent of platform, map iteration order or wall-clock effects.
 type Engine struct {
 	now    Time
-	heap   eventHeap
+	q      eventQueue
 	seq    uint64
 	nSteps uint64
 }
@@ -37,28 +121,47 @@ type Engine struct {
 // NewEngine returns a fresh engine at time zero.
 func NewEngine() *Engine { return &Engine{} }
 
-// Now returns the current simulated time.
+// Now returns the current simulated time in picoseconds.
 func (e *Engine) Now() Time { return e.now }
 
-// Steps returns the number of events processed so far.
+// Steps returns the number of events executed so far.
 func (e *Engine) Steps() uint64 { return e.nSteps }
 
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending returns the number of queued (not yet executed) events. An
+// event whose callback schedules new work — even at the current instant —
+// increases Pending until that work is itself executed: the engine never
+// runs a callback inline.
+func (e *Engine) Pending() int { return e.q.len() }
 
 // At schedules fn to run at absolute time t. Scheduling in the past is
-// clamped to the current time (the event runs "now", after already-queued
-// events for the current instant).
+// clamped to the current time; a clamped (or exactly-now) event runs
+// "now" in simulated time, but only after every event already queued for
+// the current instant (FIFO tie-breaking by scheduling order).
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+	e.q.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// AtCtx schedules fn(arg) to run at absolute time t, with the same
+// clamping and FIFO tie-breaking as At. It is the zero-allocation form
+// for hot paths: when fn is a static function and arg is a pointer, the
+// call allocates nothing, whereas At with a capturing closure allocates
+// the closure at the call site. At and AtCtx events share one sequence
+// and interleave accordingly.
+func (e *Engine) AtCtx(t Time, fn func(any), arg any) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.q.push(event{at: t, seq: e.seq, ctxFn: fn, arg: arg})
 }
 
 // After schedules fn to run d after the current time. Negative delays are
-// clamped to zero.
+// clamped to zero (the event runs at the current instant, after
+// already-queued events for that instant).
 func (e *Engine) After(d Time, fn func()) {
 	if d < 0 {
 		d = 0
@@ -66,15 +169,32 @@ func (e *Engine) After(d Time, fn func()) {
 	e.At(e.now+d, fn)
 }
 
-// Step executes the next event. It reports whether an event was executed.
+// AfterCtx schedules fn(arg) to run d after the current time; it is to
+// AtCtx what After is to At.
+func (e *Engine) AfterCtx(d Time, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	e.AtCtx(e.now+d, fn, arg)
+}
+
+// Step executes the single next event and reports whether one was
+// executed. The clock advances to the event's timestamp before its
+// callback runs. Work the callback schedules is only queued — even work
+// scheduled at the current instant runs on a later Step, after any other
+// events already queued for that instant.
 func (e *Engine) Step() bool {
-	if e.heap.empty() {
+	if e.q.len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.heap).(event)
+	ev := e.q.pop()
 	e.now = ev.at
 	e.nSteps++
-	ev.fn()
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.ctxFn(ev.arg)
+	}
 	return true
 }
 
@@ -88,9 +208,11 @@ func (e *Engine) Run() uint64 {
 }
 
 // RunUntil executes events with timestamps <= deadline and then advances
-// the clock to deadline (if the clock has not already passed it).
+// the clock to deadline (if the clock has not already passed it). Events
+// that executed callbacks schedule at or before the deadline are also
+// executed during the same call.
 func (e *Engine) RunUntil(deadline Time) {
-	for !e.heap.empty() && e.heap.peek().at <= deadline {
+	for e.q.len() > 0 && e.q.peek().at <= deadline {
 		e.Step()
 	}
 	if e.now < deadline {

@@ -1,0 +1,201 @@
+package des
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refEvent / refHeap is a container/heap reference implementation with the
+// same (at, seq) ordering contract as eventQueue.
+type refEvent struct {
+	at  Time
+	seq uint64
+}
+
+type refHeap []refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// TestQueueMatchesReferenceHeap drives the hand-rolled 4-ary queue and a
+// container/heap reference with 10k random events (interleaved pushes and
+// pops, heavy timestamp collisions) and requires identical pop sequences.
+func TestQueueMatchesReferenceHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var q eventQueue
+	var ref refHeap
+	var seq uint64
+	const n = 10000
+	pushed, popped := 0, 0
+	for popped < n {
+		if pushed < n && (q.len() == 0 || rng.Intn(3) != 0) {
+			// Small time range forces many (at) ties so the seq
+			// tie-break is actually exercised.
+			at := Time(rng.Intn(64))
+			seq++
+			q.push(event{at: at, seq: seq})
+			heap.Push(&ref, refEvent{at: at, seq: seq})
+			pushed++
+			continue
+		}
+		got := q.pop()
+		want := heap.Pop(&ref).(refEvent)
+		if got.at != want.at || got.seq != want.seq {
+			t.Fatalf("pop %d: queue gave (at=%d seq=%d), reference gave (at=%d seq=%d)",
+				popped, got.at, got.seq, want.at, want.seq)
+		}
+		popped++
+	}
+	if q.len() != 0 || ref.Len() != 0 {
+		t.Fatalf("leftover events: queue %d, reference %d", q.len(), ref.Len())
+	}
+}
+
+// TestQueueSortedDrain pushes a large random batch and verifies a full
+// drain comes out in exact (at, seq) order.
+func TestQueueSortedDrain(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var q eventQueue
+	for i := 0; i < 5000; i++ {
+		q.push(event{at: Time(rng.Intn(100)), seq: uint64(i + 1)})
+	}
+	prev := q.pop()
+	for q.len() > 0 {
+		cur := q.pop()
+		if cur.before(&prev) {
+			t.Fatalf("out of order: (at=%d seq=%d) after (at=%d seq=%d)",
+				cur.at, cur.seq, prev.at, prev.seq)
+		}
+		prev = cur
+	}
+}
+
+// TestEngineAtCtxInterleavesWithAt verifies At and AtCtx share one FIFO
+// sequence: same-instant events run in scheduling order regardless of
+// which form scheduled them, and the context argument arrives intact.
+func TestEngineAtCtxInterleavesWithAt(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	appendCtx := func(a any) { got = append(got, *a.(*int)) }
+	one, three := 1, 3
+	e.AtCtx(10, appendCtx, &one)
+	e.At(10, func() { got = append(got, 2) })
+	e.AtCtx(10, appendCtx, &three)
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("mixed At/AtCtx order = %v, want [1 2 3]", got)
+	}
+}
+
+// TestEngineAfterCtx verifies delay clamping and timing for the context
+// form.
+func TestEngineAfterCtx(t *testing.T) {
+	e := NewEngine()
+	var at []Time
+	record := func(a any) { at = append(at, a.(*Engine).Now()) }
+	e.At(5, func() {
+		e.AfterCtx(10, record, e)
+		e.AfterCtx(-3, record, e) // clamped: runs at the current instant
+	})
+	e.Run()
+	if len(at) != 2 || at[0] != 5 || at[1] != 15 {
+		t.Fatalf("AfterCtx times = %v, want [5 15]", at)
+	}
+}
+
+// TestEngineSameInstantScheduling pins the documented Step/Pending
+// semantics when a callback schedules at the current instant: the new
+// event is queued (Pending rises), never run inline, and runs after every
+// event already queued for that instant.
+func TestEngineSameInstantScheduling(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.At(10, func() {
+		e.At(10, func() { got = append(got, "rescheduled") })
+		e.After(0, func() { got = append(got, "after0") })
+		if p := e.Pending(); p != 3 {
+			t.Fatalf("Pending inside callback = %d, want 3 (sibling + 2 new)", p)
+		}
+	})
+	e.At(10, func() { got = append(got, "sibling") })
+
+	if !e.Step() {
+		t.Fatal("Step returned false with queued events")
+	}
+	// The first callback queued two same-instant events; none ran inline.
+	if len(got) != 0 {
+		t.Fatalf("same-instant events ran inline: %v", got)
+	}
+	if p := e.Pending(); p != 3 {
+		t.Fatalf("Pending after first Step = %d, want 3", p)
+	}
+	e.Run()
+	want := []string{"sibling", "rescheduled", "after0"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order %v, want %v (already-queued siblings run before newly scheduled same-instant events)", got, want)
+		}
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v, want 10", e.Now())
+	}
+}
+
+// TestEngineZeroAllocScheduling asserts the engine core allocates nothing
+// per event once the queue's backing slice is warm: At with a
+// pre-existing callback and AtCtx with a pointer argument are both free.
+func TestEngineZeroAllocScheduling(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	fn := func() { n++ }
+	ctxFn := func(a any) { *a.(*int)++ }
+	// Warm the queue's backing slice.
+	for i := 0; i < 64; i++ {
+		e.At(Time(i), fn)
+	}
+	e.Run()
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			e.At(Time(i), fn)
+			e.AtCtx(Time(i), ctxFn, &n)
+		}
+		e.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("engine allocates %.2f allocs per warm schedule+run batch, want 0", avg)
+	}
+}
+
+// BenchmarkEngineSchedule measures raw schedule+execute throughput of the
+// engine core (At with a shared callback; the simulator's floor cost per
+// event).
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	fn := func() { n++ }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 128; j++ {
+			e.At(e.Now()+Time(j%7), fn)
+		}
+		e.Run()
+	}
+}

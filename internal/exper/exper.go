@@ -26,6 +26,10 @@ type CollectiveResult struct {
 	WritesNode   int64   // HBM comm writes at node 0
 	WireBytes    int64
 	InjectedNode int64
+	// Events is the number of discrete events the engine executed for the
+	// run — the simulator-cost denominator used by the bench harness
+	// (events/sec), not a paper metric.
+	Events uint64
 }
 
 // RunCollective executes one collective of the given kind and payload on
@@ -71,6 +75,7 @@ func RunCollective(spec system.Spec, kind collectives.Kind, bytes int64) (Collec
 		WritesNode:   s.Nodes[0].WriteMeter.Total(),
 		WireBytes:    s.Net.TotalWireBytes(),
 		InjectedNode: injectedNode,
+		Events:       s.Eng.Steps(),
 	}, nil
 }
 

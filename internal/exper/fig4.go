@@ -121,10 +121,16 @@ func Fig4Defaults() ([]Fig4Kernel, []int64) {
 // fig4Run measures one all-reduce, optionally overlapped with kernel k
 // running twice back-to-back from t=0.
 func fig4Run(k *Fig4Kernel, arBytes int64) (des.Time, error) {
+	t, _, err := fig4RunStats(k, arBytes)
+	return t, err
+}
+
+// fig4RunStats is fig4Run plus the engine's executed-event count.
+func fig4RunStats(k *Fig4Kernel, arBytes int64) (des.Time, uint64, error) {
 	spec := fig4Spec()
 	s, err := system.Build(spec)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if k != nil {
 		// Compute the kernel's duration on the compute partition, then
@@ -161,7 +167,7 @@ func fig4Run(k *Fig4Kernel, arBytes int64) (des.Time, error) {
 	}
 	s.Eng.Run()
 	if done != s.RT.Nodes() {
-		return 0, fmt.Errorf("fig4: all-reduce incomplete")
+		return 0, 0, fmt.Errorf("fig4: all-reduce incomplete")
 	}
 	var last des.Time
 	for i, coll := range colls {
@@ -169,7 +175,7 @@ func fig4Run(k *Fig4Kernel, arBytes int64) (des.Time, error) {
 			last = t
 		}
 	}
-	return last, nil
+	return last, s.Eng.Steps(), nil
 }
 
 // Fig4Measure measures one all-reduce on the Section III platform,
@@ -178,4 +184,10 @@ func fig4Run(k *Fig4Kernel, arBytes int64) (des.Time, error) {
 // engine's microbench units.
 func Fig4Measure(k *Fig4Kernel, arBytes int64) (des.Time, error) {
 	return fig4Run(k, arBytes)
+}
+
+// Fig4MeasureStats is Fig4Measure plus the engine's executed-event count,
+// exported for the bench harness (events/sec accounting).
+func Fig4MeasureStats(k *Fig4Kernel, arBytes int64) (des.Time, uint64, error) {
+	return fig4RunStats(k, arBytes)
 }

@@ -164,11 +164,59 @@ func (n *Network) SendNeighbor(src NodeID, d Dim, dir int, bytes int64, deliver 
 	n.sendOnLink(l, bytes, deliver)
 }
 
+// sendOnLink serializes bytes on l (FIFO at the link's effective rate)
+// and runs deliver one propagation latency after serialization completes.
+// RequestAfter folds serialization and latency into a single scheduled
+// event, so a neighbor hop costs no allocations beyond the caller's
+// deliver callback.
 func (n *Network) sendOnLink(l *Link, bytes int64, deliver func()) {
-	lat := l.lat
-	l.srv.Request(bytes, func() {
-		n.eng.After(lat, deliver)
-	})
+	l.srv.RequestAfter(bytes, l.lat, deliver)
+}
+
+// routedXfer is the in-flight state of one SendRouted transfer. It is
+// allocated once per transfer and drives itself hop by hop through the
+// engine's callback-with-context scheduling, replacing the per-hop
+// closure chain the recursive formulation would allocate.
+type routedXfer struct {
+	net     *Network
+	path    []NodeID
+	cur     NodeID
+	bytes   int64
+	i       int
+	deliver func()
+	// fwdDone re-enters advance after the Forward hook; built once per
+	// transfer (the hook wants a plain func()).
+	fwdDone func()
+}
+
+// routedServed is the static hop-completion callback (AtCtx form).
+func routedServed(a any) { a.(*routedXfer).served() }
+
+// send serializes the transfer on the link toward the next hop.
+func (x *routedXfer) send() {
+	l := x.net.linkTo(x.cur, x.path[x.i])
+	x.cur = x.path[x.i]
+	l.srv.RequestAfterCtx(x.bytes, l.lat, routedServed, x)
+}
+
+// served runs when the current hop's message has fully arrived: deliver at
+// the destination, or pay the store-and-forward cost and continue.
+func (x *routedXfer) served() {
+	if x.i == len(x.path)-1 {
+		x.deliver()
+		return
+	}
+	if x.net.Forward != nil {
+		x.net.Forward(x.cur, x.bytes, x.fwdDone)
+		return
+	}
+	x.advance()
+}
+
+// advance moves to the next hop.
+func (x *routedXfer) advance() {
+	x.i++
+	x.send()
 }
 
 // SendRouted transfers bytes from src to an arbitrary dst using XYZ
@@ -182,25 +230,9 @@ func (n *Network) SendRouted(src, dst NodeID, bytes int64, deliver func()) {
 		n.eng.After(0, deliver)
 		return
 	}
-	cur := src
-	var step func(i int)
-	step = func(i int) {
-		hop := path[i]
-		l := n.linkTo(cur, hop)
-		cur = hop
-		n.sendOnLink(l, bytes, func() {
-			if i == len(path)-1 {
-				deliver()
-				return
-			}
-			if n.Forward != nil {
-				n.Forward(hop, bytes, func() { step(i + 1) })
-			} else {
-				step(i + 1)
-			}
-		})
-	}
-	step(0)
+	x := &routedXfer{net: n, path: path, cur: src, bytes: bytes, deliver: deliver}
+	x.fwdDone = x.advance
+	x.send()
 }
 
 // linkTo finds the link from a to its neighbor b.

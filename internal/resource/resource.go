@@ -6,8 +6,12 @@
 //   - ByteGate: a byte-capacity admission gate (SRAM partition space).
 //   - SlotGate: a unit-capacity semaphore (FSM slots, in-flight windows).
 //
-// All primitives are event-driven and deterministic; completion callbacks
-// run on the owning des.Engine.
+// All primitives are event-driven and deterministic: completion callbacks
+// run on the owning des.Engine in its (time, scheduling-order) event
+// order, and every queue here is FIFO — no primitive introduces ordering
+// that depends on anything but the sequence of calls made to it. Rates
+// are GB/s (10^9 bytes per second) throughout; times and durations are
+// des.Time picoseconds.
 package resource
 
 import (
@@ -48,10 +52,12 @@ func (s *Server) Rate() float64 { return s.rate }
 // This models coarse-grained dynamic contention (Fig 4 microbenchmark).
 func (s *Server) SetRate(rateGBps float64) { s.rate = rateGBps }
 
-// BusyTime returns the cumulative time the server has been occupied.
+// BusyTime returns the cumulative time (picoseconds) the server has been
+// occupied serving requests.
 func (s *Server) BusyTime() des.Time { return s.busy }
 
-// FreeAt returns the earliest time a new request could start service.
+// FreeAt returns the earliest simulated time a new request could start
+// service (now, if the server is idle).
 func (s *Server) FreeAt() des.Time {
 	if s.freeAt < s.eng.Now() {
 		return s.eng.Now()
@@ -59,10 +65,11 @@ func (s *Server) FreeAt() des.Time {
 	return s.freeAt
 }
 
-// Request enqueues a transfer of n bytes and calls done when it completes.
-// A nil done is allowed (pure occupancy). Zero or negative sizes complete
-// immediately (still via the event queue, preserving ordering).
-func (s *Server) Request(n int64, done func()) {
+// reserve books n bytes of service time (FIFO, starting no earlier than
+// now) and returns the completion instant. It updates the busy meter and
+// trace; callers schedule their own completion callback at (or after) the
+// returned time.
+func (s *Server) reserve(n int64) des.Time {
 	now := s.eng.Now()
 	start := s.freeAt
 	if start < now {
@@ -76,9 +83,46 @@ func (s *Server) Request(n int64, done func()) {
 		s.Meter.Add(n)
 	}
 	s.Trace.AddBusy(start, end, 1)
+	return end
+}
+
+// Request enqueues a transfer of n bytes and calls done when it completes.
+// A nil done is allowed (pure occupancy). Zero or negative sizes complete
+// immediately (still via the event queue, preserving ordering).
+func (s *Server) Request(n int64, done func()) {
+	end := s.reserve(n)
 	if done != nil {
 		s.eng.At(end, done)
 	}
+}
+
+// RequestAfter is Request with done deferred an extra (non-negative)
+// duration past service completion. It models "serialize, then
+// propagate" costs — e.g. a link's wire latency after its bandwidth
+// serialization — without the intermediate closure a Request-then-After
+// chain would allocate per transfer. The extra delay does not occupy the
+// server: the next request may start service as soon as this one's bytes
+// are through.
+func (s *Server) RequestAfter(n int64, extra des.Time, done func()) {
+	if extra < 0 {
+		extra = 0
+	}
+	end := s.reserve(n)
+	if done != nil {
+		s.eng.At(end+extra, done)
+	}
+}
+
+// RequestAfterCtx is RequestAfter in the engine's zero-allocation
+// callback-with-context form (des.Engine.AtCtx): fn(arg) runs extra after
+// service completion. With a static fn and pointer arg the call allocates
+// nothing.
+func (s *Server) RequestAfterCtx(n int64, extra des.Time, fn func(any), arg any) {
+	if extra < 0 {
+		extra = 0
+	}
+	end := s.reserve(n)
+	s.eng.AtCtx(end+extra, fn, arg)
 }
 
 // String describes the server state for debugging.
@@ -109,16 +153,17 @@ func NewByteGate(name string, capacity int64) *ByteGate {
 	return &ByteGate{name: name, capacity: capacity}
 }
 
-// Capacity returns the configured capacity (0 = unlimited).
+// Capacity returns the configured capacity in bytes (0 = unlimited).
 func (g *ByteGate) Capacity() int64 { return g.capacity }
 
 // Used returns the currently reserved bytes.
 func (g *ByteGate) Used() int64 { return g.used }
 
-// MaxUsed returns the high-water mark of reserved bytes.
+// MaxUsed returns the high-water mark of reserved bytes over the gate's
+// lifetime.
 func (g *ByteGate) MaxUsed() int64 { return g.maxUsed }
 
-// Waiting returns the number of queued acquisitions.
+// Waiting returns the number of queued (not yet granted) acquisitions.
 func (g *ByteGate) Waiting() int { return len(g.q) }
 
 // Acquire reserves n bytes, calling fn once the reservation is granted.
