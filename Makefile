@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short bench lint fmt
+.PHONY: build test test-short test-race bench lint fmt
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass (short mode): the sharded scenario runner and the
+# multi-runner orchestration are the paths a data race would hide in.
+test-race:
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

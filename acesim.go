@@ -152,3 +152,35 @@ func ParseScenario(r io.Reader) (*Scenario, error) { return scenario.Parse(r) }
 func RunScenario(sc *Scenario, opts ScenarioOptions) (*ScenarioResults, error) {
 	return runner.Run(sc, opts)
 }
+
+// Partition is a contiguous sub-torus carve-out of a fabric, used to
+// isolate concurrent jobs on private slices of a platform.
+type Partition = noc.Partition
+
+// ParsePartition parses a "LxVxH@l,v,h" carve-out (or a bare "LxVxH",
+// anchored at the origin) inside the given fabric.
+func ParsePartition(full Torus, s string) (Partition, error) {
+	return noc.ParsePartition(full, s)
+}
+
+// InterferenceJob is one concurrent job of a multi-job run: a training
+// workload or a standing collective stream, placed on the shared full
+// fabric (nil Part) or a disjoint sub-torus partition.
+type InterferenceJob = exper.InterferenceJob
+
+// StreamSpec describes a standing collective stream (Count collectives
+// of Bytes each, issued back-to-back per node).
+type StreamSpec = exper.StreamSpec
+
+// InterferenceResult reports each job's co-run completion time against
+// its solo baseline on the identical placement.
+type InterferenceResult = exper.InterferenceResult
+
+// RunInterference co-runs N jobs on one platform and reports per-job
+// slowdown vs solo. Disjoint partitions measure 1.0 (no shared
+// resources); shared placements contend for compute, endpoints and
+// links. See EXPERIMENTS.md ("Interference and isolation methodology").
+func RunInterference(spec Spec, jobs []InterferenceJob) (InterferenceResult, error) {
+	res, _, err := exper.Interference(spec, jobs)
+	return res, err
+}

@@ -71,3 +71,26 @@ func TestFacadeScenario(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFacadeInterference(t *testing.T) {
+	full := acesim.Torus{L: 2, V: 1, H: 2}
+	spec := acesim.NewSpec(full, acesim.BaselineCommOpt)
+	pa, err := acesim.ParsePartition(full, "2x1x1@0,0,0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := acesim.ParsePartition(full, "2x1x1@0,0,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := acesim.RunInterference(spec, []acesim.InterferenceJob{
+		{Name: "a", Part: &pa, Stream: acesim.StreamSpec{Bytes: 4 << 20, Count: 2}},
+		{Name: "b", Part: &pb, Stream: acesim.StreamSpec{Bytes: 4 << 20, Count: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxSlowdown() != 1.0 {
+		t.Fatalf("disjoint partitions interfered: %+v", res.Jobs)
+	}
+}

@@ -10,7 +10,7 @@
 //	acesim bench [-short] [-runs N] [-out path]
 //
 // Experiments: fig4 fig5 fig6 fig9a fig9b fig10 fig11 fig12 table4 table5
-// table6 analytic ablation all
+// table6 analytic ablation interference all
 //
 // Experiment flags:
 //
@@ -34,6 +34,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"acesim/internal/collectives"
 	"acesim/internal/exper"
 	"acesim/internal/hwmodel"
 	"acesim/internal/noc"
@@ -82,11 +83,13 @@ func run(args []string) error {
 		"fig11": r.fig11, "fig12": r.fig12,
 		"table4": r.table4, "table5": r.table5, "table6": r.table6,
 		"analytic": r.analytic, "ablation": r.ablation,
+		"interference": r.interference,
 	}
 	if cmd == "all" {
 		for _, name := range []string{
 			"table5", "table6", "table4", "analytic", "fig4", "fig5", "fig6",
 			"fig9a", "fig9b", "fig10", "fig11", "fig12", "ablation",
+			"interference",
 		} {
 			if err := all[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -107,7 +110,7 @@ func usage() {
        acesim scenario run|validate|list [-workers N] [-format text|json|csv] <file>...
        acesim bench [-short] [-runs N] [-out path]
 experiments: fig4 fig5 fig6 fig9a fig9b fig10 fig11 fig12
-             table4 table5 table6 analytic ablation all`)
+             table4 table5 table6 analytic ablation interference all`)
 }
 
 func parseTorus(s string) (noc.Torus, error) {
@@ -169,7 +172,7 @@ func runScenario(args []string) error {
 			if sc.Description != "" {
 				fmt.Printf("  %s\n", sc.Description)
 			}
-			for _, k := range []scenario.JobKind{scenario.KindCollective, scenario.KindTraining, scenario.KindMicrobench} {
+			for _, k := range []scenario.JobKind{scenario.KindCollective, scenario.KindTraining, scenario.KindMicrobench, scenario.KindMultiJob} {
 				if n := kinds[k]; n > 0 {
 					fmt.Printf("  %d %s units\n", n, k)
 				}
@@ -360,6 +363,36 @@ func (r runner) table5() error {
 
 func (r runner) table6() error {
 	return show(exper.Table6(), nil)
+}
+
+// interference demonstrates the multi-job layer on the 16-NPU platform:
+// first two training jobs isolated on disjoint sub-torus partitions (each
+// runs at solo speed), then a training job sharing the full fabric with a
+// standing all-reduce stream (both are slowed — the Section III
+// interference trend at fabric scale). Scenario files can express
+// arbitrary mixes via the "multijob" job kind.
+func (r runner) interference() error {
+	full := noc.Torus{L: 4, V: 2, H: 2}
+	spec := system.NewSpec(full, system.BaselineCommOpt)
+	m := workload.ResNet50(workload.ResNet50Batch)
+	count := 32
+	if r.quick {
+		count = 8
+	}
+	partA := noc.Partition{Full: full, Shape: noc.Torus{L: 4, V: 1, H: 2}}
+	partB := noc.Partition{Full: full, Shape: noc.Torus{L: 4, V: 1, H: 2}, Origin: [3]int{0, 1, 0}}
+	_, tab, err := exper.Interference(spec, []exper.InterferenceJob{
+		{Name: "train-a", Part: &partA, Model: m},
+		{Name: "train-b", Part: &partB, Model: m},
+	})
+	if err := show(tab, err); err != nil {
+		return err
+	}
+	_, tab2, err := exper.Interference(spec, []exper.InterferenceJob{
+		{Name: "train", Model: m},
+		{Name: "noise", Stream: exper.StreamSpec{Kind: collectives.AllReduce, Bytes: 32 << 20, Count: count}},
+	})
+	return show(tab2, err)
 }
 
 func (r runner) analytic() error {

@@ -1,8 +1,13 @@
 package collectives
 
 import (
+	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
+
+	"acesim/internal/core"
+	"acesim/internal/noc"
 )
 
 // interpretRingAllReduce executes the ring all-reduce schedule (RS then AG)
@@ -125,5 +130,311 @@ func TestRSCoverage(t *testing.T) {
 func TestRingMod(t *testing.T) {
 	if ringMod(-1, 4) != 3 || ringMod(5, 4) != 1 || ringMod(0, 4) != 0 {
 		t.Fatal("ringMod wrong")
+	}
+}
+
+// --- plan-level interpreter -------------------------------------------------
+//
+// The functions below extend the single-ring interpreter to whole Plans:
+// they replay the exact send/receive schedule the DES executor runs for a
+// chunk — per phase, per ring direction, Steps messages whose contents are
+// given by the ring index algebra — but carry real data, so the test can
+// assert that HierarchicalAllReduce actually reduces. The gradient is an
+// abstract vector of U elements; segment boundaries use the same
+// ceil-first split the runtime's byte accounting uses.
+
+// planState is one node's buffer: element index -> value. Elements a node
+// does not currently hold are absent.
+type planState map[int]int
+
+// splitSegs partitions sorted elems into n contiguous segments, the first
+// len%n segments one element larger (the runtime's ceilDiv convention).
+func splitSegs(elems []int, n int) [][]int {
+	base, rem := len(elems)/n, len(elems)%n
+	out := make([][]int, n)
+	i := 0
+	for s := 0; s < n; s++ {
+		sz := base
+		if s < rem {
+			sz++
+		}
+		out[s] = elems[i : i+sz]
+		i += sz
+	}
+	return out
+}
+
+// dirHalvesElems mirrors halves(): direction 0 carries the ceil half.
+func dirHalvesElems(elems []int, bidir bool) [2][]int {
+	if !bidir {
+		return [2][]int{elems, nil}
+	}
+	c := (len(elems) + 1) / 2
+	return [2][]int{elems[:c], elems[c:]}
+}
+
+// activeElems returns the node's held element indices, sorted.
+func activeElems(st planState) []int {
+	out := make([]int, 0, len(st))
+	for e := range st {
+		out = append(out, e)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ringsAlong groups the torus into rings over dimension d, members in
+// ring-rank (= coordinate) order.
+func ringsAlong(t noc.Torus, d noc.Dim) [][]noc.NodeID {
+	n := t.Size(d)
+	var rings [][]noc.NodeID
+	for id := noc.NodeID(0); int(id) < t.N(); id++ {
+		if t.Coord(id, d) != 0 {
+			continue
+		}
+		ring := make([]noc.NodeID, n)
+		cur := id
+		for k := 0; k < n; k++ {
+			ring[k] = cur
+			cur = t.Neighbor(cur, d, +1)
+		}
+		rings = append(rings, ring)
+	}
+	return rings
+}
+
+// replayRS runs the n-1 reduce-scatter steps of one ring direction: at
+// step s rank r sends segment RSSendSeg(r,s,dir,n) to rank+dir, which
+// reduces it into RSRecvSeg — exactly the executor's send/receive count
+// with the algebra supplying the contents.
+func replayRS(tt *testing.T, data []planState, ring []noc.NodeID, segs [][]int, dir int) {
+	tt.Helper()
+	n := len(ring)
+	for s := 0; s < n-1; s++ {
+		type msg struct {
+			dst   noc.NodeID
+			elems []int
+			vals  []int
+		}
+		msgs := make([]msg, 0, n)
+		for r := range ring {
+			seg := segs[RSSendSeg(r, s, dir, n)]
+			src := data[ring[r]]
+			vals := make([]int, len(seg))
+			for i, e := range seg {
+				v, ok := src[e]
+				if !ok {
+					tt.Fatalf("rank %d sent element %d it does not hold (step %d)", r, e, s)
+				}
+				vals[i] = v
+			}
+			msgs = append(msgs, msg{ring[ringMod(r+dir, n)], seg, vals})
+		}
+		for _, m := range msgs {
+			for i, e := range m.elems {
+				if _, ok := data[m.dst][e]; !ok {
+					tt.Fatalf("node %d reduces element %d it does not hold", m.dst, e)
+				}
+				data[m.dst][e] += m.vals[i]
+			}
+		}
+	}
+}
+
+// replayAG runs the n-1 all-gather steps of one ring direction. own(r) is
+// the segment index rank r contributes (its rank for a standalone
+// all-gather, RSFinalSeg for the gather half of an all-reduce); segs maps
+// segment index to element list.
+func replayAG(tt *testing.T, data []planState, ring []noc.NodeID, segs [][]int, dir int, own func(r int) int) {
+	tt.Helper()
+	n := len(ring)
+	for s := 0; s < n-1; s++ {
+		type msg struct {
+			dst   noc.NodeID
+			elems []int
+			vals  []int
+		}
+		msgs := make([]msg, 0, n)
+		for r := range ring {
+			seg := segs[AGSendSeg(own(r), s, dir, n)]
+			src := data[ring[r]]
+			vals := make([]int, len(seg))
+			for i, e := range seg {
+				v, ok := src[e]
+				if !ok {
+					tt.Fatalf("rank %d forwards element %d it has not received (step %d)", r, e, s)
+				}
+				vals[i] = v
+			}
+			msgs = append(msgs, msg{ring[ringMod(r+dir, n)], seg, vals})
+		}
+		for _, m := range msgs {
+			for i, e := range m.elems {
+				data[m.dst][e] = m.vals[i]
+			}
+		}
+	}
+}
+
+// interpretPlan replays a plan's full schedule over the torus on real
+// data. init[node] is every node's initial U-element vector; the returned
+// states are the nodes' buffers after the last phase.
+func interpretPlan(tt *testing.T, t noc.Torus, plan Plan, init [][]int) []planState {
+	tt.Helper()
+	data := make([]planState, t.N())
+	for n := range data {
+		st := planState{}
+		for e, v := range init[n] {
+			st[e] = v
+		}
+		data[n] = st
+	}
+	for pi, ph := range plan.Phases {
+		for _, ring := range ringsAlong(t, ph.Dim) {
+			n := len(ring)
+			switch ph.Kind {
+			case core.PhaseReduceScatter, core.PhaseAllReduce:
+				// All members enter with the same element set.
+				base := activeElems(data[ring[0]])
+				for _, id := range ring[1:] {
+					got := activeElems(data[id])
+					if len(got) != len(base) {
+						tt.Fatalf("phase %d: ring members hold different element sets", pi)
+					}
+				}
+				keep := make([][]int, n)
+				for dirIdx, half := range dirHalvesElems(base, plan.Bidir) {
+					if len(half) == 0 {
+						continue
+					}
+					dir := dirVal(dirIdx)
+					segs := splitSegs(half, n)
+					replayRS(tt, data, ring, segs, dir)
+					if ph.Kind == core.PhaseAllReduce {
+						replayAG(tt, data, ring, segs, dir, func(r int) int { return RSFinalSeg(r, dir, n) })
+						continue
+					}
+					for r := range ring {
+						keep[r] = append(keep[r], segs[RSFinalSeg(r, dir, n)]...)
+					}
+				}
+				if ph.Kind == core.PhaseReduceScatter {
+					// Scatter: each member keeps only its reduced share;
+					// the other partial sums are dead.
+					for r, id := range ring {
+						st := planState{}
+						for _, e := range keep[r] {
+							st[e] = data[id][e]
+						}
+						data[id] = st
+					}
+				}
+			case core.PhaseAllGather:
+				// Members hold disjoint shares; segment r is member r's.
+				shares := make([][]int, n)
+				seen := map[int]int{}
+				for r, id := range ring {
+					shares[r] = activeElems(data[id])
+					for _, e := range shares[r] {
+						if prev, dup := seen[e]; dup {
+							tt.Fatalf("phase %d: element %d held by ranks %d and %d before all-gather", pi, e, prev, r)
+						}
+						seen[e] = r
+					}
+				}
+				for dirIdx := 0; dirIdx < 2; dirIdx++ {
+					segs := make([][]int, n)
+					empty := true
+					for r := range ring {
+						segs[r] = dirHalvesElems(shares[r], plan.Bidir)[dirIdx]
+						if len(segs[r]) > 0 {
+							empty = false
+						}
+					}
+					if empty {
+						continue
+					}
+					replayAG(tt, data, ring, segs, dirVal(dirIdx), func(r int) int { return r })
+				}
+			default:
+				tt.Fatalf("phase %d: interpreter does not support %v", pi, ph.Kind)
+			}
+		}
+	}
+	return data
+}
+
+// TestHierarchicalAllReducePlanData replays the full hierarchical
+// all-reduce schedule over randomized torus shapes on real data and
+// asserts every node ends with the complete reduction — the plan-level
+// extension of TestRingAllReduceSemantics.
+func TestHierarchicalAllReducePlanData(t *testing.T) {
+	shapes := []noc.Torus{
+		{L: 2, V: 1, H: 1}, {L: 8, V: 1, H: 1}, {L: 1, V: 1, H: 5},
+		{L: 2, V: 2, H: 2}, {L: 4, V: 2, H: 2}, {L: 3, V: 1, H: 2},
+		{L: 1, V: 4, H: 2}, {L: 2, V: 3, H: 4}, {L: 4, V: 4, H: 4},
+	}
+	rng := rand.New(rand.NewSource(20260728))
+	for len(shapes) < 21 {
+		s := noc.Torus{L: 1 + rng.Intn(4), V: 1 + rng.Intn(4), H: 1 + rng.Intn(4)}
+		if s.N() > 1 {
+			shapes = append(shapes, s)
+		}
+	}
+	for _, tor := range shapes {
+		plan := HierarchicalAllReduce(tor)
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("%s: %v", tor, err)
+		}
+		// Ragged on purpose: U is not a multiple of any ring size.
+		u := 2*tor.N() + 3
+		init := make([][]int, tor.N())
+		want := make([]int, u)
+		for n := range init {
+			init[n] = make([]int, u)
+			for e := range init[n] {
+				v := rng.Intn(1000) + 1
+				init[n][e] = v
+				want[e] += v
+			}
+		}
+		data := interpretPlan(t, tor, plan, init)
+		for n, st := range data {
+			if len(st) != u {
+				t.Fatalf("%s: node %d ends with %d/%d elements", tor, n, len(st), u)
+			}
+			for e := 0; e < u; e++ {
+				if st[e] != want[e] {
+					t.Fatalf("%s: node %d element %d = %d, want %d", tor, n, e, st[e], want[e])
+				}
+			}
+		}
+	}
+}
+
+// TestInterpretPlanMatchesShapes cross-checks the interpreter's element
+// accounting against the byte geometry the executor uses: after each
+// plan, per-node output elements must equal Shapes' terminal Out (scaled
+// from bytes to elements exactly when U divides evenly).
+func TestInterpretPlanMatchesShapes(t *testing.T) {
+	tor := noc.Torus{L: 4, V: 2, H: 2}
+	plan := HierarchicalAllReduce(tor)
+	// One element per byte, U divisible by every ring size and by 2 for
+	// the bidirectional halving, so byte algebra and element counts agree.
+	u := 64
+	shapes := Shapes(plan, int64(u))
+	init := make([][]int, tor.N())
+	for n := range init {
+		init[n] = make([]int, u)
+		for e := range init[n] {
+			init[n][e] = 1
+		}
+	}
+	data := interpretPlan(t, tor, plan, init)
+	last := shapes[len(shapes)-1]
+	for n, st := range data {
+		if int64(len(st)) != last.Out {
+			t.Fatalf("node %d holds %d elements, Shapes says %d", n, len(st), last.Out)
+		}
 	}
 }

@@ -8,6 +8,50 @@ import (
 	"acesim/internal/noc"
 )
 
+// StreamID names one issue stream of a multi-job runtime. Each concurrent
+// job owns one stream; the classic single-job runtime uses stream 0.
+type StreamID int
+
+// Arbitration selects how a node's endpoint admission slots are shared
+// between the chunks of concurrent streams.
+type Arbitration uint8
+
+// Arbitration policies.
+const (
+	// ArbLIFO is the paper's policy extended across jobs: one priority
+	// order over all pending chunks, most recently issued collective
+	// first (Section V). With a single stream this is exactly the
+	// original scheduler.
+	ArbLIFO Arbitration = iota
+	// ArbRoundRobin grants admission slots to streams in rotation
+	// (fair-share across jobs); within a stream chunks keep the LIFO
+	// order.
+	ArbRoundRobin
+)
+
+// String names the policy.
+func (a Arbitration) String() string {
+	switch a {
+	case ArbLIFO:
+		return "lifo"
+	case ArbRoundRobin:
+		return "round-robin"
+	}
+	return "unknown"
+}
+
+// ParseArbitration resolves a policy name ("lifo" or "round-robin"/"rr";
+// empty defaults to lifo).
+func ParseArbitration(s string) (Arbitration, error) {
+	switch s {
+	case "", "lifo":
+		return ArbLIFO, nil
+	case "round-robin", "roundrobin", "rr":
+		return ArbRoundRobin, nil
+	}
+	return 0, fmt.Errorf("collectives: unknown arbitration %q (want lifo or round-robin)", s)
+}
+
 // Config tunes the chunk-pipelined runtime (Table III granularity).
 // All sizes are bytes.
 type Config struct {
@@ -24,6 +68,11 @@ type Config struct {
 	// FIFOSched replaces the default LIFO collective priority with FIFO
 	// (issue order). Used by the scheduling-policy ablation.
 	FIFOSched bool
+	// Streams is the number of independent issue streams (one per
+	// concurrent job); <= 0 means one.
+	Streams int
+	// Arb selects how endpoint admission is shared across streams.
+	Arb Arbitration
 }
 
 // DefaultConfig returns the paper's granularity defaults.
@@ -42,6 +91,9 @@ func (c Config) withDefaults() Config {
 	if c.Window <= 0 {
 		c.Window = d.Window
 	}
+	if c.Streams <= 0 {
+		c.Streams = 1
+	}
 	return c
 }
 
@@ -58,16 +110,20 @@ type Spec struct {
 	PrioBias int64
 }
 
-// Runtime executes collectives over a fabric of endpoints. All nodes must
-// issue the same sequence of collectives (synchronous SPMD training); the
-// runtime matches the i-th issue of every node to one global Collective.
+// Runtime executes collectives over a fabric of endpoints. Within one
+// stream, all nodes must issue the same sequence of collectives
+// (synchronous SPMD training); the runtime matches the i-th issue of every
+// node on a stream to one global Collective. Concurrent jobs use distinct
+// streams (Config.Streams) and contend for each node's endpoint under the
+// configured Arbitration policy.
 type Runtime struct {
-	eng    *des.Engine
-	net    *noc.Network
-	eps    []core.Endpoint
-	cfg    Config
-	colls  []*Collective
-	scheds []*nodeSched
+	eng     *des.Engine
+	net     *noc.Network
+	eps     []core.Endpoint
+	cfg     Config
+	colls   []*Collective   // every collective, in creation order
+	streams [][]*Collective // per-stream match lists
+	scheds  []*nodeSched
 }
 
 // NewRuntime wires the runtime to a fabric and per-node endpoints, and
@@ -77,14 +133,22 @@ func NewRuntime(eng *des.Engine, net *noc.Network, eps []core.Endpoint, cfg Conf
 		panic(fmt.Sprintf("collectives: %d endpoints for %d nodes", len(eps), net.Topo().N()))
 	}
 	rt := &Runtime{eng: eng, net: net, eps: eps, cfg: cfg.withDefaults()}
+	rt.streams = make([][]*Collective, rt.cfg.Streams)
 	for i := range eps {
-		rt.scheds = append(rt.scheds, &nodeSched{rt: rt, node: noc.NodeID(i)})
+		sc := &nodeSched{rt: rt, node: noc.NodeID(i), issued: make([]int, rt.cfg.Streams)}
+		if rt.cfg.Arb == ArbRoundRobin {
+			sc.rrPending = make([][]*chunkExec, rt.cfg.Streams)
+		}
+		rt.scheds = append(rt.scheds, sc)
 	}
 	net.Forward = func(node noc.NodeID, bytes int64, next func()) {
 		rt.eps[node].Forward(bytes, next)
 	}
 	return rt
 }
+
+// Streams returns the number of issue streams.
+func (rt *Runtime) Streams() int { return rt.cfg.Streams }
 
 // Nodes returns the fabric size.
 func (rt *Runtime) Nodes() int { return len(rt.eps) }
@@ -126,10 +190,21 @@ func (rt *Runtime) chunkSizes(bytes int64) []int64 {
 	return sizes
 }
 
-// Issue registers that node has reached a collective point. onDone fires
-// when the collective's results are fully available at node. The returned
-// Collective is shared across nodes.
+// Issue registers that node has reached a collective point on stream 0.
+// onDone fires when the collective's results are fully available at node.
+// The returned Collective is shared across nodes.
 func (rt *Runtime) Issue(node noc.NodeID, spec Spec, onDone func()) *Collective {
+	return rt.IssueOn(0, node, spec, onDone)
+}
+
+// IssueOn registers that node has reached a collective point on the given
+// stream. The i-th issue of every node on one stream resolves to the same
+// Collective; streams are matched independently, so concurrent jobs with
+// different programs never trip the symmetry check.
+func (rt *Runtime) IssueOn(stream StreamID, node noc.NodeID, spec Spec, onDone func()) *Collective {
+	if stream < 0 || int(stream) >= rt.cfg.Streams {
+		panic(fmt.Sprintf("collectives: stream %d out of range [0,%d)", stream, rt.cfg.Streams))
+	}
 	if spec.Bytes <= 0 {
 		panic(fmt.Sprintf("collectives: non-positive payload %d for %s", spec.Bytes, spec.Name))
 	}
@@ -137,19 +212,24 @@ func (rt *Runtime) Issue(node noc.NodeID, spec Spec, onDone func()) *Collective 
 		panic(err)
 	}
 	sc := rt.scheds[node]
-	seq := sc.issued
-	sc.issued++
+	seq := sc.issued[stream]
+	sc.issued[stream]++
+	match := rt.streams[stream]
 	var coll *Collective
 	switch {
-	case seq < len(rt.colls):
-		coll = rt.colls[seq]
+	case seq < len(match):
+		coll = match[seq]
 		if coll.spec.Bytes != spec.Bytes || coll.spec.Kind != spec.Kind {
-			panic(fmt.Sprintf("collectives: node %d issued %q (%d B) at seq %d, expected %q (%d B): asymmetric program",
-				node, spec.Name, spec.Bytes, seq, coll.spec.Name, coll.spec.Bytes))
+			panic(fmt.Sprintf("collectives: node %d issued %q (%d B) at stream %d seq %d, expected %q (%d B): asymmetric program",
+				node, spec.Name, spec.Bytes, stream, seq, coll.spec.Name, coll.spec.Bytes))
 		}
-	case seq == len(rt.colls):
-		coll = newCollective(rt, seq, spec)
+	case seq == len(match):
+		// The collective's scheduling priority uses the runtime-global
+		// creation index, so LIFO across streams means "most recently
+		// issued anywhere" — with one stream this is the original order.
+		coll = newCollective(rt, len(rt.colls), stream, spec)
 		rt.colls = append(rt.colls, coll)
+		rt.streams[stream] = append(match, coll)
 	default:
 		panic("collectives: issue sequence out of order")
 	}
@@ -169,7 +249,8 @@ type inMsg struct {
 // Collective is one global collective operation in flight.
 type Collective struct {
 	rt         *Runtime
-	seq        int
+	seq        int // runtime-global creation index (LIFO priority base)
+	stream     StreamID
 	spec       Spec
 	sizes      []int64
 	execs      [][]*chunkExec // [node][chunk]; nil until the node issues
@@ -180,11 +261,12 @@ type Collective struct {
 	issuedAt   des.Time
 }
 
-func newCollective(rt *Runtime, seq int, spec Spec) *Collective {
+func newCollective(rt *Runtime, seq int, stream StreamID, spec Spec) *Collective {
 	n := rt.Nodes()
 	return &Collective{
 		rt:         rt,
 		seq:        seq,
+		stream:     stream,
 		spec:       spec,
 		sizes:      rt.chunkSizes(spec.Bytes),
 		execs:      make([][]*chunkExec, n),
@@ -198,6 +280,9 @@ func newCollective(rt *Runtime, seq int, spec Spec) *Collective {
 
 // Name returns the spec name.
 func (c *Collective) Name() string { return c.spec.Name }
+
+// Stream returns the issue stream the collective belongs to.
+func (c *Collective) Stream() StreamID { return c.stream }
 
 // Chunks returns the number of pipelined chunks.
 func (c *Collective) Chunks() int { return len(c.sizes) }
@@ -253,35 +338,74 @@ func (c *Collective) chunkDoneAt(node noc.NodeID) {
 
 // nodeSched admits a node's pending chunks into its endpoint with LIFO
 // collective priority (Section V: later-issued collectives belong to
-// earlier layers of back-propagation and are needed first).
+// earlier layers of back-propagation and are needed first). Under
+// ArbRoundRobin, streams take turns at each admission slot instead, with
+// LIFO order kept within each stream.
 type nodeSched struct {
-	rt       *Runtime
-	node     noc.NodeID
-	issued   int
-	pending  []*chunkExec
-	inflight int
+	rt        *Runtime
+	node      noc.NodeID
+	issued    []int // per-stream issue counters
+	pending   []*chunkExec
+	rrPending [][]*chunkExec // per-stream queues (ArbRoundRobin only)
+	rrNext    StreamID       // next stream offered an admission slot
+	inflight  int
 }
 
-func (s *nodeSched) enqueue(e *chunkExec) {
-	// Insert keeping (prio desc, chunk asc) order.
-	i := len(s.pending)
+// insertByPrio inserts e into q keeping (prio desc, chunk asc) order.
+func insertByPrio(q []*chunkExec, e *chunkExec) []*chunkExec {
+	i := len(q)
 	for i > 0 {
-		p := s.pending[i-1]
+		p := q[i-1]
 		if p.chunk.Prio > e.chunk.Prio ||
 			(p.chunk.Prio == e.chunk.Prio && p.idx < e.idx) {
 			break
 		}
 		i--
 	}
-	s.pending = append(s.pending, nil)
-	copy(s.pending[i+1:], s.pending[i:])
-	s.pending[i] = e
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = e
+	return q
+}
+
+func (s *nodeSched) enqueue(e *chunkExec) {
+	if s.rrPending != nil {
+		st := e.coll.stream
+		s.rrPending[st] = insertByPrio(s.rrPending[st], e)
+		return
+	}
+	s.pending = insertByPrio(s.pending, e)
+}
+
+// next pops the chunk the arbitration policy grants the next slot to, or
+// nil when nothing is pending.
+func (s *nodeSched) next() *chunkExec {
+	if s.rrPending == nil {
+		if len(s.pending) == 0 {
+			return nil
+		}
+		e := s.pending[0]
+		s.pending = s.pending[1:]
+		return e
+	}
+	n := StreamID(len(s.rrPending))
+	for off := StreamID(0); off < n; off++ {
+		st := (s.rrNext + off) % n
+		if q := s.rrPending[st]; len(q) > 0 {
+			s.rrPending[st] = q[1:]
+			s.rrNext = (st + 1) % n
+			return q[0]
+		}
+	}
+	return nil
 }
 
 func (s *nodeSched) maybeAdmit() {
-	for s.inflight < s.rt.cfg.Window && len(s.pending) > 0 {
-		e := s.pending[0]
-		s.pending = s.pending[1:]
+	for s.inflight < s.rt.cfg.Window {
+		e := s.next()
+		if e == nil {
+			return
+		}
 		s.inflight++
 		s.rt.eps[s.node].Admit(e.chunk, e.start)
 	}
@@ -645,9 +769,25 @@ func (rt *Runtime) DebugState() string {
 		}
 	}
 	for i, sc := range rt.scheds {
-		if sc.inflight > 0 || len(sc.pending) > 0 {
-			sb = append(sb, fmt.Sprintf("sched %d: inflight=%d pending=%d issued=%d\n", i, sc.inflight, len(sc.pending), sc.issued)...)
+		if sc.inflight > 0 || sc.pendingLen() > 0 {
+			issued := 0
+			for _, n := range sc.issued {
+				issued += n
+			}
+			sb = append(sb, fmt.Sprintf("sched %d: inflight=%d pending=%d issued=%d\n", i, sc.inflight, sc.pendingLen(), issued)...)
 		}
 	}
 	return string(sb)
+}
+
+// pendingLen counts chunks awaiting admission across all streams.
+func (s *nodeSched) pendingLen() int {
+	if s.rrPending == nil {
+		return len(s.pending)
+	}
+	n := 0
+	for _, q := range s.rrPending {
+		n += len(q)
+	}
+	return n
 }

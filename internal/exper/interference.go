@@ -1,0 +1,286 @@
+package exper
+
+import (
+	"fmt"
+
+	"acesim/internal/collectives"
+	"acesim/internal/des"
+	"acesim/internal/noc"
+	"acesim/internal/report"
+	"acesim/internal/system"
+	"acesim/internal/training"
+	"acesim/internal/workload"
+)
+
+// StreamSpec describes a standing collective stream: Count collectives of
+// Bytes each, issued back-to-back per node (the next one as soon as the
+// previous completes locally). It models a co-tenant's communication
+// load without a compute program attached.
+type StreamSpec struct {
+	Kind  collectives.Kind
+	Bytes int64
+	Count int // <= 0 means 1
+}
+
+// InterferenceJob is one concurrent job of an interference experiment:
+// either a training workload (Model != nil) or a standing collective
+// stream.
+type InterferenceJob struct {
+	Name string
+	// Part places the job on a sub-torus carve-out; nil shares the full
+	// fabric with every other job.
+	Part   *noc.Partition
+	Model  *workload.Model
+	Train  training.Config
+	Stream StreamSpec
+}
+
+// InterferenceJobResult reports one job's co-run outcome against its solo
+// baseline (the identical job alone on the identical placement).
+type InterferenceJobResult struct {
+	Name      string
+	Placement string
+	Kind      string // "training" or "stream"
+	Solo      des.Time
+	Co        des.Time
+	Slowdown  float64
+	// Training is the co-run training result (training jobs only).
+	Training *training.Result
+}
+
+// InterferenceResult is the outcome of one multi-job experiment.
+type InterferenceResult struct {
+	Jobs []InterferenceJobResult
+}
+
+// MaxSlowdown returns the worst per-job slowdown.
+func (r InterferenceResult) MaxSlowdown() float64 {
+	worst := 0.0
+	for _, j := range r.Jobs {
+		if j.Slowdown > worst {
+			worst = j.Slowdown
+		}
+	}
+	return worst
+}
+
+// MinSlowdown returns the best (least-slowed) per-job slowdown, or 0 for
+// an empty result.
+func (r InterferenceResult) MinSlowdown() float64 {
+	best := 0.0
+	for i, j := range r.Jobs {
+		if i == 0 || j.Slowdown < best {
+			best = j.Slowdown
+		}
+	}
+	return best
+}
+
+// Interference runs N concurrent jobs on one platform — sharing the full
+// fabric or isolated on disjoint sub-torus partitions — and reports each
+// job's completion time against a solo run of the same job on the same
+// placement. Isolation mode should measure ~1.0x per job (partitions
+// share nothing); shared mode reproduces the Section III interference
+// trend at fabric scale.
+func Interference(spec system.Spec, jobs []InterferenceJob) (InterferenceResult, *report.Table, error) {
+	if len(jobs) == 0 {
+		return InterferenceResult{}, nil, fmt.Errorf("exper: interference with no jobs")
+	}
+	placements := make([]system.JobPlacement, len(jobs))
+	for i, j := range jobs {
+		name := j.Name
+		if name == "" {
+			name = fmt.Sprintf("job%d", i)
+		}
+		placements[i] = system.JobPlacement{Name: name, Part: j.Part}
+	}
+
+	// Solo baselines: each job alone on its own placement. A single-job
+	// BuildMulti is bit-identical to the classic one-job system. Solo
+	// runs are deterministic and a partition's origin does not change
+	// its private sub-fabric, so jobs identical up to origin (the common
+	// symmetric-tenant setup) share one simulation.
+	solos := make([]des.Time, len(jobs))
+	soloCache := map[string]des.Time{}
+	for i := range jobs {
+		key := soloKey(jobs[i], placements[i])
+		if t, ok := soloCache[key]; ok {
+			solos[i] = t
+			continue
+		}
+		m, err := system.BuildMulti(spec, placements[i:i+1])
+		if err != nil {
+			return InterferenceResult{}, nil, err
+		}
+		runs, err := startJobs(m, jobs[i:i+1])
+		if err != nil {
+			return InterferenceResult{}, nil, err
+		}
+		m.Eng.Run()
+		t, _, err := runs[0].finish()
+		if err != nil {
+			return InterferenceResult{}, nil, fmt.Errorf("exper: solo %s: %w", placements[i].Name, err)
+		}
+		solos[i] = t
+		soloCache[key] = t
+	}
+
+	// Co-run: all jobs on one timeline.
+	m, err := system.BuildMulti(spec, placements)
+	if err != nil {
+		return InterferenceResult{}, nil, err
+	}
+	runs, err := startJobs(m, jobs)
+	if err != nil {
+		return InterferenceResult{}, nil, err
+	}
+	m.Eng.Run()
+
+	res := InterferenceResult{}
+	tab := report.New(fmt.Sprintf("interference: %d jobs on %s %s", len(jobs), spec.Torus, spec.Preset),
+		"job", "placement", "kind", "solo us", "co-run us", "slowdown")
+	for i, run := range runs {
+		co, tres, err := run.finish()
+		if err != nil {
+			return InterferenceResult{}, nil, fmt.Errorf("exper: co-run %s: %w", placements[i].Name, err)
+		}
+		jr := InterferenceJobResult{
+			Name:      placements[i].Name,
+			Placement: m.Jobs[i].Part.String(),
+			Kind:      run.kind(),
+			Solo:      solos[i],
+			Co:        co,
+			Slowdown:  float64(co) / float64(solos[i]),
+			Training:  tres,
+		}
+		if m.Jobs[i].Shared {
+			jr.Placement = "shared"
+		}
+		res.Jobs = append(res.Jobs, jr)
+		tab.Add(jr.Name, jr.Placement, jr.Kind, jr.Solo.Micros(), jr.Co.Micros(), jr.Slowdown)
+	}
+	return res, tab, nil
+}
+
+// soloKey identifies a job's solo timeline: the placement shape (origin
+// is irrelevant alone — every carve-out of one shape is the same private
+// fabric) plus the full job configuration.
+func soloKey(j InterferenceJob, p system.JobPlacement) string {
+	shape := "shared"
+	if p.Part != nil {
+		shape = p.Part.Shape.String()
+	}
+	if j.Model != nil {
+		return fmt.Sprintf("train|%s|%s|%+v", shape, j.Model.Name, j.Train)
+	}
+	return fmt.Sprintf("stream|%s|%d|%d|%d", shape, j.Stream.Kind, j.Stream.Bytes, j.Stream.Count)
+}
+
+// jobRun is one started job awaiting engine completion.
+type jobRun struct {
+	launch *training.Launch
+	stream *streamRun
+}
+
+func (r jobRun) kind() string {
+	if r.launch != nil {
+		return "training"
+	}
+	return "stream"
+}
+
+// finish collects the job's completion time after the engine drained.
+func (r jobRun) finish() (des.Time, *training.Result, error) {
+	if r.launch != nil {
+		tres, err := r.launch.Result()
+		if err != nil {
+			return 0, nil, err
+		}
+		return tres.IterTime, &tres, nil
+	}
+	if r.stream.doneNodes != r.stream.nodes {
+		return 0, nil, fmt.Errorf("stream finished on %d/%d nodes (deadlock)", r.stream.doneNodes, r.stream.nodes)
+	}
+	return r.stream.finishAt, nil, nil
+}
+
+// startJobs launches every job of the Multi without running the engine.
+func startJobs(m *system.Multi, jobs []InterferenceJob) ([]jobRun, error) {
+	runs := make([]jobRun, len(jobs))
+	for i, j := range jobs {
+		js := m.Jobs[i]
+		if j.Model != nil {
+			// Default only the unset fields: a caller's Schedule /
+			// DLRMOptimized choices must survive an omitted iteration
+			// count.
+			tc := j.Train
+			def := training.DefaultConfig()
+			if tc.Iterations <= 0 {
+				tc.Iterations = def.Iterations
+			}
+			if tc.SideMemGBps <= 0 {
+				tc.SideMemGBps = def.SideMemGBps
+			}
+			l, err := js.Runner(tc).Start(j.Model)
+			if err != nil {
+				return nil, fmt.Errorf("exper: job %s: %w", js.Name, err)
+			}
+			runs[i] = jobRun{launch: l}
+			continue
+		}
+		if j.Stream.Bytes <= 0 {
+			return nil, fmt.Errorf("exper: job %s: stream with non-positive payload %d", js.Name, j.Stream.Bytes)
+		}
+		if j.Stream.Kind != collectives.AllReduce && j.Stream.Kind != collectives.AllToAll {
+			return nil, fmt.Errorf("exper: job %s: stream kind %s not supported (want all-reduce or all-to-all)", js.Name, j.Stream.Kind)
+		}
+		runs[i] = jobRun{stream: startStream(js, j.Stream)}
+	}
+	return runs, nil
+}
+
+// streamRun drives a standing collective stream on one job's fabric view.
+type streamRun struct {
+	js        *system.JobSystem
+	spec      StreamSpec
+	plan      collectives.Plan
+	nodes     int
+	doneNodes int
+	finishAt  des.Time
+}
+
+func startStream(js *system.JobSystem, spec StreamSpec) *streamRun {
+	if spec.Count <= 0 {
+		spec.Count = 1
+	}
+	s := &streamRun{js: js, spec: spec, nodes: js.Sys.RT.Nodes()}
+	s.plan = collectives.HierarchicalAllReduce(js.Sys.Spec.Torus)
+	if spec.Kind == collectives.AllToAll {
+		s.plan = collectives.DirectAllToAll(js.Sys.Spec.Torus.N())
+	}
+	for node := 0; node < s.nodes; node++ {
+		s.issue(noc.NodeID(node), 0)
+	}
+	return s
+}
+
+// issue launches the i-th collective at node; its completion chains the
+// next one, keeping the stream standing for the whole run.
+func (s *streamRun) issue(node noc.NodeID, i int) {
+	cs := collectives.Spec{
+		Kind:  s.spec.Kind,
+		Bytes: s.spec.Bytes,
+		Plan:  s.plan,
+		Name:  fmt.Sprintf("%s/stream.%d", s.js.Name, i),
+	}
+	s.js.Sys.RT.IssueOn(s.js.Stream, node, cs, func() {
+		if i+1 < s.spec.Count {
+			s.issue(node, i+1)
+			return
+		}
+		s.doneNodes++
+		if now := s.js.Sys.Eng.Now(); now > s.finishAt {
+			s.finishAt = now
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package noc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Partition is a contiguous sub-torus carve-out of a larger fabric: an
+// axis-aligned box of Shape NPUs anchored at Origin inside Full. Within
+// the carve-out the boundary links are reconfigured to close each ring
+// (the way optically-switched torus fabrics slice into sub-tori), so a
+// partition behaves as a self-contained Shape torus whose local node
+// ranks 0..Shape.N()-1 map onto global node IDs of the parent fabric.
+//
+// Partitions never wrap around the parent torus: Origin+Shape must fit
+// inside Full along every dimension. Jobs placed on disjoint partitions
+// therefore share no NPUs and no links.
+type Partition struct {
+	Full   Torus  // the parent fabric
+	Shape  Torus  // the carved sub-torus
+	Origin [3]int // (l, v, h) of the carve-out's corner in Full
+}
+
+// FullPartition returns the identity partition covering the whole fabric.
+func FullPartition(t Torus) Partition {
+	return Partition{Full: t, Shape: t}
+}
+
+// IsFull reports whether the partition covers its entire parent fabric.
+func (p Partition) IsFull() bool {
+	return p.Shape == p.Full && p.Origin == [3]int{}
+}
+
+// N returns the number of NPUs in the partition.
+func (p Partition) N() int { return p.Shape.N() }
+
+// String formats the partition as "LxVxH@l,v,h" (or just the shape for a
+// full-fabric partition).
+func (p Partition) String() string {
+	if p.IsFull() {
+		return p.Shape.String()
+	}
+	return fmt.Sprintf("%s@%d,%d,%d", p.Shape, p.Origin[0], p.Origin[1], p.Origin[2])
+}
+
+// Validate reports malformed carve-outs.
+func (p Partition) Validate() error {
+	if err := p.Full.Validate(); err != nil {
+		return err
+	}
+	if err := p.Shape.Validate(); err != nil {
+		return err
+	}
+	full := [3]int{p.Full.L, p.Full.V, p.Full.H}
+	shape := [3]int{p.Shape.L, p.Shape.V, p.Shape.H}
+	for d := 0; d < 3; d++ {
+		if p.Origin[d] < 0 || p.Origin[d]+shape[d] > full[d] {
+			return fmt.Errorf("noc: partition %s does not fit in %s", p, p.Full)
+		}
+	}
+	return nil
+}
+
+// GlobalID maps a partition-local node rank to its parent-fabric node ID.
+func (p Partition) GlobalID(local NodeID) NodeID {
+	l, v, h := p.Shape.Coords(local)
+	return p.Full.ID(l+p.Origin[0], v+p.Origin[1], h+p.Origin[2])
+}
+
+// LocalID maps a parent-fabric node ID to the partition-local rank, or
+// reports false when the node is outside the carve-out.
+func (p Partition) LocalID(global NodeID) (NodeID, bool) {
+	l, v, h := p.Full.Coords(global)
+	l, v, h = l-p.Origin[0], v-p.Origin[1], h-p.Origin[2]
+	if l < 0 || l >= p.Shape.L || v < 0 || v >= p.Shape.V || h < 0 || h >= p.Shape.H {
+		return 0, false
+	}
+	return p.Shape.ID(l, v, h), true
+}
+
+// Contains reports whether the parent-fabric node is inside the partition.
+func (p Partition) Contains(global NodeID) bool {
+	_, ok := p.LocalID(global)
+	return ok
+}
+
+// Nodes lists the partition's parent-fabric node IDs in local rank order.
+func (p Partition) Nodes() []NodeID {
+	out := make([]NodeID, p.N())
+	for i := range out {
+		out[i] = p.GlobalID(NodeID(i))
+	}
+	return out
+}
+
+// Overlaps reports whether two carve-outs of the same fabric share nodes.
+func (p Partition) Overlaps(q Partition) bool {
+	po := [3]int{p.Origin[0], p.Origin[1], p.Origin[2]}
+	qo := [3]int{q.Origin[0], q.Origin[1], q.Origin[2]}
+	ps := [3]int{p.Shape.L, p.Shape.V, p.Shape.H}
+	qs := [3]int{q.Shape.L, q.Shape.V, q.Shape.H}
+	for d := 0; d < 3; d++ {
+		if po[d]+ps[d] <= qo[d] || qo[d]+qs[d] <= po[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// ParsePartition parses a "LxVxH@l,v,h" carve-out (or a bare "LxVxH",
+// anchored at the origin) inside the given fabric and validates the fit.
+// Parsing is strict: extra dimensions or trailing characters are errors,
+// so a placement typo fails validation instead of silently landing the
+// job on a different carve-out.
+func ParsePartition(full Torus, s string) (Partition, error) {
+	p := Partition{Full: full}
+	shape, rest, found := strings.Cut(s, "@")
+	dims, err := splitInts(strings.ToLower(shape), "x")
+	if err != nil {
+		return p, fmt.Errorf("noc: bad partition %q (want LxVxH[@l,v,h]): %w", s, err)
+	}
+	p.Shape = Torus{L: dims[0], V: dims[1], H: dims[2]}
+	if found {
+		org, err := splitInts(rest, ",")
+		if err != nil {
+			return p, fmt.Errorf("noc: bad partition origin %q (want l,v,h): %w", rest, err)
+		}
+		p.Origin = [3]int{org[0], org[1], org[2]}
+	}
+	return p, p.Validate()
+}
+
+// splitInts parses exactly three sep-separated integers, rejecting extra
+// fields and trailing garbage.
+func splitInts(s, sep string) ([3]int, error) {
+	var out [3]int
+	parts := strings.Split(s, sep)
+	if len(parts) != 3 {
+		return out, fmt.Errorf("want 3 %q-separated values, got %d", sep, len(parts))
+	}
+	for i, f := range parts {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return out, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

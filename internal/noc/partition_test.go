@@ -1,0 +1,121 @@
+package noc
+
+import "testing"
+
+func TestPartitionRoundTrip(t *testing.T) {
+	full := Torus{L: 4, V: 4, H: 2}
+	p := Partition{Full: full, Shape: Torus{L: 4, V: 2, H: 2}, Origin: [3]int{0, 2, 0}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[NodeID]bool{}
+	for local := NodeID(0); int(local) < p.N(); local++ {
+		g := p.GlobalID(local)
+		if seen[g] {
+			t.Fatalf("global %d mapped twice", g)
+		}
+		seen[g] = true
+		back, ok := p.LocalID(g)
+		if !ok || back != local {
+			t.Fatalf("LocalID(GlobalID(%d)) = %d, %v", local, back, ok)
+		}
+		if !p.Contains(g) {
+			t.Fatalf("Contains(%d) = false for member", g)
+		}
+		// The mapped coordinates sit inside the carve-out.
+		if _, v, _ := full.Coords(g); v < 2 {
+			t.Fatalf("global %d outside the v>=2 slab", g)
+		}
+	}
+	if len(seen) != p.N() {
+		t.Fatalf("mapped %d nodes, want %d", len(seen), p.N())
+	}
+}
+
+func TestPartitionNeighborStaysInside(t *testing.T) {
+	// Ring neighbors computed in the partition's local topology must map
+	// to nodes inside the carve-out — the property the per-partition
+	// network build relies on for isolation.
+	full := Torus{L: 4, V: 4, H: 3}
+	p := Partition{Full: full, Shape: Torus{L: 4, V: 2, H: 3}, Origin: [3]int{0, 1, 0}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for local := NodeID(0); int(local) < p.N(); local++ {
+		for d := DimLocal; d < numDims; d++ {
+			if p.Shape.Size(d) == 1 {
+				continue
+			}
+			for _, dir := range []int{+1, -1} {
+				nb := p.Shape.Neighbor(local, d, dir)
+				if !p.Contains(p.GlobalID(nb)) {
+					t.Fatalf("neighbor of local %d along %s escaped the partition", local, d)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionValidate(t *testing.T) {
+	full := Torus{L: 4, V: 2, H: 2}
+	bad := []Partition{
+		{Full: full, Shape: Torus{L: 4, V: 2, H: 3}},                          // too big
+		{Full: full, Shape: Torus{L: 4, V: 2, H: 1}, Origin: [3]int{0, 0, 2}}, // off the edge
+		{Full: full, Shape: Torus{L: 2, V: 2, H: 2}, Origin: [3]int{3, 0, 0}}, // would wrap
+		{Full: full, Shape: Torus{L: 0, V: 2, H: 2}},                          // degenerate shape
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: %s accepted", i, p)
+		}
+	}
+	if err := FullPartition(full).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !FullPartition(full).IsFull() {
+		t.Fatal("FullPartition not full")
+	}
+}
+
+func TestPartitionOverlaps(t *testing.T) {
+	full := Torus{L: 4, V: 4, H: 2}
+	a := Partition{Full: full, Shape: Torus{L: 4, V: 2, H: 2}}
+	b := Partition{Full: full, Shape: Torus{L: 4, V: 2, H: 2}, Origin: [3]int{0, 2, 0}}
+	if a.Overlaps(b) || b.Overlaps(a) {
+		t.Fatal("disjoint slabs reported overlapping")
+	}
+	c := Partition{Full: full, Shape: Torus{L: 4, V: 3, H: 2}}
+	if !a.Overlaps(c) || !c.Overlaps(b) {
+		t.Fatal("overlapping slabs reported disjoint")
+	}
+	if !a.Overlaps(a) {
+		t.Fatal("partition does not overlap itself")
+	}
+}
+
+func TestParsePartition(t *testing.T) {
+	full := Torus{L: 4, V: 4, H: 2}
+	p, err := ParsePartition(full, "4x2x2@0,2,0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shape != (Torus{L: 4, V: 2, H: 2}) || p.Origin != [3]int{0, 2, 0} {
+		t.Fatalf("parsed %+v", p)
+	}
+	if p.String() != "4x2x2@0,2,0" {
+		t.Fatalf("String = %q", p.String())
+	}
+	if q, err := ParsePartition(full, "4x4x2"); err != nil || !q.IsFull() {
+		t.Fatalf("bare shape: %+v, %v", q, err)
+	}
+	for _, bad := range []string{
+		"", "4x2", "4x2x2@9,0,0", "5x4x2", "4x2x2@0,3,0", "4x2x2@a,b,c",
+		// Strict parsing: extra dimensions / trailing characters are
+		// rejected, not silently ignored.
+		"4x2x2x2", "4x2x2@0,2,0,0", "4x2x2 ", "4x2x2@0,2,0 ", "4x2x2@",
+	} {
+		if _, err := ParsePartition(full, bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}

@@ -186,9 +186,10 @@ func (c *Compute) KernelTime(k Kernel) des.Time {
 	return d + c.p.LaunchOvh
 }
 
-// Run executes kernel k and calls done when it completes. Kernels queue
-// FIFO on the single compute stream.
-func (c *Compute) Run(k Kernel, done func()) {
+// Run executes kernel k and calls done when it completes, returning the
+// kernel's duration (for per-caller busy accounting when several jobs
+// time-share the stream). Kernels queue FIFO on the single compute stream.
+func (c *Compute) Run(k Kernel, done func()) des.Time {
 	d := c.KernelTime(k)
 	start := c.freeAt
 	if now := c.eng.Now(); start < now {
@@ -202,6 +203,7 @@ func (c *Compute) Run(k Kernel, done func()) {
 	if done != nil {
 		c.eng.At(end, done)
 	}
+	return d
 }
 
 // BusyTime returns cumulative kernel execution time.

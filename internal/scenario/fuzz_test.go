@@ -1,0 +1,58 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzParseScenario hardens the JSON parser and validator the scenario
+// engine (including the multijob placement fields) is built on: for any
+// input, Parse/Validate/Expand must return errors, never panic, and an
+// input that validates must expand deterministically with units indexed
+// by position. The seed corpus is every bundled example scenario plus
+// hand-picked edge cases around the new fields; go's fuzzer also loads
+// the committed corpus under testdata/fuzz/FuzzParseScenario.
+func FuzzParseScenario(f *testing.F) {
+	seeds, err := filepath.Glob("../../examples/scenarios/*.json")
+	if err != nil || len(seeds) == 0 {
+		f.Fatalf("no example scenarios found: %v", err)
+	}
+	for _, p := range seeds {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Add(`{"name":"x","jobs":[]}`)
+	f.Add(`{"name":"x","platform":{"toruses":["4x2x2"]},"jobs":[{"kind":"multijob","jobs":[{"workload":"resnet50","placement":"4x1x2@0,1,0"}]}]}`)
+	f.Add(`{"name":"x","platform":{"toruses":["2x1x1"]},"jobs":[{"kind":"multijob","arbitration":"rr","jobs":[{"payload_bytes":1,"repeat":2},{"collective":"alltoall","payload_mb":0.5}]}]}`)
+	f.Add(`{"name":"x","jobs":[{"kind":"multijob","jobs":[{"placement":"@","payload_mb":-1}]}]}`)
+	f.Add(`{"name":"x","platform":{"toruses":["999999999x999999999x2"]},"jobs":[{"kind":"collective","payloads_mb":[1e30]}]}`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		sc, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		units, err := sc.Expand()
+		if err != nil {
+			return
+		}
+		// A scenario that expands must do so coherently.
+		for i, u := range units {
+			if u.Index != i {
+				t.Fatalf("unit %d has Index %d", i, u.Index)
+			}
+			if u.Job < 0 || u.Job >= len(sc.Jobs) {
+				t.Fatalf("unit %d references job %d of %d", i, u.Job, len(sc.Jobs))
+			}
+		}
+		again, err := sc.Expand()
+		if err != nil || len(again) != len(units) {
+			t.Fatalf("re-expansion disagreed: %d units, %v", len(again), err)
+		}
+	})
+}

@@ -1,0 +1,42 @@
+package runner
+
+import (
+	"bytes"
+	"testing"
+
+	"acesim/internal/scenario"
+)
+
+// TestMultiJobWorkerDeterminism exercises the guarantee the runner
+// documents but a single-unit scenario never stresses: with more than one
+// multi-job unit in flight, result order and every metric must be
+// byte-identical regardless of worker count. It runs the bundled
+// multijob.json (three concurrent-job groups, including sub-torus
+// partitions and shared-fabric contention) at workers=1 and workers=8 and
+// compares the full JSON renderings.
+func TestMultiJobWorkerDeterminism(t *testing.T) {
+	sc, err := scenario.Load("../../../examples/scenarios/multijob.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int) []byte {
+		t.Helper()
+		res, err := Run(sc, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fails := res.Failures(); len(fails) > 0 {
+			t.Fatalf("bundled multijob scenario failed its assertions: %v", fails)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("workers=1 and workers=8 disagree:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, parallel)
+	}
+}

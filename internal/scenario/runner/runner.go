@@ -12,8 +12,10 @@ import (
 	"runtime"
 	"sync"
 
+	"acesim/internal/collectives"
 	"acesim/internal/des"
 	"acesim/internal/exper"
+	"acesim/internal/noc"
 	"acesim/internal/report"
 	"acesim/internal/scenario"
 	"acesim/internal/system"
@@ -125,6 +127,8 @@ func describe(u scenario.Unit) string {
 		return fmt.Sprintf("%s %s %s", u.Torus, u.Preset, u.Workload)
 	case scenario.KindMicrobench:
 		return fmt.Sprintf("%s ar=%gMB", u.Kernel.KernelName(), payloadMB(u.Bytes))
+	case scenario.KindMultiJob:
+		return fmt.Sprintf("%s %s multijob[%d]", u.Torus, u.Preset, len(u.SubJobs))
 	}
 	return string(u.Kind)
 }
@@ -247,8 +251,63 @@ func execUnit(u scenario.Unit, alone map[int64]float64) (map[string]float64, err
 			"overlap_us": over.Micros(),
 			"slowdown":   float64(over) / base,
 		}, nil
+	case scenario.KindMultiJob:
+		return execMultiJob(u)
 	}
 	return nil, fmt.Errorf("unknown unit kind %q", u.Kind)
+}
+
+// execMultiJob co-runs the unit's sub-jobs via exper.Interference and
+// flattens the per-job outcomes into metrics: the assertable aggregates
+// plus "<name>_solo_us" / "<name>_co_us" / "<name>_slowdown" per sub-job.
+func execMultiJob(u scenario.Unit) (map[string]float64, error) {
+	spec := buildSpec(u)
+	arb, err := collectives.ParseArbitration(u.Arbitration)
+	if err != nil {
+		return nil, err
+	}
+	spec.Coll.Arb = arb
+	jobs := make([]exper.InterferenceJob, len(u.SubJobs))
+	for i, sj := range u.SubJobs {
+		job := exper.InterferenceJob{Name: sj.Name}
+		if sj.Placement != "" && sj.Placement != "shared" {
+			part, err := noc.ParsePartition(u.Torus, sj.Placement)
+			if err != nil {
+				return nil, fmt.Errorf("sub-job %s: %w", sj.Name, err)
+			}
+			job.Part = &part
+		}
+		if sj.IsTraining() {
+			m, err := workload.ByName(sj.Workload)
+			if err != nil {
+				return nil, fmt.Errorf("sub-job %s: %w", sj.Name, err)
+			}
+			job.Model = m
+			// Only the explicit override; exper defaults the rest.
+			job.Train.Iterations = sj.Iterations
+		} else {
+			kind, err := scenario.ParseCollective(sj.Collective)
+			if err != nil {
+				return nil, fmt.Errorf("sub-job %s: %w", sj.Name, err)
+			}
+			job.Stream = exper.StreamSpec{Kind: kind, Bytes: sj.StreamBytes(), Count: sj.Repeat}
+		}
+		jobs[i] = job
+	}
+	res, _, err := exper.Interference(spec, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{
+		"job_slowdown_max": res.MaxSlowdown(),
+		"job_slowdown_min": res.MinSlowdown(),
+	}
+	for _, j := range res.Jobs {
+		out[j.Name+"_solo_us"] = j.Solo.Micros()
+		out[j.Name+"_co_us"] = j.Co.Micros()
+		out[j.Name+"_slowdown"] = j.Slowdown
+	}
+	return out, nil
 }
 
 // check evaluates one assertion against all matching units.
@@ -265,6 +324,9 @@ func check(a scenario.Assertion, units []UnitResult) AssertionOutcome {
 	for _, ur := range units {
 		u := ur.Unit
 		if a.Kind != "" && a.Kind != u.Kind {
+			continue
+		}
+		if a.Job != nil && *a.Job != u.Job {
 			continue
 		}
 		if a.Preset != "" && (u.Kind == scenario.KindMicrobench || a.Preset != u.Preset.String()) {
@@ -310,6 +372,9 @@ func (r *Results) Tables() []*report.Table {
 		case scenario.KindMicrobench:
 			t = report.New(r.Name+": microbench (8 NPUs, 150 GB/s switch)",
 				"kernel", "AR MB", "alone us", "overlapped us", "slowdown")
+		case scenario.KindMultiJob:
+			t = report.New(r.Name+": multijob (per-job slowdown vs solo)",
+				"torus", "preset", "job", "placement", "kind", "solo us", "co-run us", "slowdown")
 		}
 		byKind[k] = t
 		tabs = append(tabs, t)
@@ -327,6 +392,19 @@ func (r *Results) Tables() []*report.Table {
 		case scenario.KindMicrobench:
 			get(u.Kind).Add(u.Kernel.KernelName(), payloadMB(u.Bytes),
 				m["alone_us"], m["overlap_us"], m["slowdown"])
+		case scenario.KindMultiJob:
+			for _, sj := range u.SubJobs {
+				placement := sj.Placement
+				if placement == "" {
+					placement = "shared"
+				}
+				kind := "stream"
+				if sj.IsTraining() {
+					kind = "training"
+				}
+				get(u.Kind).Add(u.Torus.String(), u.Preset.String(), sj.Name, placement, kind,
+					m[sj.Name+"_solo_us"], m[sj.Name+"_co_us"], m[sj.Name+"_slowdown"])
+			}
 		}
 	}
 	if len(r.Assertions) > 0 {
@@ -353,6 +431,7 @@ type unitJSON struct {
 	PayloadBytes int64              `json:"payload_bytes,omitempty"`
 	Workload     string             `json:"workload,omitempty"`
 	Kernel       string             `json:"kernel,omitempty"`
+	Jobs         []string           `json:"jobs,omitempty"`
 	Metrics      map[string]float64 `json:"metrics"`
 }
 
@@ -376,6 +455,11 @@ func (r *Results) WriteJSON(w io.Writer) error {
 			uj.Torus, uj.Preset, uj.Workload = u.Torus.String(), u.Preset.String(), u.Workload
 		case scenario.KindMicrobench:
 			uj.Kernel, uj.PayloadBytes = u.Kernel.KernelName(), u.Bytes
+		case scenario.KindMultiJob:
+			uj.Torus, uj.Preset = u.Torus.String(), u.Preset.String()
+			for _, sj := range u.SubJobs {
+				uj.Jobs = append(uj.Jobs, sj.Name)
+			}
 		}
 		out.Units = append(out.Units, uj)
 	}

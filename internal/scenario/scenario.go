@@ -59,7 +59,7 @@ type Overrides struct {
 	ACEFSMs      *int     `json:"ace_fsms,omitempty"`
 }
 
-// JobKind discriminates the three job types.
+// JobKind discriminates the job types.
 type JobKind string
 
 // Job kinds.
@@ -74,6 +74,11 @@ const (
 	// (all-reduce overlapped with a compute kernel) on the paper's
 	// fixed 8-NPU switch platform; the platform grid does not apply.
 	KindMicrobench JobKind = "microbench"
+	// KindMultiJob co-runs N concurrent sub-jobs (training workloads or
+	// standing collective streams) on every platform grid point — on the
+	// shared full fabric or on disjoint sub-torus partitions — and
+	// reports each sub-job's slowdown against its solo baseline.
+	KindMultiJob JobKind = "multijob"
 )
 
 // Job is one sweep within a scenario.
@@ -94,6 +99,81 @@ type Job struct {
 	DLRMOptimized bool `json:"dlrm_optimized,omitempty"`
 	// Kernels lists the interfering compute kernels of a microbench job.
 	Kernels []Kernel `json:"kernels,omitempty"`
+	// Jobs lists the concurrent sub-jobs of a multijob group.
+	Jobs []SubJob `json:"jobs,omitempty"`
+	// Arbitration selects how concurrent sub-jobs share each node's
+	// endpoint on a shared fabric: "lifo" (default) or "round-robin".
+	Arbitration string `json:"arbitration,omitempty"`
+}
+
+// SubJob is one concurrent job of a multijob group: a training workload
+// (workload set) or a standing collective stream (payload set). Its
+// placement decides whether it shares the full fabric with the other
+// sub-jobs or runs isolated on a sub-torus carve-out.
+type SubJob struct {
+	// Name labels the job in results; defaults to "job<i>".
+	Name string `json:"name,omitempty"`
+	// Placement is "shared" (default, empty) for the full fabric, or a
+	// sub-torus carve-out "LxVxH@l,v,h" (origin defaults to 0,0,0).
+	// All sub-jobs of a group must use the same mode, and partitions
+	// must be pairwise disjoint.
+	Placement string `json:"placement,omitempty"`
+	// Workload names a training workload (resnet50, gnmt, dlrm).
+	Workload string `json:"workload,omitempty"`
+	// Iterations overrides the two-iteration default for training jobs.
+	Iterations int `json:"iterations,omitempty"`
+	// Collective, PayloadMB/PayloadBytes and Repeat describe a standing
+	// collective stream: Repeat (default 1) collectives issued
+	// back-to-back per node.
+	Collective   string  `json:"collective,omitempty"`
+	PayloadMB    float64 `json:"payload_mb,omitempty"`
+	PayloadBytes int64   `json:"payload_bytes,omitempty"`
+	Repeat       int     `json:"repeat,omitempty"`
+}
+
+// IsTraining reports whether the sub-job is a training workload (vs a
+// standing collective stream).
+func (sj SubJob) IsTraining() bool { return sj.Workload != "" }
+
+// StreamBytes resolves the stream payload (MB and byte fields summed).
+func (sj SubJob) StreamBytes() int64 {
+	return int64(sj.PayloadMB*(1<<20)) + sj.PayloadBytes
+}
+
+// validate checks one sub-job against every torus of the platform grid.
+func (sj SubJob) validate(toruses []noc.Torus) error {
+	if sj.IsTraining() {
+		if sj.PayloadMB != 0 || sj.PayloadBytes != 0 || sj.Repeat != 0 || sj.Collective != "" {
+			return errors.New("workload and stream fields are mutually exclusive")
+		}
+		if _, err := workload.ByName(sj.Workload); err != nil {
+			return err
+		}
+		if sj.Iterations < 0 {
+			return errors.New("negative iterations")
+		}
+	} else {
+		if sj.StreamBytes() <= 0 {
+			return errors.New("needs a workload or a positive stream payload")
+		}
+		if sj.Repeat < 0 {
+			return errors.New("negative repeat")
+		}
+		if sj.Iterations != 0 {
+			return errors.New("iterations only applies to training sub-jobs")
+		}
+		if _, err := ParseCollective(sj.Collective); err != nil {
+			return err
+		}
+	}
+	if sj.Placement != "" && sj.Placement != "shared" {
+		for _, t := range toruses {
+			if _, err := noc.ParsePartition(t, sj.Placement); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Kernel describes one Section III interference kernel: exactly one of
@@ -117,6 +197,10 @@ type Assertion struct {
 	Preset   string  `json:"preset,omitempty"`
 	Workload string  `json:"workload,omitempty"`
 	Kind     JobKind `json:"kind,omitempty"`
+	// Job, when set, restricts the assertion to units expanded from the
+	// given index into Scenario.Jobs (useful when several multijob
+	// groups share one metric name).
+	Job *int `json:"job,omitempty"`
 }
 
 // Holds reports whether the measured value satisfies the assertion.
@@ -143,6 +227,9 @@ func (a Assertion) String() string {
 	var filters []string
 	if a.Kind != "" {
 		filters = append(filters, string(a.Kind))
+	}
+	if a.Job != nil {
+		filters = append(filters, fmt.Sprintf("job %d", *a.Job))
 	}
 	if a.Preset != "" {
 		filters = append(filters, a.Preset)
@@ -175,6 +262,10 @@ var Metrics = map[string]JobKind{
 	"alone_us":   KindMicrobench,
 	"overlap_us": KindMicrobench,
 	"slowdown":   KindMicrobench,
+	// multijob metrics (per-sub-job values are additionally reported as
+	// "<name>_solo_us", "<name>_co_us" and "<name>_slowdown").
+	"job_slowdown_max": KindMultiJob,
+	"job_slowdown_min": KindMultiJob,
 }
 
 // Unit is one independent work item of an expanded scenario: a single
@@ -206,6 +297,10 @@ type Unit struct {
 
 	// Microbench unit.
 	Kernel Kernel
+
+	// Multijob unit.
+	SubJobs     []SubJob
+	Arbitration string
 }
 
 // Load reads and parses a scenario file. Call Validate (or Expand) to
@@ -301,8 +396,8 @@ func (s *Scenario) Expand() ([]Unit, error) {
 			if err != nil {
 				return fail("%v", err)
 			}
-			if len(j.Workloads) > 0 || len(j.Kernels) > 0 {
-				return fail("workloads/kernels do not apply to collective jobs")
+			if len(j.Workloads) > 0 || len(j.Kernels) > 0 || len(j.Jobs) > 0 || j.Arbitration != "" {
+				return fail("workloads/kernels/jobs/arbitration do not apply to collective jobs")
 			}
 			for _, t := range toruses {
 				for _, p := range presets {
@@ -337,8 +432,8 @@ func (s *Scenario) Expand() ([]Unit, error) {
 			if j.Iterations < 0 {
 				return fail("negative iterations")
 			}
-			if len(j.PayloadsMB) > 0 || len(j.PayloadBytes) > 0 || len(j.Kernels) > 0 {
-				return fail("payloads/kernels do not apply to training jobs")
+			if len(j.PayloadsMB) > 0 || len(j.PayloadBytes) > 0 || len(j.Kernels) > 0 || len(j.Jobs) > 0 || j.Arbitration != "" {
+				return fail("payloads/kernels/jobs/arbitration do not apply to training jobs")
 			}
 			for _, t := range toruses {
 				for _, p := range presets {
@@ -368,8 +463,8 @@ func (s *Scenario) Expand() ([]Unit, error) {
 					return fail("kernel %d: exactly one of gemm_n or emb_batch must be positive", ki)
 				}
 			}
-			if len(j.Workloads) > 0 {
-				return fail("workloads do not apply to microbench jobs")
+			if len(j.Workloads) > 0 || len(j.Jobs) > 0 || j.Arbitration != "" {
+				return fail("workloads/jobs/arbitration do not apply to microbench jobs")
 			}
 			for _, b := range payloads {
 				for _, k := range j.Kernels {
@@ -379,8 +474,79 @@ func (s *Scenario) Expand() ([]Unit, error) {
 					})
 				}
 			}
+		case KindMultiJob:
+			if s.Platform == nil {
+				return fail("requires a platform grid")
+			}
+			if len(j.Jobs) == 0 {
+				return fail("no sub-jobs")
+			}
+			if len(j.PayloadsMB) > 0 || len(j.PayloadBytes) > 0 || len(j.Workloads) > 0 || len(j.Kernels) > 0 ||
+				j.Iterations != 0 || j.DLRMOptimized || j.Collective != "" {
+				return fail("payloads/workloads/kernels/iterations/dlrm_optimized/collective do not apply to multijob groups; set them per sub-job in jobs[]")
+			}
+			if _, err := collectives.ParseArbitration(j.Arbitration); err != nil {
+				return fail("%v", err)
+			}
+			subs := make([]SubJob, len(j.Jobs))
+			names := make(map[string]bool, len(j.Jobs))
+			shared, partitioned := 0, 0
+			for si, sj := range j.Jobs {
+				if err := sj.validate(toruses); err != nil {
+					return fail("sub-job %d: %v", si, err)
+				}
+				if sj.Name == "" {
+					sj.Name = fmt.Sprintf("job%d", si)
+				}
+				if sj.IsTraining() {
+					// Canonicalize so aliases match result labels.
+					m, _ := workload.ByName(sj.Workload)
+					sj.Workload = m.Name
+				}
+				if names[sj.Name] {
+					return fail("duplicate sub-job name %q", sj.Name)
+				}
+				names[sj.Name] = true
+				if sj.Placement == "" || sj.Placement == "shared" {
+					shared++
+				} else {
+					partitioned++
+				}
+				subs[si] = sj
+			}
+			if shared > 0 && partitioned > 0 {
+				return fail("cannot mix shared and partitioned sub-jobs (%d shared, %d partitioned)", shared, partitioned)
+			}
+			if partitioned > 0 {
+				for _, t := range toruses {
+					parts := make([]noc.Partition, len(subs))
+					for si, sj := range subs {
+						parts[si], _ = noc.ParsePartition(t, sj.Placement)
+					}
+					for a := range parts {
+						for b := a + 1; b < len(parts); b++ {
+							if parts[a].Overlaps(parts[b]) {
+								return fail("sub-jobs %d and %d overlap on %s (%s vs %s)",
+									a, b, t, parts[a], parts[b])
+							}
+						}
+					}
+				}
+			}
+			for _, t := range toruses {
+				for _, p := range presets {
+					units = append(units, Unit{
+						Index: len(units), Job: ji, Kind: KindMultiJob,
+						Torus: t, Preset: p,
+						FastGranularity: s.Platform.FastGranularity,
+						Overrides:       s.Platform.Overrides,
+						SubJobs:         subs,
+						Arbitration:     j.Arbitration,
+					})
+				}
+			}
 		default:
-			return fail("unknown kind (want collective, training or microbench)")
+			return fail("unknown kind (want collective, training, microbench or multijob)")
 		}
 	}
 	if err := s.validateAssertions(); err != nil {
@@ -464,6 +630,9 @@ func (s *Scenario) validateAssertions() error {
 			if _, err := workload.ByName(a.Workload); err != nil {
 				return fmt.Errorf("assertion %d: %w", i, err)
 			}
+		}
+		if a.Job != nil && (*a.Job < 0 || *a.Job >= len(s.Jobs)) {
+			return fmt.Errorf("assertion %d: job %d out of range [0,%d)", i, *a.Job, len(s.Jobs))
 		}
 	}
 	return nil

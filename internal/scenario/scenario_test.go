@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -93,7 +94,8 @@ func TestExpandDeterministic(t *testing.T) {
 		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		// Units hold a slice field (SubJobs), so compare via formatting.
+		if fmt.Sprintf("%+v", a[i]) != fmt.Sprintf("%+v", b[i]) {
 			t.Fatalf("unit %d differs: %+v vs %+v", i, a[i], b[i])
 		}
 	}
@@ -203,5 +205,95 @@ func TestParseCollective(t *testing.T) {
 	}
 	if _, err := ParseCollective("broadcast"); err == nil {
 		t.Fatal("accepted broadcast")
+	}
+}
+
+const multijobScenario = `{
+  "name": "mj",
+  "platform": {"toruses": ["4x2x2"], "presets": ["ACE"]},
+  "jobs": [
+    {"kind": "multijob", "jobs": [
+      {"name": "a", "workload": "resnet50", "placement": "4x1x2@0,0,0"},
+      {"name": "b", "workload": "resnet50", "placement": "4x1x2@0,1,0"}
+    ]},
+    {"kind": "multijob", "arbitration": "round-robin", "jobs": [
+      {"workload": "resnet50"},
+      {"collective": "allreduce", "payload_mb": 16, "repeat": 8}
+    ]}
+  ],
+  "assertions": [
+    {"metric": "job_slowdown_max", "op": "<", "value": 1.01, "job": 0},
+    {"metric": "job_slowdown_max", "op": ">=", "value": 1.0, "job": 1}
+  ]
+}`
+
+func TestExpandMultiJob(t *testing.T) {
+	sc := parse(t, multijobScenario)
+	units, err := sc.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 2 {
+		t.Fatalf("units = %d, want 2", len(units))
+	}
+	u := units[0]
+	if u.Kind != KindMultiJob || len(u.SubJobs) != 2 {
+		t.Fatalf("unit 0 = %+v", u)
+	}
+	if u.SubJobs[0].Name != "a" || u.SubJobs[0].Workload != "ResNet-50" {
+		t.Fatalf("sub-job names/workloads not canonicalized: %+v", u.SubJobs[0])
+	}
+	if units[1].SubJobs[0].Name != "job0" || units[1].SubJobs[1].Name != "job1" {
+		t.Fatalf("default sub-job names: %+v", units[1].SubJobs)
+	}
+	if units[1].Arbitration != "round-robin" {
+		t.Fatalf("arbitration = %q", units[1].Arbitration)
+	}
+	if !units[1].SubJobs[0].IsTraining() || units[1].SubJobs[1].IsTraining() {
+		t.Fatal("sub-job kinds misclassified")
+	}
+	if got := units[1].SubJobs[1].StreamBytes(); got != 16<<20 {
+		t.Fatalf("stream payload = %d", got)
+	}
+}
+
+func TestValidateMultiJobErrors(t *testing.T) {
+	mj := func(jobs string, extra string) string {
+		return `{"name": "x", "platform": {"toruses": ["4x2x2"]}, "jobs": [{"kind": "multijob"` + extra + `, "jobs": [` + jobs + `]}]}`
+	}
+	cases := []struct{ name, src, want string }{
+		{"no sub-jobs", mj(``, ``), "no sub-jobs"},
+		{"no platform", `{"name": "x", "jobs": [{"kind": "multijob", "jobs": [{"workload": "resnet50"}]}]}`, "requires a platform"},
+		{"bad workload", mj(`{"workload": "bert"}`, ``), "unknown model"},
+		{"empty sub-job", mj(`{}`, ``), "needs a workload or a positive stream payload"},
+		{"both kinds", mj(`{"workload": "resnet50", "payload_mb": 4}`, ``), "mutually exclusive"},
+		{"bad placement", mj(`{"workload": "resnet50", "placement": "9x9x9"}`, ``), "does not fit"},
+		{"mixed modes", mj(`{"workload": "resnet50"}, {"workload": "resnet50", "placement": "4x1x2@0,1,0"}`, ``), "cannot mix"},
+		{"overlap", mj(`{"workload": "resnet50", "placement": "4x2x2"}, {"workload": "resnet50", "placement": "4x1x2@0,1,0"}`, ``), "overlap"},
+		{"dup names", mj(`{"name": "j", "workload": "resnet50"}, {"name": "j", "workload": "resnet50"}`, ``), "duplicate sub-job name"},
+		{"bad arbitration", mj(`{"workload": "resnet50"}`, `, "arbitration": "fifo"`), "unknown arbitration"},
+		{"stray sweep", `{"name": "x", "platform": {"toruses": ["4x2x2"]}, "jobs": [{"kind": "multijob", "payloads_mb": [1], "jobs": [{"workload": "resnet50"}]}]}`, "do not apply"},
+		{"stray group iterations", `{"name": "x", "platform": {"toruses": ["4x2x2"]}, "jobs": [{"kind": "multijob", "iterations": 8, "jobs": [{"workload": "resnet50"}]}]}`, "do not apply"},
+		{"stray sub-jobs on training", `{"name": "x", "platform": {"toruses": ["4x2x2"]}, "jobs": [{"kind": "training", "workloads": ["resnet50"], "jobs": [{"workload": "resnet50"}]}]}`, "do not apply"},
+		{"stray arbitration on collective", `{"name": "x", "platform": {"toruses": ["4x2x2"]}, "jobs": [{"kind": "collective", "payloads_mb": [1], "arbitration": "rr"}]}`, "do not apply"},
+		{"bad stream collective", mj(`{"collective": "gather", "payload_mb": 4}`, ``), "unknown collective"},
+		{"negative repeat", mj(`{"payload_mb": 4, "repeat": -1}`, ``), "negative repeat"},
+		{"stream iterations", mj(`{"payload_mb": 4, "iterations": 2}`, ``), "only applies to training"},
+		{"assertion job range", `{"name": "x", "platform": {"toruses": ["4x2x2"]}, "jobs": [{"kind": "multijob", "jobs": [{"workload": "resnet50"}]}], "assertions": [{"metric": "job_slowdown_max", "op": ">", "value": 0, "job": 3}]}`, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, err := Parse(strings.NewReader(tc.src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			err = sc.Validate()
+			if err == nil {
+				t.Fatal("validated bad scenario")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
 	}
 }

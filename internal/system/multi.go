@@ -1,0 +1,143 @@
+package system
+
+import (
+	"fmt"
+
+	"acesim/internal/collectives"
+	"acesim/internal/des"
+	"acesim/internal/noc"
+	"acesim/internal/training"
+)
+
+// JobPlacement locates one concurrent job on the platform fabric. A nil
+// Part places the job on the shared full fabric (interference mode: every
+// job runs on all NPUs and contends for endpoints, links and compute). A
+// non-nil Part carves out a disjoint sub-torus (isolation mode: the job
+// sees a private fabric of Part.Shape with its own links and NPUs).
+type JobPlacement struct {
+	Name string
+	Part *noc.Partition
+}
+
+// JobSystem is one job's view of a multi-job platform: the (sub)fabric it
+// runs on plus the collective stream it issues on.
+type JobSystem struct {
+	Name   string
+	Part   noc.Partition // identity partition in shared mode
+	Shared bool
+	Sys    *System
+	Stream collectives.StreamID
+}
+
+// Runner builds a training runner for this job, tagged and streamed so it
+// can co-run with the other jobs of the Multi.
+func (js *JobSystem) Runner(tc training.Config) *training.Runner {
+	r := js.Sys.Runner(tc)
+	r.Stream = js.Stream
+	r.Job = js.Name
+	return r
+}
+
+// Multi is a multi-job platform: N concurrent jobs on one simulated
+// timeline, either sharing the full fabric or isolated on disjoint
+// sub-torus partitions.
+type Multi struct {
+	Spec Spec
+	Eng  *des.Engine
+	Jobs []*JobSystem
+	// Shared is the common substrate in interference mode (nil when the
+	// jobs are partitioned).
+	Shared *System
+}
+
+// BuildMulti constructs a platform for the given concurrent jobs. All
+// placements must be shared, or all must be disjoint partitions of the
+// spec's torus; mixing the two modes is rejected (a shared job would
+// silently overlap every partition).
+func BuildMulti(spec Spec, jobs []JobPlacement) (*Multi, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("system: no jobs")
+	}
+	// Resolve names once so validation and construction agree.
+	names := make([]string, len(jobs))
+	seen := make(map[string]bool, len(jobs))
+	shared, partitioned := 0, 0
+	for i, j := range jobs {
+		names[i] = j.Name
+		if names[i] == "" {
+			names[i] = fmt.Sprintf("job%d", i)
+		}
+		if seen[names[i]] {
+			return nil, fmt.Errorf("system: duplicate job name %q", names[i])
+		}
+		seen[names[i]] = true
+		if j.Part == nil {
+			shared++
+			continue
+		}
+		partitioned++
+		if j.Part.Full != spec.Torus {
+			return nil, fmt.Errorf("system: job %q partition %s carved from %s, platform is %s",
+				names[i], j.Part, j.Part.Full, spec.Torus)
+		}
+		if err := j.Part.Validate(); err != nil {
+			return nil, fmt.Errorf("system: job %q: %w", names[i], err)
+		}
+		for k := 0; k < i; k++ {
+			if jobs[k].Part != nil && j.Part.Overlaps(*jobs[k].Part) {
+				return nil, fmt.Errorf("system: job %q partition %s overlaps job %d's %s",
+					names[i], j.Part, k, jobs[k].Part)
+			}
+		}
+	}
+	if shared > 0 && partitioned > 0 {
+		return nil, fmt.Errorf("system: cannot mix shared and partitioned placements (%d shared, %d partitioned)", shared, partitioned)
+	}
+
+	m := &Multi{Spec: spec, Eng: des.NewEngine()}
+	if shared > 0 {
+		// Interference mode: one substrate, one collective stream per job.
+		ss := spec
+		ss.Coll.Streams = len(jobs)
+		sys, err := BuildOn(m.Eng, ss)
+		if err != nil {
+			return nil, err
+		}
+		m.Shared = sys
+		for i := range jobs {
+			m.Jobs = append(m.Jobs, &JobSystem{
+				Name:   names[i],
+				Part:   noc.FullPartition(spec.Torus),
+				Shared: true,
+				Sys:    sys,
+				Stream: collectives.StreamID(i),
+			})
+		}
+		return m, nil
+	}
+	// Isolation mode: one private sub-fabric per job on the common
+	// engine. Construction order is job order, so the build (and thus
+	// the timeline) is deterministic.
+	for i, j := range jobs {
+		sys, err := BuildOn(m.Eng, Respec(spec, j.Part.Shape))
+		if err != nil {
+			return nil, fmt.Errorf("system: job %q: %w", names[i], err)
+		}
+		m.Jobs = append(m.Jobs, &JobSystem{Name: names[i], Part: *j.Part, Sys: sys})
+	}
+	return m, nil
+}
+
+// Respec retargets a platform spec at a different torus shape, re-deriving
+// the shape-dependent fields (the ACE SRAM is partitioned per collective
+// phase, and a sub-torus with degenerate dimensions has fewer phases).
+func Respec(spec Spec, t noc.Torus) Spec {
+	spec.Torus = t
+	phases := len(collectives.HierarchicalAllReduce(t).Phases)
+	if phases == 0 {
+		phases = 1
+	}
+	spec.ACE.Phases = phases
+	spec.ACE.Partitions = nil
+	return spec
+}

@@ -1,0 +1,121 @@
+package system
+
+import (
+	"testing"
+
+	"acesim/internal/collectives"
+	"acesim/internal/des"
+	"acesim/internal/noc"
+)
+
+// runOneCollective issues one all-reduce on every node of s (stream st)
+// and returns the last completion time after draining the engine.
+func runOneCollective(t *testing.T, s *System, st collectives.StreamID, bytes int64) des.Time {
+	t.Helper()
+	spec := collectives.Spec{
+		Kind:  collectives.AllReduce,
+		Bytes: bytes,
+		Plan:  collectives.HierarchicalAllReduce(s.Spec.Torus),
+		Name:  "ar",
+	}
+	done := 0
+	var coll *collectives.Collective
+	for i := 0; i < s.RT.Nodes(); i++ {
+		coll = s.RT.IssueOn(st, noc.NodeID(i), spec, func() { done++ })
+	}
+	s.Eng.Run()
+	if done != s.RT.Nodes() {
+		t.Fatalf("collective finished on %d/%d nodes", done, s.RT.Nodes())
+	}
+	var last des.Time
+	for i := 0; i < s.RT.Nodes(); i++ {
+		if ct := coll.CompleteAt(noc.NodeID(i)); ct > last {
+			last = ct
+		}
+	}
+	return last
+}
+
+func TestBuildMultiSharedSingleJobMatchesBuild(t *testing.T) {
+	// A one-job shared Multi is the classic system: same timeline.
+	spec := NewSpec(noc.Torus{L: 4, V: 2, H: 2}, ACE)
+	classic, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runOneCollective(t, classic, 0, 8<<20)
+
+	m, err := BuildMulti(spec, []JobPlacement{{Name: "solo"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shared == nil || len(m.Jobs) != 1 || !m.Jobs[0].Shared {
+		t.Fatalf("one shared job built wrong: %+v", m.Jobs)
+	}
+	got := runOneCollective(t, m.Jobs[0].Sys, m.Jobs[0].Stream, 8<<20)
+	if got != want {
+		t.Fatalf("single-job Multi timeline %v != classic %v", got, want)
+	}
+}
+
+func TestBuildMultiPartitioned(t *testing.T) {
+	full := noc.Torus{L: 4, V: 2, H: 2}
+	spec := NewSpec(full, ACE)
+	pa := noc.Partition{Full: full, Shape: noc.Torus{L: 4, V: 1, H: 2}}
+	pb := noc.Partition{Full: full, Shape: noc.Torus{L: 4, V: 1, H: 2}, Origin: [3]int{0, 1, 0}}
+	m, err := BuildMulti(spec, []JobPlacement{{Name: "a", Part: &pa}, {Name: "b", Part: &pb}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shared != nil {
+		t.Fatal("partitioned build produced a shared substrate")
+	}
+	if len(m.Jobs) != 2 {
+		t.Fatalf("%d jobs", len(m.Jobs))
+	}
+	for _, js := range m.Jobs {
+		if js.Sys.Eng != m.Eng {
+			t.Fatalf("job %s not on the common engine", js.Name)
+		}
+		if got := js.Sys.Spec.Torus; got != js.Part.Shape {
+			t.Fatalf("job %s fabric %s != partition shape %s", js.Name, got, js.Part.Shape)
+		}
+		if js.Sys.RT.Nodes() != 8 {
+			t.Fatalf("job %s has %d nodes", js.Name, js.Sys.RT.Nodes())
+		}
+		// The ACE SRAM layout must match the sub-torus plan (3 phases).
+		if js.Sys.Spec.ACE.Phases != 3 {
+			t.Fatalf("job %s ACE phases = %d, want 3", js.Name, js.Sys.Spec.ACE.Phases)
+		}
+	}
+}
+
+func TestBuildMultiValidation(t *testing.T) {
+	full := noc.Torus{L: 4, V: 2, H: 2}
+	spec := NewSpec(full, ACE)
+	pa := noc.Partition{Full: full, Shape: noc.Torus{L: 4, V: 1, H: 2}}
+	wrongParent := noc.Partition{Full: noc.Torus{L: 2, V: 2, H: 2}, Shape: noc.Torus{L: 2, V: 1, H: 2}}
+	cases := []struct {
+		name string
+		jobs []JobPlacement
+	}{
+		{"no jobs", nil},
+		{"duplicate names", []JobPlacement{{Name: "x"}, {Name: "x"}}},
+		{"mixed modes", []JobPlacement{{Name: "a"}, {Name: "b", Part: &pa}}},
+		{"overlap", []JobPlacement{{Name: "a", Part: &pa}, {Name: "b", Part: &pa}}},
+		{"wrong parent", []JobPlacement{{Name: "a", Part: &wrongParent}}},
+	}
+	for _, c := range cases {
+		if _, err := BuildMulti(spec, c.jobs); err == nil {
+			t.Fatalf("%s accepted", c.name)
+		}
+	}
+	// Default names are assigned per index.
+	m, err := BuildMulti(spec, []JobPlacement{{}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs[0].Name != "job0" || m.Jobs[1].Name != "job1" {
+		t.Fatalf("default names: %s, %s", m.Jobs[0].Name, m.Jobs[1].Name)
+	}
+}

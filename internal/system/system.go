@@ -133,9 +133,15 @@ type System struct {
 	Computes []*npu.Compute
 }
 
-// Build constructs the platform.
+// Build constructs the platform on a fresh engine.
 func Build(spec Spec) (*System, error) {
-	eng := des.NewEngine()
+	return BuildOn(des.NewEngine(), spec)
+}
+
+// BuildOn constructs the platform on an existing engine, so several
+// sub-fabrics (one per partitioned job) can co-simulate in one timeline.
+// Passing a fresh engine is exactly Build.
+func BuildOn(eng *des.Engine, spec Spec) (*System, error) {
 	net, err := noc.New(eng, noc.Config{
 		Topo:        spec.Torus,
 		Intra:       spec.Intra,

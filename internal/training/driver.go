@@ -22,12 +22,17 @@ type driver struct {
 	steps []step
 	pc    int
 
+	// prefix namespaces every event tag by job ("<job>/") so concurrent
+	// jobs on one fabric can never signal each other's waiters.
+	prefix string
+
 	events  map[string]bool
 	waiters map[string][]func()
 
-	issued     int
-	onFinish   func()
-	finishedAt des.Time
+	issued      int
+	computeBusy des.Time // this driver's kernel time on the shared stream
+	onFinish    func()
+	finishedAt  des.Time
 
 	fwdWindows []Window
 	bwdWindows []Window
@@ -42,11 +47,17 @@ func newDriver(r *Runner, node noc.NodeID, m *workload.Model) (*driver, error) {
 		events:  make(map[string]bool),
 		waiters: make(map[string][]func()),
 	}
+	if r.Job != "" {
+		d.prefix = r.Job + "/"
+	}
 	if err := d.build(); err != nil {
 		return nil, err
 	}
 	return d, nil
 }
+
+// tag applies the driver's job namespace to an event tag.
+func (d *driver) tag(s string) string { return d.prefix + s }
 
 // advance runs the next program step.
 func (d *driver) advance() {
@@ -77,15 +88,16 @@ func (d *driver) signal(tag string) {
 // kernel runs a compute kernel on the node's main stream.
 func kernel(k npu.Kernel) step {
 	return func(d *driver, next func()) {
-		d.r.Computes[d.node].Run(k, next)
+		d.computeBusy += d.r.Computes[d.node].Run(k, next)
 	}
 }
 
-// issue launches a collective and signals tag when it completes locally.
+// issue launches a collective on the runner's stream and signals tag when
+// it completes locally.
 func issue(tag string, spec collectives.Spec) step {
 	return func(d *driver, next func()) {
 		d.issued++
-		d.r.RT.Issue(d.node, spec, func() { d.signal(tag) })
+		d.r.RT.IssueOn(d.r.Stream, d.node, spec, func() { d.signal(tag) })
 		next()
 	}
 }
@@ -193,7 +205,7 @@ func (d *driver) build() error {
 	fwdLayer := func(it, li int) {
 		l := m.Layers[li]
 		if overlap && it > 0 && l.GradBytes() > 0 {
-			add(wait(arTag(it-1, li)))
+			add(wait(d.tag(arTag(it-1, li))))
 		}
 		add(kernel(npu.Kernel{Name: l.Name + ".fwd", MACs: l.FwdMACs, Bytes: l.FwdBytes}))
 	}
@@ -214,12 +226,12 @@ func (d *driver) build() error {
 			if it+1 < cfg.Iterations {
 				parts = append(parts, sidePart{
 					bytes: m.Emb.LookupBytes(globalBatch),
-					done:  sideReadyTag(it + 1),
+					done:  d.tag(sideReadyTag(it + 1)),
 				})
 			}
 			if it > 0 {
 				parts = append(parts, sidePart{
-					gate:  a2aBTag(it - 1),
+					gate:  d.tag(a2aBTag(it - 1)),
 					bytes: m.Emb.UpdateBytes(globalBatch),
 				})
 			}
@@ -231,10 +243,10 @@ func (d *driver) build() error {
 				// issued immediately, overlapping the bottom MLP. It
 				// yields priority to the bottom layers' gradient
 				// all-reduces, which the forward pass needs first.
-				add(wait(sideReadyTag(it)))
+				add(wait(d.tag(sideReadyTag(it))))
 				spec := d.a2aSpec("emb.a2a.fwd", m.Emb.ExchangeBytes(globalBatch))
 				spec.PrioBias = int64(m.BottomLayers + 1)
-				add(issue(a2aFTag(it), spec))
+				add(issue(d.tag(a2aFTag(it)), spec))
 			}
 		}
 		topStart := len(m.Layers)
@@ -250,10 +262,10 @@ func (d *driver) build() error {
 				// No prefetch available: the lookup runs on the main
 				// stream at full bandwidth, then the exchange is issued.
 				add(kernel(npu.Kernel{Name: "emb.lookup", Bytes: emb.LookupBytes(globalBatch), MaxGBps: workload.EmbRandomGBps}))
-				add(issue(a2aFTag(it), d.a2aSpec("emb.a2a.fwd", emb.ExchangeBytes(globalBatch))))
+				add(issue(d.tag(a2aFTag(it)), d.a2aSpec("emb.a2a.fwd", emb.ExchangeBytes(globalBatch))))
 			}
 			// The forward all-to-all blocks the top MLP (Section V).
-			add(wait(a2aFTag(it)))
+			add(wait(d.tag(a2aFTag(it))))
 			for li := topStart; li < len(m.Layers); li++ {
 				fwdLayer(it, li)
 			}
@@ -266,14 +278,14 @@ func (d *driver) build() error {
 			l := m.Layers[li]
 			if hybrid && overlap && li == m.BottomLayers-1 {
 				// Leaving the top MLP: exchange embedding gradients.
-				add(issue(a2aBTag(it), d.a2aSpec("emb.a2a.bwd", m.Emb.ExchangeBytes(globalBatch))))
+				add(issue(d.tag(a2aBTag(it)), d.a2aSpec("emb.a2a.bwd", m.Emb.ExchangeBytes(globalBatch))))
 			}
 			if li > 0 {
 				add(kernel(npu.Kernel{Name: l.Name + ".igrad", MACs: l.IgradMACs, Bytes: l.IgradBytes}))
 			}
 			add(kernel(npu.Kernel{Name: l.Name + ".wgrad", MACs: l.WgradMACs, Bytes: l.WgradBytes}))
 			if overlap && l.GradBytes() > 0 {
-				add(issue(arTag(it, li), d.arSpec(l.Name+".ar", l.GradBytes())))
+				add(issue(d.tag(arTag(it, li)), d.arSpec(l.Name+".ar", l.GradBytes())))
 			}
 		}
 		switch {
@@ -282,20 +294,20 @@ func (d *driver) build() error {
 			// fused kernel issued at the end of back-propagation, then
 			// the loop blocks (Table VI; the forward all-to-all above is
 			// the paper's sole exception).
-			add(issue(fusedTag(it), d.arSpec("fused.ar", m.TotalGradBytes())))
+			add(issue(d.tag(fusedTag(it)), d.arSpec("fused.ar", m.TotalGradBytes())))
 			if hybrid {
-				add(issue(a2aBTag(it), d.a2aSpec("emb.a2a.bwd", m.Emb.ExchangeBytes(globalBatch))))
+				add(issue(d.tag(a2aBTag(it)), d.a2aSpec("emb.a2a.bwd", m.Emb.ExchangeBytes(globalBatch))))
 			}
-			add(wait(fusedTag(it)))
+			add(wait(d.tag(fusedTag(it))))
 			if hybrid {
-				add(wait(a2aBTag(it)))
+				add(wait(d.tag(a2aBTag(it))))
 				add(kernel(npu.Kernel{Name: "emb.update", Bytes: m.Emb.UpdateBytes(globalBatch), MaxGBps: workload.EmbRandomGBps}))
 			}
 		case optimized:
 			// The embedding update runs on the next iteration's side
 			// chain; the main stream never blocks here.
 		case hybrid:
-			add(wait(a2aBTag(it)))
+			add(wait(d.tag(a2aBTag(it))))
 			add(kernel(npu.Kernel{Name: "emb.update", Bytes: m.Emb.UpdateBytes(globalBatch), MaxGBps: workload.EmbRandomGBps}))
 		}
 		add(mark("bwdEnd"))
@@ -305,7 +317,7 @@ func (d *driver) build() error {
 		if it == cfg.Iterations-1 && overlap {
 			for li := range m.Layers {
 				if m.Layers[li].GradBytes() > 0 {
-					add(wait(arTag(it, li)))
+					add(wait(d.tag(arTag(it, li))))
 				}
 			}
 		}

@@ -90,38 +90,66 @@ type Runner struct {
 	Computes []*npu.Compute // one per node
 	Plans    Plans
 	Cfg      Config
+	// Stream is the collective issue stream this runner's program uses.
+	// Concurrent jobs sharing one runtime must use distinct streams.
+	Stream collectives.StreamID
+	// Job names the job in multi-job runs; it prefixes every driver event
+	// tag ("<job>/ar.<it>.<layer>") so tag namespaces of co-running jobs
+	// can never collide. Empty for classic single-job runs.
+	Job string
 }
 
-// Run executes the model for Cfg.Iterations on every node and returns
-// node 0's metrics. It drives the engine to completion.
-func (r *Runner) Run(m *workload.Model) (Result, error) {
+// Launch is a started (but not yet simulated) training job: every node's
+// driver has been built and advanced to its first blocking point. In a
+// multi-job run, start every job's Launch, drive the shared engine to
+// completion once, then collect each Result.
+type Launch struct {
+	r        *Runner
+	model    *workload.Model
+	drivers  []*driver
+	finished int
+}
+
+// Start builds and launches the per-node drivers without running the
+// engine.
+func (r *Runner) Start(m *workload.Model) (*Launch, error) {
 	if len(r.Computes) != r.RT.Nodes() {
-		return Result{}, fmt.Errorf("training: %d compute engines for %d nodes", len(r.Computes), r.RT.Nodes())
+		return nil, fmt.Errorf("training: %d compute engines for %d nodes", len(r.Computes), r.RT.Nodes())
 	}
 	if r.Cfg.Iterations <= 0 {
-		return Result{}, fmt.Errorf("training: non-positive iteration count")
+		return nil, fmt.Errorf("training: non-positive iteration count")
 	}
-	drivers := make([]*driver, r.RT.Nodes())
-	finished := 0
-	for i := range drivers {
+	l := &Launch{r: r, model: m, drivers: make([]*driver, r.RT.Nodes())}
+	for i := range l.drivers {
 		d, err := newDriver(r, noc.NodeID(i), m)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
-		d.onFinish = func() { finished++ }
-		drivers[i] = d
+		d.onFinish = func() { l.finished++ }
+		l.drivers[i] = d
 	}
-	for _, d := range drivers {
+	for _, d := range l.drivers {
 		d.advance()
 	}
-	r.Eng.Run()
-	if finished != len(drivers) {
-		return Result{}, fmt.Errorf("training: %d/%d nodes finished (deadlock)", finished, len(drivers))
+	return l, nil
+}
+
+// Done reports whether every node's program has finished.
+func (l *Launch) Done() bool { return l.finished == len(l.drivers) }
+
+// Result returns node 0's metrics. It errors if the engine drained while
+// some node was still blocked (deadlock).
+func (l *Launch) Result() (Result, error) {
+	if !l.Done() {
+		return Result{}, fmt.Errorf("training: %d/%d nodes finished (deadlock)", l.finished, len(l.drivers))
 	}
-	d0 := drivers[0]
+	d0 := l.drivers[0]
 	res := Result{
-		IterTime:     d0.finishedAt,
-		TotalCompute: r.Computes[0].BusyTime(),
+		IterTime: d0.finishedAt,
+		// Per-driver accounting, not Compute.BusyTime(): on a shared
+		// fabric the compute stream also carries co-running jobs'
+		// kernels, which must not count as this job's compute.
+		TotalCompute: d0.computeBusy,
 		FwdWindows:   d0.fwdWindows,
 		BwdWindows:   d0.bwdWindows,
 		Collectives:  d0.issued,
@@ -131,4 +159,15 @@ func (r *Runner) Run(m *workload.Model) (Result, error) {
 		res.ExposedComm = 0
 	}
 	return res, nil
+}
+
+// Run executes the model for Cfg.Iterations on every node and returns
+// node 0's metrics. It drives the engine to completion.
+func (r *Runner) Run(m *workload.Model) (Result, error) {
+	l, err := r.Start(m)
+	if err != nil {
+		return Result{}, err
+	}
+	r.Eng.Run()
+	return l.Result()
 }
