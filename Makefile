@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short test-race bench lint fmt
+.PHONY: build test test-short test-race bench lint vet fuzz-smoke fmt
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,15 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+vet:
+	$(GO) vet ./...
+
+# Short fuzz passes over the two JSON decoders external input reaches
+# (scenario files and graph traces). CI runs the graph one on every push.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParseGraph -fuzztime=10s ./internal/graph
+	$(GO) test -run='^$$' -fuzz=FuzzParseScenario -fuzztime=10s ./internal/scenario
 
 lint:
 	@unformatted="$$(gofmt -l .)"; \

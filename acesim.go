@@ -23,6 +23,7 @@ import (
 	"acesim/internal/collectives"
 	"acesim/internal/des"
 	"acesim/internal/exper"
+	"acesim/internal/graph"
 	"acesim/internal/noc"
 	"acesim/internal/scenario"
 	"acesim/internal/scenario/runner"
@@ -152,6 +153,58 @@ func ParseScenario(r io.Reader) (*Scenario, error) { return scenario.Parse(r) }
 func RunScenario(sc *Scenario, opts ScenarioOptions) (*ScenarioResults, error) {
 	return runner.Run(sc, opts)
 }
+
+// Graph is a workload execution graph: a DAG of compute kernels,
+// collective operations and point-to-point transfers that the graph
+// executor replays on any platform (see DESIGN.md, "Execution-graph IR").
+type Graph = graph.Graph
+
+// GraphOp is one node of an execution graph.
+type GraphOp = graph.Op
+
+// GraphResult reports a graph run: span, busiest-rank compute, exposed
+// communication (incl. pipeline bubbles), and op counts.
+type GraphResult = exper.GraphResult
+
+// ModelGraphConfig selects how a workload lowers into a graph
+// (iterations, overlap vs fused-blocking, the Fig 12 DLRM optimization).
+type ModelGraphConfig = graph.ModelConfig
+
+// PipelineConfig describes a pipeline- or hybrid-parallel synthesis:
+// stages over contiguous rank slabs, microbatched kernels, inter-stage
+// activations as routed point-to-point transfers, per-stage group
+// all-reduces for the data-parallel replicas.
+type PipelineConfig = graph.PipelineConfig
+
+// PipeSchedule selects the microbatch schedule of a synthesized pipeline.
+type PipeSchedule = graph.PipeSchedule
+
+// Pipeline schedules: GPipe (blocking fused all-reduce) and 1F1B
+// (interleaved, per-layer all-reduces overlapped with the drain and the
+// next iteration's forward).
+const (
+	GPipe    = graph.GPipe
+	OneFOneB = graph.OneFOneB
+)
+
+// LoadGraph reads, parses and validates a JSON graph file.
+func LoadGraph(path string) (*Graph, error) { return graph.Load(path) }
+
+// ParseGraph decodes and validates a JSON graph.
+func ParseGraph(r io.Reader) (*Graph, error) { return graph.Parse(r) }
+
+// LowerModel lowers a workload into the execution-graph IR — the same
+// per-layer program RunTraining executes, as an inspectable graph.
+func LowerModel(m *Model, cfg ModelGraphConfig, ranks int) (*Graph, error) {
+	return graph.FromModel(m, cfg, ranks)
+}
+
+// SynthPipeline synthesizes a pipeline-parallel (or hybrid
+// data+pipeline) execution graph from a layer-stack workload.
+func SynthPipeline(cfg PipelineConfig) (*Graph, error) { return graph.Pipeline(cfg) }
+
+// RunGraph executes a workload graph on a freshly built platform.
+func RunGraph(spec Spec, g *Graph) (GraphResult, error) { return exper.RunGraph(spec, g) }
 
 // Partition is a contiguous sub-torus carve-out of a fabric, used to
 // isolate concurrent jobs on private slices of a platform.

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"acesim/internal/exper"
+	"acesim/internal/graph"
+	"acesim/internal/report"
+	"acesim/internal/system"
+	"acesim/internal/workload"
+)
+
+// runGraphCmd dispatches the graph subcommands:
+//
+//	acesim graph validate <file>...
+//	acesim graph run [-size LxVxH] [-preset P] <file>...
+//	acesim graph convert -workload W [-size LxVxH] [-iterations N]
+//	    [-no-overlap] [-dlrm-optimized]
+//	    [-stages S -microbatches M -schedule gpipe|1f1b] [-out path]
+//
+// validate parses and checks graph files. run executes them on a freshly
+// built platform and prints the graph metrics. convert lowers a bundled
+// workload into the JSON graph format — the plain Section V training
+// loop by default, or a pipeline-parallel schedule when -stages is set —
+// so the emitted file can be edited by hand or replayed with `graph run`.
+func runGraphCmd(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing graph subcommand (run, convert or validate)")
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet("graph "+sub, flag.ExitOnError)
+	sizeStr := fs.String("size", "4x2x2", "torus LxVxH the graph runs on / is lowered for")
+	preset := fs.String("preset", "ACE", "Table VI preset for graph run")
+	wl := fs.String("workload", "", "workload to convert (resnet50, gnmt, dlrm)")
+	iters := fs.Int("iterations", 2, "training iterations to lower")
+	noOverlap := fs.Bool("no-overlap", false, "lower the fused blocking schedule instead of per-layer overlap")
+	dlrmOpt := fs.Bool("dlrm-optimized", false, "lower the Fig 12 optimized DLRM loop")
+	stages := fs.Int("stages", 0, "pipeline stages; > 0 synthesizes a pipeline instead of the training loop")
+	microbatches := fs.Int("microbatches", 4, "microbatches per iteration (pipeline synthesis)")
+	schedule := fs.String("schedule", "gpipe", "pipeline schedule: gpipe or 1f1b")
+	out := fs.String("out", "-", `convert output path ("-" for stdout)`)
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	size, err := parseTorus(*sizeStr)
+	if err != nil {
+		return err
+	}
+	switch sub {
+	case "validate":
+		if fs.NArg() == 0 {
+			return fmt.Errorf("graph validate: missing graph file")
+		}
+		for _, path := range fs.Args() {
+			g, err := graph.Load(path)
+			if err != nil {
+				return err
+			}
+			st := g.Stats()
+			fmt.Printf("%s: ok (%q, %d ranks, %d ops: %d compute, %d collective, %d send, %d mark)\n",
+				path, g.Name, g.Ranks, st.Ops, st.Computes, st.Collectives, st.Sends, st.Marks)
+		}
+		return nil
+	case "run":
+		if fs.NArg() == 0 {
+			return fmt.Errorf("graph run: missing graph file")
+		}
+		p, err := system.ParsePreset(*preset)
+		if err != nil {
+			return err
+		}
+		tab := report.New(fmt.Sprintf("graphs on %s %s", size, p),
+			"graph", "ranks", "span us", "compute us", "exposed us", "exposed frac")
+		for _, path := range fs.Args() {
+			g, err := graph.Load(path)
+			if err != nil {
+				return err
+			}
+			res, err := exper.RunGraph(system.NewSpec(size, p), g)
+			if err != nil {
+				return err
+			}
+			frac := 0.0
+			if res.Span > 0 {
+				frac = float64(res.Exposed) / float64(res.Span)
+			}
+			tab.Add(g.Name, g.Ranks, res.Span.Micros(), res.Compute.Micros(), res.Exposed.Micros(), frac)
+		}
+		return show(tab, nil)
+	case "convert":
+		if *wl == "" {
+			return fmt.Errorf("graph convert: missing -workload")
+		}
+		m, err := workload.ByName(*wl)
+		if err != nil {
+			return err
+		}
+		var g *graph.Graph
+		if *stages > 0 {
+			sched, err := graph.ParsePipeSchedule(*schedule)
+			if err != nil {
+				return err
+			}
+			g, err = graph.Pipeline(graph.PipelineConfig{
+				Model:        m,
+				Ranks:        size.N(),
+				Stages:       *stages,
+				Microbatches: *microbatches,
+				Schedule:     sched,
+				Iterations:   *iters,
+			})
+			if err != nil {
+				return err
+			}
+		} else {
+			g, err = graph.FromModel(m, graph.ModelConfig{
+				Iterations:    *iters,
+				Overlap:       !*noOverlap,
+				DLRMOptimized: *dlrmOpt,
+			}, size.N())
+			if err != nil {
+				return err
+			}
+		}
+		if *out == "-" {
+			return g.WriteJSON(os.Stdout)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := g.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d ranks, %d ops)\n", *out, g.Ranks, len(g.Ops))
+		return nil
+	}
+	usage()
+	return fmt.Errorf("unknown graph subcommand %q (want run, convert or validate)", sub)
+}

@@ -1,12 +1,15 @@
 // Command acesim regenerates every table and figure of the paper's
 // evaluation (see DESIGN.md for the experiment index), runs declarative
-// scenario files (see README.md for the schema), and records simulator
-// performance baselines (see PERF.md for the methodology).
+// scenario files (see README.md for the schema), executes and converts
+// workload execution graphs (see DESIGN.md, "Execution-graph IR"), and
+// records simulator performance baselines (see PERF.md for the
+// methodology).
 //
 // Usage:
 //
 //	acesim <experiment> [flags]
 //	acesim scenario run|validate|list [flags] <file>...
+//	acesim graph run|convert|validate [flags] <file>...
 //	acesim bench [-short] [-runs N] [-out path]
 //
 // Experiments: fig4 fig5 fig6 fig9a fig9b fig10 fig11 fig12 table4 table5
@@ -64,6 +67,9 @@ func run(args []string) error {
 	if cmd == "bench" {
 		return runBench(args[1:])
 	}
+	if cmd == "graph" {
+		return runGraphCmd(args[1:])
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	sizeStr := fs.String("size", "4x8x4", "torus LxVxH for single-size experiments")
 	quick := fs.Bool("quick", false, "shrink sweeps for a fast pass")
@@ -108,6 +114,7 @@ func run(args []string) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: acesim <experiment> [-size LxVxH] [-quick] [-csv dir]
        acesim scenario run|validate|list [-workers N] [-format text|json|csv] <file>...
+       acesim graph run|convert|validate [-size LxVxH] [-preset P] [convert flags] <file>...
        acesim bench [-short] [-runs N] [-out path]
 experiments: fig4 fig5 fig6 fig9a fig9b fig10 fig11 fig12
              table4 table5 table6 analytic ablation interference all`)
@@ -172,7 +179,7 @@ func runScenario(args []string) error {
 			if sc.Description != "" {
 				fmt.Printf("  %s\n", sc.Description)
 			}
-			for _, k := range []scenario.JobKind{scenario.KindCollective, scenario.KindTraining, scenario.KindMicrobench, scenario.KindMultiJob} {
+			for _, k := range []scenario.JobKind{scenario.KindCollective, scenario.KindTraining, scenario.KindMicrobench, scenario.KindMultiJob, scenario.KindGraph} {
 				if n := kinds[k]; n > 0 {
 					fmt.Printf("  %d %s units\n", n, k)
 				}

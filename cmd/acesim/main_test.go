@@ -167,3 +167,51 @@ func TestBundledScenariosValidate(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestGraphCommands drives the graph subcommands end to end: convert a
+// workload to JSON, validate the file, run it, and synthesize a pipeline.
+func TestGraphCommands(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "rn50.json")
+	if err := silence(t, func() error {
+		return run([]string{"graph", "convert", "-workload", "resnet50", "-size", "4x2x2", "-iterations", "1", "-out", trace})
+	}); err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	if err := silence(t, func() error { return run([]string{"graph", "validate", trace}) }); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if err := silence(t, func() error { return run([]string{"graph", "run", "-preset", "Ideal", trace}) }); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	pipe := filepath.Join(dir, "pipe.json")
+	if err := silence(t, func() error {
+		return run([]string{"graph", "convert", "-workload", "resnet50", "-stages", "4", "-microbatches", "2",
+			"-schedule", "1f1b", "-iterations", "1", "-out", pipe})
+	}); err != nil {
+		t.Fatalf("convert pipeline: %v", err)
+	}
+	if err := silence(t, func() error { return run([]string{"graph", "run", pipe}) }); err != nil {
+		t.Fatalf("run pipeline: %v", err)
+	}
+
+	// Error paths: unknown subcommand, missing file, missing workload,
+	// rank/torus mismatch.
+	if err := silence(t, func() error { return run([]string{"graph"}) }); err == nil {
+		t.Fatal("accepted missing subcommand")
+	}
+	if err := silence(t, func() error { return run([]string{"graph", "replay", trace}) }); err == nil {
+		t.Fatal("accepted unknown subcommand")
+	}
+	if err := silence(t, func() error { return run([]string{"graph", "validate", filepath.Join(dir, "nope.json")}) }); err == nil {
+		t.Fatal("validated missing file")
+	}
+	if err := silence(t, func() error { return run([]string{"graph", "convert"}) }); err == nil {
+		t.Fatal("converted without a workload")
+	}
+	err := silence(t, func() error { return run([]string{"graph", "run", "-size", "4x4x2", trace}) })
+	if err == nil || !strings.Contains(err.Error(), "ranks") {
+		t.Fatalf("rank mismatch = %v, want ranks error", err)
+	}
+}

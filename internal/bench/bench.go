@@ -22,6 +22,7 @@ import (
 
 	"acesim/internal/collectives"
 	"acesim/internal/exper"
+	"acesim/internal/graph"
 	"acesim/internal/noc"
 	"acesim/internal/system"
 	"acesim/internal/training"
@@ -29,7 +30,9 @@ import (
 )
 
 // Schema identifies the report format; bump on incompatible change.
-const Schema = "acesim-bench/v1"
+// v2 added the graph-executor family ("graph/..."), so v1 and v2 reports
+// are not comparable unit-for-unit.
+const Schema = "acesim-bench/v2"
 
 // Unit is the measured cost of one suite entry.
 type Unit struct {
@@ -149,6 +152,51 @@ func suite(short bool) []spec {
 			"exposed_us":   res.ExposedComm.Micros(),
 		}}, nil
 	}})
+
+	// Graph executor on a lowered GNMT training graph: the dependency
+	// scheduler, per-op bookkeeping and collective matching on the
+	// heaviest bundled workload (~7M events).
+	specs = append(specs, spec{name: "graph/gnmt-lowered-ace-16npu", run: func() (stats, error) {
+		sysSpec := system.NewSpec(torus16, system.ACE)
+		exper.FastGranularity(&sysSpec)
+		m := workload.GNMT(workload.GNMTBatch)
+		g, err := graph.FromModel(m, graph.ModelConfig{Iterations: 2, Overlap: true}, torus16.N())
+		if err != nil {
+			return stats{}, err
+		}
+		res, err := exper.RunGraph(sysSpec, g)
+		if err != nil {
+			return stats{}, err
+		}
+		return stats{events: res.Events, metrics: map[string]float64{
+			"span_us":    res.Span.Micros(),
+			"exposed_us": res.Exposed.Micros(),
+		}}, nil
+	}})
+	if !short {
+		// The synthesized hybrid pipeline: group-ring collectives and
+		// inter-stage p2p on top of the same executor.
+		specs = append(specs, spec{name: "graph/gnmt-pipe4x4-1f1b-16npu", run: func() (stats, error) {
+			g, err := graph.Pipeline(graph.PipelineConfig{
+				Model:        workload.GNMT(workload.GNMTBatch),
+				Ranks:        torus16.N(),
+				Stages:       4,
+				Microbatches: 4,
+				Schedule:     graph.OneFOneB,
+			})
+			if err != nil {
+				return stats{}, err
+			}
+			res, err := exper.RunGraph(system.NewSpec(torus16, system.ACE), g)
+			if err != nil {
+				return stats{}, err
+			}
+			return stats{events: res.Events, metrics: map[string]float64{
+				"span_us":    res.Span.Micros(),
+				"exposed_us": res.Exposed.Micros(),
+			}}, nil
+		}})
+	}
 	return specs
 }
 

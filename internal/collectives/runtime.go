@@ -237,6 +237,31 @@ func (rt *Runtime) IssueOn(stream StreamID, node noc.NodeID, spec Spec, onDone f
 	return coll
 }
 
+// SendP2P issues a point-to-point transfer from src to dst on the fabric:
+// the source endpoint pays its pass-through (Forward) cost to source the
+// message, the payload is routed XYZ through the network (intermediate
+// endpoints pay their store-and-forward cost via the Forward hook), and
+// the destination endpoint pays its pass-through cost to sink it.
+// onDelivered runs when the payload is available at dst. src == dst
+// delivers after zero time. Point-to-point traffic bypasses the chunk
+// scheduler: it contends with collectives for endpoint and link bandwidth
+// but does not occupy admission-window slots, so a transfer can never
+// deadlock against a window full of collective chunks.
+func (rt *Runtime) SendP2P(src, dst noc.NodeID, bytes int64, onDelivered func()) {
+	if bytes <= 0 {
+		panic(fmt.Sprintf("collectives: non-positive p2p payload %d", bytes))
+	}
+	if src == dst {
+		rt.eng.After(0, onDelivered)
+		return
+	}
+	rt.eps[src].Forward(bytes, func() {
+		rt.net.SendRouted(src, dst, bytes, func() {
+			rt.eps[dst].Forward(bytes, onDelivered)
+		})
+	})
+}
+
 // inMsg is a buffered arrival for a node that has not issued (or whose
 // chunk has not reached the message's phase) yet.
 type inMsg struct {

@@ -1,0 +1,316 @@
+package graph
+
+import (
+	"fmt"
+
+	"acesim/internal/collectives"
+	"acesim/internal/des"
+	"acesim/internal/noc"
+	"acesim/internal/npu"
+)
+
+// Plans carries the topology-aware plans full-fabric collectives execute
+// on (the paper's hierarchical all-reduce and direct all-to-all).
+type Plans struct {
+	AllReduce collectives.Plan
+	AllToAll  collectives.Plan
+}
+
+// Executor binds the graph IR to one simulated platform: an engine, a
+// collectives runtime, one compute stream per rank, and the collective
+// plans. It is the simulator's single training execution engine — the
+// training package lowers its per-layer programs onto it, and scenario
+// "graph" jobs feed it synthesized or hand-written graphs.
+type Executor struct {
+	Eng      *des.Engine
+	RT       *collectives.Runtime
+	Computes []*npu.Compute
+	Plans    Plans
+	// Stream is the collective issue stream graph collectives use;
+	// concurrent jobs sharing one runtime must use distinct streams.
+	Stream collectives.StreamID
+	// Job prefixes every collective name ("<job>/<name>") in multi-job
+	// runs, for debuggable DebugState output. Matching is positional, so
+	// the prefix is cosmetic but keeps co-running jobs tellable apart.
+	Job string
+	// SideGBps is the memory bandwidth of the spare-resource side stream
+	// Side compute ops run on (Fig 12's 80 GB/s allocation).
+	SideGBps float64
+}
+
+// RankResult is one rank's measured outcome.
+type RankResult struct {
+	// FinishedAt is when the rank's program completed (its Final op, or
+	// its last op when no Final is marked).
+	FinishedAt des.Time
+	// ComputeBusy is the rank's kernel time on the main compute stream
+	// (side-stream transfers excluded, as in the legacy accounting).
+	ComputeBusy des.Time
+	// Issued counts the collective operations the rank issued.
+	Issued int
+	// Marks records each mark label's execution times in occurrence
+	// order.
+	Marks map[string][]des.Time
+}
+
+// Result is the outcome of a completed graph run.
+type Result struct {
+	Ranks []RankResult
+	// Span is the latest rank finish time.
+	Span des.Time
+}
+
+// MaxComputeBusy returns the busiest rank's compute time — the
+// denominator of the graph-level exposed-communication metric (Span −
+// MaxComputeBusy covers both exposed communication and pipeline bubbles).
+func (res Result) MaxComputeBusy() des.Time {
+	var max des.Time
+	for i := range res.Ranks {
+		if b := res.Ranks[i].ComputeBusy; b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// Exposed returns Span − MaxComputeBusy, clamped at zero.
+func (res Result) Exposed() des.Time {
+	e := res.Span - res.MaxComputeBusy()
+	if e < 0 {
+		e = 0
+	}
+	return e
+}
+
+// Run is a started (but not necessarily simulated) graph execution.
+// Start schedules the dependency-free ops; drive the engine (possibly
+// sharing it with co-running jobs), then collect Result.
+type Run struct {
+	x *Executor
+	g *Graph
+
+	order      []int       // schedule positions -> op index in g.Ops
+	posOf      map[int]int // op ID -> schedule position
+	remaining  []int       // unmet dep count, by position
+	dependents [][]int     // dependent positions, by position
+	done       []bool
+
+	ranks    []rankState
+	finished int
+
+	ready    idHeap // same-instant worklist, ordered by schedule position
+	draining bool
+
+	groups map[string]*groupMatch
+}
+
+// rankState is the per-rank bookkeeping.
+type rankState struct {
+	opsLeft     int
+	hasFinal    bool
+	finished    bool
+	finishedAt  des.Time
+	computeBusy des.Time
+	issued      int
+	marks       map[string][]des.Time
+}
+
+// Start validates the graph against the executor's platform and launches
+// it: every dependency-free op is executed (in stable schedule order),
+// and the run proceeds as the engine fires completions. It does not run
+// the engine.
+func (x *Executor) Start(g *Graph) (*Run, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if x.RT == nil || x.Eng == nil {
+		return nil, fmt.Errorf("graph: executor missing engine or runtime")
+	}
+	if g.Ranks != x.RT.Nodes() {
+		return nil, fmt.Errorf("graph: %q targets %d ranks, platform has %d nodes", g.Name, g.Ranks, x.RT.Nodes())
+	}
+	if len(x.Computes) != g.Ranks {
+		return nil, fmt.Errorf("graph: %d compute engines for %d ranks", len(x.Computes), g.Ranks)
+	}
+	for i := range g.Ops {
+		op := &g.Ops[i]
+		if op.Kind != OpCollective || !g.fullGroup(op) {
+			continue
+		}
+		switch op.Coll {
+		case collectives.AllReduce:
+			if err := x.Plans.AllReduce.Validate(); err != nil {
+				return nil, fmt.Errorf("graph: op %d needs an all-reduce plan: %w", op.ID, err)
+			}
+		case collectives.AllToAll:
+			if err := x.Plans.AllToAll.Validate(); err != nil {
+				return nil, fmt.Errorf("graph: op %d needs an all-to-all plan: %w", op.ID, err)
+			}
+		}
+	}
+
+	order, err := g.Schedule()
+	if err != nil {
+		return nil, err
+	}
+	r := &Run{
+		x: x, g: g,
+		order:      make([]int, len(order)),
+		posOf:      make(map[int]int, len(order)),
+		remaining:  make([]int, len(order)),
+		dependents: make([][]int, len(order)),
+		done:       make([]bool, len(order)),
+		ranks:      make([]rankState, g.Ranks),
+		groups:     make(map[string]*groupMatch),
+	}
+	idx := make(map[int]int, len(g.Ops)) // op ID -> index in g.Ops
+	for i := range g.Ops {
+		idx[g.Ops[i].ID] = i
+	}
+	for p, id := range order {
+		r.order[p] = idx[id]
+		r.posOf[id] = p
+	}
+	for p := range r.order {
+		op := r.opAt(p)
+		r.remaining[p] = len(op.Deps)
+		for _, d := range op.Deps {
+			dp := r.posOf[d]
+			r.dependents[dp] = append(r.dependents[dp], p)
+		}
+		rs := &r.ranks[op.Rank]
+		rs.opsLeft++
+		if op.Final {
+			rs.hasFinal = true
+		}
+	}
+	// Dependent lists fire in schedule order so same-instant cascades are
+	// deterministic (the heap preserves it, but building them sorted
+	// keeps insertion cheap). They are already sorted: positions were
+	// appended in increasing p.
+	// Ranks with no ops (legal: a graph may only occupy part of the
+	// fabric) are finished from the start.
+	for i := range r.ranks {
+		if r.ranks[i].opsLeft == 0 {
+			r.ranks[i].finished = true
+			r.finished++
+		}
+	}
+	for p := range r.order {
+		if r.remaining[p] == 0 {
+			r.ready.push(p)
+		}
+	}
+	r.pump()
+	return r, nil
+}
+
+func (r *Run) opAt(pos int) *Op { return &r.g.Ops[r.order[pos]] }
+
+// tag applies the executor's job namespace to a collective name.
+func (r *Run) tag(name string) string {
+	if r.x.Job == "" {
+		return name
+	}
+	return r.x.Job + "/" + name
+}
+
+// pump drains the ready worklist in schedule order. Ops that complete
+// synchronously (marks) feed their dependents back into the same drain.
+func (r *Run) pump() {
+	if r.draining {
+		return
+	}
+	r.draining = true
+	for r.ready.len() > 0 {
+		r.exec(r.ready.pop())
+	}
+	r.draining = false
+}
+
+// exec starts the op at the given schedule position.
+func (r *Run) exec(pos int) {
+	op := r.opAt(pos)
+	rs := &r.ranks[op.Rank]
+	switch op.Kind {
+	case OpCompute:
+		if op.Side {
+			r.x.Eng.After(des.ByteDur(op.Bytes, r.x.SideGBps), func() { r.opDone(pos) })
+			return
+		}
+		k := npu.Kernel{Name: op.Name, MACs: op.MACs, Bytes: op.Bytes, MaxGBps: op.MaxGBps}
+		rs.computeBusy += r.x.Computes[op.Rank].Run(k, func() { r.opDone(pos) })
+	case OpCollective:
+		rs.issued++
+		if r.g.fullGroup(op) && (op.Coll == collectives.AllReduce || op.Coll == collectives.AllToAll) {
+			plan := r.x.Plans.AllReduce
+			if op.Coll == collectives.AllToAll {
+				plan = r.x.Plans.AllToAll
+			}
+			spec := collectives.Spec{
+				Kind: op.Coll, Bytes: op.Bytes, Plan: plan,
+				Name: r.tag(op.Name), PrioBias: op.PrioBias,
+			}
+			r.x.RT.IssueOn(r.x.Stream, noc.NodeID(op.Rank), spec, func() { r.opDone(pos) })
+			return
+		}
+		r.groupIssue(pos, op)
+	case OpSend:
+		r.x.RT.SendP2P(noc.NodeID(op.Rank), noc.NodeID(op.Dst), op.Bytes, func() { r.opDone(pos) })
+	case OpMark:
+		if rs.marks == nil {
+			rs.marks = make(map[string][]des.Time)
+		}
+		rs.marks[op.Name] = append(rs.marks[op.Name], r.x.Eng.Now())
+		r.opDone(pos)
+	}
+}
+
+// opDone records the op's completion, finishes its rank if it was the
+// terminal op, and releases dependents.
+func (r *Run) opDone(pos int) {
+	if r.done[pos] {
+		panic(fmt.Sprintf("graph: op %d completed twice", r.opAt(pos).ID))
+	}
+	r.done[pos] = true
+	op := r.opAt(pos)
+	rs := &r.ranks[op.Rank]
+	rs.opsLeft--
+	if !rs.finished && (op.Final || (!rs.hasFinal && rs.opsLeft == 0)) {
+		rs.finished = true
+		rs.finishedAt = r.x.Eng.Now()
+		r.finished++
+	}
+	for _, dp := range r.dependents[pos] {
+		r.remaining[dp]--
+		if r.remaining[dp] == 0 {
+			r.ready.push(dp)
+		}
+	}
+	r.pump()
+}
+
+// Finished reports whether every rank's program has completed.
+func (r *Run) Finished() bool { return r.finished == len(r.ranks) }
+
+// Result collects the per-rank outcomes. It errors if the engine drained
+// while some rank was still blocked (deadlock).
+func (r *Run) Result() (Result, error) {
+	if !r.Finished() {
+		return Result{}, fmt.Errorf("graph: %d/%d ranks finished (deadlock)", r.finished, len(r.ranks))
+	}
+	res := Result{Ranks: make([]RankResult, len(r.ranks))}
+	for i := range r.ranks {
+		rs := &r.ranks[i]
+		res.Ranks[i] = RankResult{
+			FinishedAt:  rs.finishedAt,
+			ComputeBusy: rs.computeBusy,
+			Issued:      rs.issued,
+			Marks:       rs.marks,
+		}
+		if rs.finishedAt > res.Span {
+			res.Span = rs.finishedAt
+		}
+	}
+	return res, nil
+}

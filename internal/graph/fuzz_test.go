@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseGraph hardens the JSON graph decoder and validator the graph
+// executor trusts: for any input, Parse must return an error or a graph
+// that validates, never panic — and a parsed graph must schedule
+// (acyclic, every op reachable) and re-serialize to something Parse
+// accepts. The seed corpus covers every op kind, groups, side ops,
+// finals and the edge cases around them; go's fuzzer also loads the
+// committed corpus under testdata/fuzz/FuzzParseGraph.
+func FuzzParseGraph(f *testing.F) {
+	seeds := []string{
+		`{"name":"t","ranks":2,"ops":[{"id":0,"kind":"compute","rank":0,"macs":1e9,"bytes":64}]}`,
+		`{"ranks":2,"ops":[{"id":0,"kind":"collective","rank":0,"coll":"all-reduce","bytes":1024},
+		  {"id":1,"kind":"collective","rank":1,"coll":"all-reduce","bytes":1024}]}`,
+		`{"ranks":4,"ops":[{"id":0,"kind":"collective","rank":0,"coll":"reduce-scatter","bytes":4096,"group":[0,2]},
+		  {"id":1,"kind":"collective","rank":2,"coll":"reduce-scatter","bytes":4096,"group":[0,2]}]}`,
+		`{"ranks":2,"ops":[{"id":0,"kind":"send","rank":0,"dst":1,"bytes":64},
+		  {"id":1,"kind":"mark","rank":1,"name":"end","deps":[0],"final":true}]}`,
+		`{"ranks":2,"ops":[{"id":0,"kind":"compute","rank":0,"bytes":64,"side":true}]}`,
+		`{"ranks":2,"ops":[{"id":5,"kind":"mark","rank":0,"deps":[5]}]}`,
+		`{"ranks":2,"ops":[{"id":0,"kind":"mark","rank":0,"deps":[1]},{"id":1,"kind":"mark","rank":0,"deps":[0]}]}`,
+		`{"ranks":999999999,"ops":[{"id":0,"kind":"mark","rank":0}]}`,
+		`{"ranks":2,"ops":[{"id":0,"kind":"collective","rank":0,"coll":"all-to-all","bytes":-5}]}`,
+		`{"ranks":2,"ops":[{"id":0,"kind":"compute","rank":0,"prio_bias":3}]}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Parse validates; a returned graph must therefore re-validate,
+		// schedule completely, and survive a JSON round trip.
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed graph fails validation: %v", err)
+		}
+		order, err := g.Schedule()
+		if err != nil || len(order) != len(g.Ops) {
+			t.Fatalf("parsed graph does not schedule: %v (%d/%d ops)", err, len(order), len(g.Ops))
+		}
+		var buf strings.Builder
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		back, err := Parse(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(back.Ops) != len(g.Ops) || back.Ranks != g.Ranks {
+			t.Fatalf("round trip changed shape: %d/%d ops, %d/%d ranks",
+				len(back.Ops), len(g.Ops), back.Ranks, g.Ranks)
+		}
+	})
+}

@@ -1,0 +1,405 @@
+// Package graph defines the workload execution-graph IR and its executor:
+// a DAG whose nodes are compute kernels, collective operations and
+// point-to-point transfers, with explicit dependency edges and per-node
+// payload/FLOP metadata. Any training program the simulator can run is
+// expressible as a graph — the fixed per-layer loop of the paper's
+// Section V (lowered from a workload.Model by FromModel), pipeline- and
+// hybrid-parallel microbatch schedules (synthesized by Pipeline), or
+// hand-written / externally generated traces fed in as JSON (Parse).
+// The training package replays every workload through this executor; the
+// lowered legacy workloads are pinned bit-identical to the pre-graph
+// per-layer loop by internal/training's golden test.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"acesim/internal/collectives"
+)
+
+// OpKind discriminates the node types of the IR.
+type OpKind uint8
+
+// Op kinds.
+const (
+	// OpCompute is a kernel on the rank's compute stream (roofline cost
+	// model), or — with Side set — a byte transfer on the rank's
+	// spare-resource side memory stream.
+	OpCompute OpKind = iota
+	// OpCollective is one rank's participation in a collective operation.
+	// The i-th collective issued by each participating rank on a stream
+	// is matched to the same logical collective, so all participants must
+	// issue the same sequence (synchronous SPMD within the group).
+	OpCollective
+	// OpSend is a point-to-point transfer to another rank, routed through
+	// the fabric with endpoint costs at both ends. The op completes when
+	// the payload has been delivered (and sunk) at the destination, so
+	// ops depending on it naturally model the receive side.
+	OpSend
+	// OpMark is a zero-cost annotation: it records the simulated time it
+	// executes at under its name (pass boundaries, trace labels).
+	OpMark
+)
+
+// String names the kind as spelled in the JSON format.
+func (k OpKind) String() string {
+	switch k {
+	case OpCompute:
+		return "compute"
+	case OpCollective:
+		return "collective"
+	case OpSend:
+		return "send"
+	case OpMark:
+		return "mark"
+	}
+	return "unknown"
+}
+
+// Op is one node of the execution graph. Exactly the fields of its Kind
+// apply; Validate rejects mixtures.
+type Op struct {
+	// ID is the op's unique identifier; Deps reference it.
+	ID int
+	// Name labels the op (kernel name, collective name, mark label).
+	Name string
+	Kind OpKind
+	// Rank is the NPU that executes the op (for OpSend: the sender).
+	Rank int
+	// Deps lists the ops that must complete before this op starts.
+	Deps []int
+
+	// Compute fields (roofline: max of MACs at peak and Bytes at the
+	// compute memory share, plus launch overhead).
+	MACs    float64
+	Bytes   int64 // compute: HBM bytes; collective: payload; send: message
+	MaxGBps float64
+	// Side runs the op on the rank's side memory stream instead of the
+	// main compute stream: duration is Bytes at the executor's SideGBps,
+	// the main stream is not occupied. MACs must be zero.
+	Side bool
+
+	// Collective fields.
+	Coll collectives.Kind
+	// Group lists the participating ranks; empty means all ranks.
+	// All-reduce and all-to-all over all ranks execute on the runtime's
+	// topology-aware plans (the paper's hierarchical/direct algorithms);
+	// proper subgroups, reduce-scatter and all-gather execute as logical
+	// rings of routed point-to-point transfers (see groupColl).
+	Group []int
+	// PrioBias lowers the collective's LIFO scheduling priority by the
+	// given number of issue slots (collectives.Spec.PrioBias). It only
+	// applies to collectives the runtime's chunk scheduler executes —
+	// full-fabric all-reduce and all-to-all; the group/ring path has no
+	// priority concept, so Validate rejects a bias there rather than
+	// silently ignoring it.
+	PrioBias int64
+
+	// Send field: destination rank.
+	Dst int
+
+	// Final marks the op whose completion defines the rank's finish time
+	// (at most one per rank). Without one, a rank finishes when all its
+	// ops have completed. The distinction matters for programs that issue
+	// a collective they never wait on: the legacy training loop's
+	// iteration time excludes such drains.
+	Final bool
+}
+
+// Graph is a complete executable workload DAG.
+type Graph struct {
+	Name string
+	// Ranks is the number of NPUs the graph targets; it must match the
+	// fabric the executor runs on.
+	Ranks int
+	Ops   []Op
+}
+
+// canonGroup reports whether the op's group is effectively "all ranks"
+// (empty or covering every rank).
+func (g *Graph) fullGroup(op *Op) bool {
+	return len(op.Group) == 0 || len(op.Group) == g.Ranks
+}
+
+// Validate checks structural well-formedness: unique IDs, ranks and deps
+// in range, per-kind field consistency, and acyclicity (via Schedule).
+func (g *Graph) Validate() error {
+	if g.Ranks <= 0 {
+		return fmt.Errorf("graph: non-positive ranks %d", g.Ranks)
+	}
+	const maxRanks = 1 << 20
+	if g.Ranks > maxRanks {
+		return fmt.Errorf("graph: %d ranks exceeds the %d limit", g.Ranks, maxRanks)
+	}
+	if len(g.Ops) == 0 {
+		return fmt.Errorf("graph: no ops")
+	}
+	byID := make(map[int]*Op, len(g.Ops))
+	finals := make(map[int]bool)
+	for i := range g.Ops {
+		op := &g.Ops[i]
+		if _, dup := byID[op.ID]; dup {
+			return fmt.Errorf("graph: duplicate op id %d", op.ID)
+		}
+		byID[op.ID] = op
+		if op.Rank < 0 || op.Rank >= g.Ranks {
+			return fmt.Errorf("graph: op %d rank %d out of range [0,%d)", op.ID, op.Rank, g.Ranks)
+		}
+		if op.Final {
+			if finals[op.Rank] {
+				return fmt.Errorf("graph: rank %d has more than one final op", op.Rank)
+			}
+			finals[op.Rank] = true
+		}
+		if err := g.validateOp(op); err != nil {
+			return err
+		}
+	}
+	for i := range g.Ops {
+		op := &g.Ops[i]
+		seen := make(map[int]bool, len(op.Deps))
+		for _, d := range op.Deps {
+			if _, ok := byID[d]; !ok {
+				return fmt.Errorf("graph: op %d depends on undefined op %d", op.ID, d)
+			}
+			if d == op.ID {
+				return fmt.Errorf("graph: op %d depends on itself", op.ID)
+			}
+			if seen[d] {
+				return fmt.Errorf("graph: op %d lists dep %d twice", op.ID, d)
+			}
+			seen[d] = true
+		}
+	}
+	_, err := g.Schedule()
+	return err
+}
+
+// validateOp checks the per-kind field constraints of one op.
+func (g *Graph) validateOp(op *Op) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("graph: op %d (%s): %s", op.ID, op.Kind, fmt.Sprintf(format, args...))
+	}
+	clean := func(checks ...bool) bool {
+		for _, violated := range checks {
+			if violated {
+				return false
+			}
+		}
+		return true
+	}
+	switch op.Kind {
+	case OpCompute:
+		if op.MACs < 0 || op.Bytes < 0 || op.MaxGBps < 0 {
+			return fail("negative cost (macs=%g bytes=%d max_gbps=%g)", op.MACs, op.Bytes, op.MaxGBps)
+		}
+		if op.Side && (op.MACs != 0 || op.Bytes <= 0) {
+			return fail("side ops are byte transfers (macs=%g bytes=%d)", op.MACs, op.Bytes)
+		}
+		if !clean(len(op.Group) > 0, op.PrioBias != 0, op.Dst != 0) {
+			return fail("collective/send fields set")
+		}
+	case OpCollective:
+		if op.Bytes <= 0 {
+			return fail("non-positive payload %d", op.Bytes)
+		}
+		switch op.Coll {
+		case collectives.AllReduce, collectives.AllToAll, collectives.ReduceScatter, collectives.AllGather:
+		default:
+			return fail("unknown collective kind %d", op.Coll)
+		}
+		if !clean(op.MACs != 0, op.MaxGBps != 0, op.Side, op.Dst != 0) {
+			return fail("compute/send fields set")
+		}
+		if len(op.Group) > 0 {
+			if len(op.Group) < 2 {
+				return fail("group of %d ranks (want >= 2 or empty for all)", len(op.Group))
+			}
+			seen := make(map[int]bool, len(op.Group))
+			self := false
+			for _, r := range op.Group {
+				if r < 0 || r >= g.Ranks {
+					return fail("group rank %d out of range [0,%d)", r, g.Ranks)
+				}
+				if seen[r] {
+					return fail("group lists rank %d twice", r)
+				}
+				seen[r] = true
+				if r == op.Rank {
+					self = true
+				}
+			}
+			if !self {
+				return fail("group %v does not include the issuing rank %d", op.Group, op.Rank)
+			}
+		}
+		if g.fullGroup(op) && g.Ranks < 2 {
+			return fail("collective over a single rank")
+		}
+		if op.PrioBias != 0 &&
+			(!g.fullGroup(op) || (op.Coll != collectives.AllReduce && op.Coll != collectives.AllToAll)) {
+			return fail("prio_bias only applies to full-fabric all-reduce/all-to-all (the group/ring path has no priority)")
+		}
+	case OpSend:
+		if op.Bytes <= 0 {
+			return fail("non-positive payload %d", op.Bytes)
+		}
+		if op.Dst < 0 || op.Dst >= g.Ranks {
+			return fail("dst %d out of range [0,%d)", op.Dst, g.Ranks)
+		}
+		if op.Dst == op.Rank {
+			return fail("send to self")
+		}
+		if !clean(op.MACs != 0, op.MaxGBps != 0, op.Side, len(op.Group) > 0, op.PrioBias != 0) {
+			return fail("compute/collective fields set")
+		}
+	case OpMark:
+		if !clean(op.MACs != 0, op.Bytes != 0, op.MaxGBps != 0, op.Side,
+			len(op.Group) > 0, op.PrioBias != 0, op.Dst != 0) {
+			return fail("payload fields set")
+		}
+	default:
+		return fmt.Errorf("graph: op %d has unknown kind %d", op.ID, op.Kind)
+	}
+	return nil
+}
+
+// Schedule returns a stable topological order over the ops: Kahn's
+// algorithm with the smallest-ID ready op first. The order is a pure
+// function of the graph, independent of input op order; the executor
+// breaks same-instant ties with it, which is what makes graph replay
+// deterministic. An error reports a dependency cycle.
+func (g *Graph) Schedule() ([]int, error) {
+	idx := make(map[int]int, len(g.Ops)) // op ID -> position in g.Ops
+	for i := range g.Ops {
+		idx[g.Ops[i].ID] = i
+	}
+	indeg := make([]int, len(g.Ops))
+	dependents := make([][]int, len(g.Ops))
+	for i := range g.Ops {
+		op := &g.Ops[i]
+		indeg[i] = len(op.Deps)
+		for _, d := range op.Deps {
+			j := idx[d]
+			dependents[j] = append(dependents[j], i)
+		}
+	}
+	ready := &idHeap{}
+	for i := range g.Ops {
+		if indeg[i] == 0 {
+			ready.push(g.Ops[i].ID)
+		}
+	}
+	order := make([]int, 0, len(g.Ops))
+	for ready.len() > 0 {
+		id := ready.pop()
+		order = append(order, id)
+		for _, j := range dependents[idx[id]] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				ready.push(g.Ops[j].ID)
+			}
+		}
+	}
+	if len(order) != len(g.Ops) {
+		return nil, fmt.Errorf("graph: dependency cycle (%d of %d ops schedulable)", len(order), len(g.Ops))
+	}
+	return order, nil
+}
+
+// idHeap is a min-heap of op IDs (the ready set of Schedule and the
+// executor's same-instant worklist).
+type idHeap struct{ ids []int }
+
+func (h *idHeap) len() int { return len(h.ids) }
+
+func (h *idHeap) push(id int) {
+	h.ids = append(h.ids, id)
+	i := len(h.ids) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.ids[p] <= h.ids[i] {
+			break
+		}
+		h.ids[p], h.ids[i] = h.ids[i], h.ids[p]
+		i = p
+	}
+}
+
+func (h *idHeap) pop() int {
+	top := h.ids[0]
+	n := len(h.ids) - 1
+	h.ids[0] = h.ids[n]
+	h.ids = h.ids[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.ids[l] < h.ids[min] {
+			min = l
+		}
+		if r < n && h.ids[r] < h.ids[min] {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h.ids[i], h.ids[min] = h.ids[min], h.ids[i]
+		i = min
+	}
+	return top
+}
+
+// Stats summarizes a graph for listings and reports.
+type Stats struct {
+	Ops         int
+	Computes    int
+	Collectives int
+	Sends       int
+	Marks       int
+	// CollBytes / SendBytes sum the per-op payloads.
+	CollBytes int64
+	SendBytes int64
+}
+
+// Stats counts the graph's ops by kind.
+func (g *Graph) Stats() Stats {
+	var s Stats
+	s.Ops = len(g.Ops)
+	for i := range g.Ops {
+		op := &g.Ops[i]
+		switch op.Kind {
+		case OpCompute:
+			s.Computes++
+		case OpCollective:
+			s.Collectives++
+			s.CollBytes += op.Bytes
+		case OpSend:
+			s.Sends++
+			s.SendBytes += op.Bytes
+		case OpMark:
+			s.Marks++
+		}
+	}
+	return s
+}
+
+// groupKey canonicalizes a collective op's group for matching: the sorted
+// member list rendered as a string ("" for all ranks).
+func (g *Graph) groupKey(op *Op) string {
+	if g.fullGroup(op) {
+		return ""
+	}
+	members := append([]int(nil), op.Group...)
+	sort.Ints(members)
+	return fmt.Sprint(members)
+}
+
+// groupMembers returns the op's participating ranks in canonical (sorted)
+// order; nil means all ranks.
+func groupMembers(op *Op) []int {
+	members := append([]int(nil), op.Group...)
+	sort.Ints(members)
+	return members
+}

@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"fmt"
+
+	"acesim/internal/collectives"
+	"acesim/internal/noc"
+)
+
+// Group collectives — collective ops whose Group is a proper subset of
+// the fabric's ranks, plus full-fabric reduce-scatter / all-gather (which
+// have no hierarchical torus plan) — execute as logical rings of routed
+// point-to-point transfers: the members form a ring in sorted-rank order,
+// each hop is a collectives.SendP2P (endpoint pass-through costs at both
+// ends, XYZ-routed links between), and the standard ring step counts
+// apply (G−1 for reduce-scatter and all-gather, 2(G−1) for all-reduce;
+// all-to-all sends one segment directly to every other member). This is
+// the model hybrid data+pipeline schedules use for their per-stage
+// gradient all-reduces: stages map to torus partitions, so the ring hops
+// are short routed paths inside the stage's slab.
+//
+// Like the runtime's streams, issues are matched positionally: the i-th
+// group collective issued by each member over the same member set is the
+// same logical collective, and all members must agree on kind and
+// payload.
+
+// groupMatch is the per-group-key match list.
+type groupMatch struct {
+	colls  []*groupColl
+	issued map[int]int // per-rank issue counter
+}
+
+// groupColl is one logical group collective in flight.
+type groupColl struct {
+	run     *Run
+	name    string
+	kind    collectives.Kind
+	bytes   int64
+	seg     int64
+	steps   int   // receives (== sends) per member
+	members []int // sorted rank list
+	mIdx    map[int]int
+	st      []gcMember
+}
+
+// gcMember is one member rank's progress.
+type gcMember struct {
+	issued   bool
+	pos      int // schedule position of the member's op
+	recvd    int
+	buffered int // arrivals that beat the local issue
+	sent     int
+	done     bool
+}
+
+// ceilDivInt64 divides rounding up.
+func ceilDivInt64(a int64, b int) int64 {
+	bb := int64(b)
+	return (a + bb - 1) / bb
+}
+
+// groupIssue registers that op.Rank reached its group collective point.
+func (r *Run) groupIssue(pos int, op *Op) {
+	key := r.g.groupKey(op)
+	gm := r.groups[key]
+	if gm == nil {
+		gm = &groupMatch{issued: make(map[int]int)}
+		r.groups[key] = gm
+	}
+	seq := gm.issued[op.Rank]
+	gm.issued[op.Rank] = seq + 1
+	var gc *groupColl
+	switch {
+	case seq < len(gm.colls):
+		gc = gm.colls[seq]
+		if gc.kind != op.Coll || gc.bytes != op.Bytes {
+			panic(fmt.Sprintf("graph: rank %d issued %s/%dB as group collective %d, expected %s/%dB: asymmetric graph",
+				op.Rank, op.Coll, op.Bytes, seq, gc.kind, gc.bytes))
+		}
+	case seq == len(gm.colls):
+		members := groupMembers(op)
+		if len(members) == 0 { // full fabric (reduce-scatter / all-gather)
+			members = make([]int, r.g.Ranks)
+			for i := range members {
+				members[i] = i
+			}
+		}
+		g := len(members)
+		gc = &groupColl{
+			run: r, name: r.tag(op.Name), kind: op.Coll, bytes: op.Bytes,
+			seg: ceilDivInt64(op.Bytes, g), members: members,
+			mIdx: make(map[int]int, g), st: make([]gcMember, g),
+		}
+		switch op.Coll {
+		case collectives.AllReduce:
+			gc.steps = 2 * (g - 1)
+		default: // reduce-scatter, all-gather, all-to-all
+			gc.steps = g - 1
+		}
+		for i, m := range members {
+			gc.mIdx[m] = i
+		}
+		gm.colls = append(gm.colls, gc)
+	default:
+		panic("graph: group issue sequence out of order")
+	}
+	gc.attach(op.Rank, pos)
+}
+
+// attach marks the member issued, fires its first send(s), and replays
+// arrivals that beat the issue.
+func (gc *groupColl) attach(rank, pos int) {
+	i, ok := gc.mIdx[rank]
+	if !ok {
+		panic(fmt.Sprintf("graph: rank %d issued group collective %q with a different member set", rank, gc.name))
+	}
+	st := &gc.st[i]
+	if st.issued {
+		panic(fmt.Sprintf("graph: rank %d attached twice to group collective %q", rank, gc.name))
+	}
+	st.issued = true
+	st.pos = pos
+	if gc.kind == collectives.AllToAll {
+		// Direct exchange: one segment to every other member.
+		for off := 1; off < len(gc.members); off++ {
+			gc.send(i, (i+off)%len(gc.members))
+		}
+	} else {
+		gc.send(i, gc.next(i))
+	}
+	for st.buffered > 0 && !st.done {
+		st.buffered--
+		gc.process(i)
+	}
+}
+
+// next returns the ring successor's member index.
+func (gc *groupColl) next(i int) int { return (i + 1) % len(gc.members) }
+
+// send routes one segment from member i to member j.
+func (gc *groupColl) send(i, j int) {
+	gc.st[i].sent++
+	rt := gc.run.x.RT
+	src, dst := gc.members[i], gc.members[j]
+	rt.SendP2P(noc.NodeID(src), noc.NodeID(dst), gc.seg, func() { gc.arrive(j) })
+}
+
+// arrive handles a segment delivered at member j.
+func (gc *groupColl) arrive(j int) {
+	st := &gc.st[j]
+	if !st.issued {
+		st.buffered++
+		return
+	}
+	gc.process(j)
+}
+
+// process consumes one received segment at member i: forward it along the
+// ring if sends remain, and complete the member once every expected
+// segment has arrived.
+func (gc *groupColl) process(i int) {
+	st := &gc.st[i]
+	st.recvd++
+	if st.recvd > gc.steps {
+		panic(fmt.Sprintf("graph: group collective %q over-received at rank %d", gc.name, gc.members[i]))
+	}
+	if gc.kind != collectives.AllToAll && st.sent < gc.steps {
+		gc.send(i, gc.next(i))
+	}
+	if st.recvd == gc.steps && !st.done {
+		st.done = true
+		gc.run.opDone(st.pos)
+	}
+}

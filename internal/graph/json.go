@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"acesim/internal/collectives"
+)
+
+// The JSON graph format mirrors the IR one-to-one:
+//
+//	{
+//	  "name": "my-trace",
+//	  "ranks": 16,
+//	  "ops": [
+//	    {"id": 0, "kind": "compute", "rank": 0, "name": "l0.fwd",
+//	     "macs": 1e9, "bytes": 3145728},
+//	    {"id": 1, "kind": "collective", "rank": 0, "coll": "all-reduce",
+//	     "bytes": 1048576, "deps": [0], "prio_bias": 1, "group": [0, 1]},
+//	    {"id": 2, "kind": "send", "rank": 0, "dst": 4, "bytes": 65536,
+//	     "deps": [0]},
+//	    {"id": 3, "kind": "mark", "rank": 0, "name": "end", "deps": [2],
+//	     "final": true}
+//	  ]
+//	}
+//
+// Unknown fields are rejected so typos surface at validate time. Parse
+// validates the decoded graph's structure; two properties remain
+// run-time checks — the rank count must match the platform, and matched
+// collectives must be issued symmetrically (same kind, payload and
+// order by every participant). An asymmetric trace fails its run with
+// an error rather than executing wrongly (exper.RunGraph).
+
+// opJSON is the wire form of one op.
+type opJSON struct {
+	ID    int    `json:"id"`
+	Kind  string `json:"kind"`
+	Rank  int    `json:"rank"`
+	Name  string `json:"name,omitempty"`
+	Deps  []int  `json:"deps,omitempty"`
+	Final bool   `json:"final,omitempty"`
+
+	MACs    float64 `json:"macs,omitempty"`
+	Bytes   int64   `json:"bytes,omitempty"`
+	MaxGBps float64 `json:"max_gbps,omitempty"`
+	Side    bool    `json:"side,omitempty"`
+
+	Coll     string `json:"coll,omitempty"`
+	Group    []int  `json:"group,omitempty"`
+	PrioBias int64  `json:"prio_bias,omitempty"`
+
+	Dst int `json:"dst,omitempty"`
+}
+
+// graphJSON is the wire form of a graph document.
+type graphJSON struct {
+	Name  string   `json:"name"`
+	Ranks int      `json:"ranks"`
+	Ops   []opJSON `json:"ops"`
+}
+
+// parseKind resolves an op kind name.
+func parseKind(s string) (OpKind, error) {
+	for _, k := range []OpKind{OpCompute, OpCollective, OpSend, OpMark} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown op kind %q (want compute, collective, send or mark)", s)
+}
+
+// parseColl resolves a collective kind name as spelled by
+// collectives.Kind.String.
+func parseColl(s string) (collectives.Kind, error) {
+	for _, k := range []collectives.Kind{
+		collectives.AllReduce, collectives.AllToAll,
+		collectives.ReduceScatter, collectives.AllGather,
+	} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown collective %q (want all-reduce, all-to-all, reduce-scatter or all-gather)", s)
+}
+
+// Parse decodes and validates a JSON graph.
+func Parse(r io.Reader) (*Graph, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var gj graphJSON
+	if err := dec.Decode(&gj); err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("graph: trailing data after graph object")
+	}
+	g := &Graph{Name: gj.Name, Ranks: gj.Ranks, Ops: make([]Op, 0, len(gj.Ops))}
+	for i, oj := range gj.Ops {
+		kind, err := parseKind(oj.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("graph: op %d: %w", i, err)
+		}
+		op := Op{
+			ID: oj.ID, Name: oj.Name, Kind: kind, Rank: oj.Rank,
+			Deps: oj.Deps, Final: oj.Final,
+			MACs: oj.MACs, Bytes: oj.Bytes, MaxGBps: oj.MaxGBps, Side: oj.Side,
+			Group: oj.Group, PrioBias: oj.PrioBias, Dst: oj.Dst,
+		}
+		if kind == OpCollective {
+			if op.Coll, err = parseColl(oj.Coll); err != nil {
+				return nil, fmt.Errorf("graph: op %d: %w", i, err)
+			}
+		} else if oj.Coll != "" {
+			return nil, fmt.Errorf("graph: op %d: coll set on a %s op", i, kind)
+		}
+		g.Ops = append(g.Ops, op)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Load reads, parses and validates a graph file.
+func Load(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	g, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("graph %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// WriteJSON serializes the graph as indented JSON in the wire format
+// Parse accepts.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	gj := graphJSON{Name: g.Name, Ranks: g.Ranks, Ops: make([]opJSON, 0, len(g.Ops))}
+	for i := range g.Ops {
+		op := &g.Ops[i]
+		oj := opJSON{
+			ID: op.ID, Kind: op.Kind.String(), Rank: op.Rank, Name: op.Name,
+			Deps: op.Deps, Final: op.Final,
+			MACs: op.MACs, Bytes: op.Bytes, MaxGBps: op.MaxGBps, Side: op.Side,
+			Group: op.Group, PrioBias: op.PrioBias, Dst: op.Dst,
+		}
+		if op.Kind == OpCollective {
+			oj.Coll = op.Coll.String()
+		}
+		gj.Ops = append(gj.Ops, oj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(gj)
+}

@@ -1,0 +1,143 @@
+package graph_test
+
+import (
+	"testing"
+
+	"acesim/internal/collectives"
+	"acesim/internal/exper"
+	"acesim/internal/graph"
+	"acesim/internal/system"
+	"acesim/internal/workload"
+)
+
+func synth(t *testing.T, m *workload.Model, sched graph.PipeSchedule, stages, mbs int) *graph.Graph {
+	t.Helper()
+	g, err := graph.Pipeline(graph.PipelineConfig{
+		Model:        m,
+		Ranks:        16,
+		Stages:       stages,
+		Microbatches: mbs,
+		Schedule:     sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func runPipe(t *testing.T, g *graph.Graph) exper.GraphResult {
+	t.Helper()
+	res, err := exper.RunGraph(system.NewSpec(torus16, system.ACE), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Span <= 0 || res.Compute <= 0 {
+		t.Fatalf("degenerate pipeline result %+v", res)
+	}
+	return res
+}
+
+// TestPipeline1F1BReducesExposure is the headline pipeline property: with
+// hybrid data+pipeline parallelism, the 1F1B schedule (per-layer gradient
+// all-reduces overlapped with the drain and the next iteration's forward)
+// exposes less communication than the blocking GPipe schedule (one fused
+// all-reduce per stage, waited on before the next iteration). GNMT is the
+// natural pipeline workload: small inter-stage activations, heavy
+// gradients, so the all-reduce schedule dominates.
+func TestPipeline1F1BReducesExposure(t *testing.T) {
+	m := workload.GNMT(workload.GNMTBatch)
+	gpipe := runPipe(t, synth(t, m, graph.GPipe, 4, 4))
+	ofob := runPipe(t, synth(t, m, graph.OneFOneB, 4, 4))
+	if ofob.Exposed >= gpipe.Exposed {
+		t.Fatalf("1F1B exposed %v, not below GPipe's %v", ofob.Exposed, gpipe.Exposed)
+	}
+	if ofob.Span >= gpipe.Span {
+		t.Fatalf("1F1B span %v, not below GPipe's %v", ofob.Span, gpipe.Span)
+	}
+}
+
+// TestPurePipelineRuns covers the degenerate one-replica-per-stage case:
+// no gradient collectives at all, communication is only inter-stage
+// activations and gradients.
+func TestPurePipelineRuns(t *testing.T) {
+	g, err := graph.Pipeline(graph.PipelineConfig{
+		Model:        workload.ResNet50(workload.ResNet50Batch),
+		Ranks:        16,
+		Stages:       16,
+		Microbatches: 4,
+		Schedule:     graph.OneFOneB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().Collectives != 0 {
+		t.Fatalf("pure pipeline has %d collectives", g.Stats().Collectives)
+	}
+	if g.Stats().Sends == 0 {
+		t.Fatal("pure pipeline has no inter-stage transfers")
+	}
+	runPipe(t, g)
+}
+
+// TestPipelineDeterminism: two identical syntheses and runs agree
+// bit-for-bit.
+func TestPipelineDeterminism(t *testing.T) {
+	m := workload.ResNet50(workload.ResNet50Batch)
+	a := runPipe(t, synth(t, m, graph.OneFOneB, 4, 2))
+	b := runPipe(t, synth(t, m, graph.OneFOneB, 4, 2))
+	if a != b {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestPipelineConfigRejects(t *testing.T) {
+	m := workload.ResNet50(workload.ResNet50Batch)
+	bad := []graph.PipelineConfig{
+		{Model: nil, Ranks: 16, Stages: 4, Microbatches: 1},
+		{Model: m, Ranks: 16, Stages: 1, Microbatches: 1},
+		{Model: m, Ranks: 16, Stages: 5, Microbatches: 1},
+		{Model: m, Ranks: 16, Stages: 4, Microbatches: 0},
+		{Model: workload.DLRM(workload.DLRMBatch), Ranks: 16, Stages: 4, Microbatches: 1},
+		{Model: m, Ranks: 16, Stages: 100, Microbatches: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := graph.Pipeline(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestAsymmetricGraphFailsGracefully: a structurally valid but
+// runtime-asymmetric trace (two ranks issuing the same group collective
+// with different payloads) must fail its run with an error, not crash
+// the process.
+func TestAsymmetricGraphFailsGracefully(t *testing.T) {
+	g := &graph.Graph{Name: "asym", Ranks: 16, Ops: []graph.Op{
+		{ID: 0, Kind: graph.OpCollective, Rank: 0, Coll: collectives.AllGather, Bytes: 100, Group: []int{0, 1}},
+		{ID: 1, Kind: graph.OpCollective, Rank: 1, Coll: collectives.AllGather, Bytes: 200, Group: []int{0, 1}},
+	}}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("structure should validate: %v", err)
+	}
+	if _, err := exper.RunGraph(system.NewSpec(torus16, system.ACE), g); err == nil {
+		t.Fatal("asymmetric group collective ran without error")
+	}
+	// Same for a full-fabric collective with per-rank payload mismatch.
+	g2 := &graph.Graph{Name: "asym-full", Ranks: 16}
+	for r := 0; r < 16; r++ {
+		bytes := int64(1 << 20)
+		if r == 7 {
+			bytes = 2 << 20
+		}
+		g2.Ops = append(g2.Ops, graph.Op{
+			ID: r, Kind: graph.OpCollective, Rank: r,
+			Coll: collectives.AllReduce, Bytes: bytes,
+		})
+	}
+	if _, err := exper.RunGraph(system.NewSpec(torus16, system.ACE), g2); err == nil {
+		t.Fatal("asymmetric full-fabric collective ran without error")
+	}
+}

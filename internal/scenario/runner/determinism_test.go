@@ -40,3 +40,37 @@ func TestMultiJobWorkerDeterminism(t *testing.T) {
 		t.Fatalf("workers=1 and workers=8 disagree:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, parallel)
 	}
 }
+
+// TestPipelineWorkerDeterminism runs the bundled pipeline scenario (two
+// synthesized GNMT pipeline graphs — GPipe and 1F1B) at workers=1 and
+// workers=8 and requires byte-identical JSON renderings, the same
+// guarantee the multijob fixture pins for co-run jobs.
+func TestPipelineWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GNMT pipeline simulations in -short mode")
+	}
+	sc, err := scenario.Load("../../../examples/scenarios/pipeline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int) []byte {
+		t.Helper()
+		res, err := Run(sc, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fails := res.Failures(); len(fails) > 0 {
+			t.Fatalf("bundled pipeline scenario failed its assertions: %v", fails)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("workers=1 and workers=8 disagree:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, parallel)
+	}
+}

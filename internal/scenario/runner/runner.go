@@ -9,12 +9,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"path/filepath"
 	"runtime"
 	"sync"
 
 	"acesim/internal/collectives"
 	"acesim/internal/des"
 	"acesim/internal/exper"
+	"acesim/internal/graph"
 	"acesim/internal/noc"
 	"acesim/internal/report"
 	"acesim/internal/scenario"
@@ -129,8 +131,24 @@ func describe(u scenario.Unit) string {
 		return fmt.Sprintf("%s ar=%gMB", u.Kernel.KernelName(), payloadMB(u.Bytes))
 	case scenario.KindMultiJob:
 		return fmt.Sprintf("%s %s multijob[%d]", u.Torus, u.Preset, len(u.SubJobs))
+	case scenario.KindGraph:
+		return fmt.Sprintf("%s %s graph %s", u.Torus, u.Preset, graphLabel(u))
 	}
 	return string(u.Kind)
+}
+
+// graphLabel names a graph unit's source for tables and errors. The
+// pipe<stages>x<replicas> notation matches graph.Pipeline's graph
+// naming; microbatches get their own mb marker so the two cannot be
+// confused.
+func graphLabel(u scenario.Unit) string {
+	if u.GraphFile != "" {
+		return filepath.Base(u.GraphFile)
+	}
+	p := u.Pipeline
+	sched, _ := graph.ParsePipeSchedule(p.Schedule)
+	return fmt.Sprintf("%s/pipe%dx%d/mb%d/%s",
+		p.Workload, p.Stages, u.Torus.N()/p.Stages, p.Microbatches, sched)
 }
 
 // payloadMB converts a payload to MB without truncating sub-MB sweeps.
@@ -253,8 +271,61 @@ func execUnit(u scenario.Unit, alone map[int64]float64) (map[string]float64, err
 		}, nil
 	case scenario.KindMultiJob:
 		return execMultiJob(u)
+	case scenario.KindGraph:
+		return execGraph(u)
 	}
 	return nil, fmt.Errorf("unknown unit kind %q", u.Kind)
+}
+
+// execGraph resolves the unit's graph — a JSON file or a pipeline
+// synthesis — and runs it on a freshly built platform.
+func execGraph(u scenario.Unit) (map[string]float64, error) {
+	var g *graph.Graph
+	var err error
+	if u.GraphFile != "" {
+		g, err = graph.Load(u.GraphFile)
+		if err != nil {
+			return nil, err
+		}
+		if g.Ranks != u.Torus.N() {
+			return nil, fmt.Errorf("graph %s targets %d ranks, torus %s has %d", u.GraphFile, g.Ranks, u.Torus, u.Torus.N())
+		}
+	} else {
+		p := u.Pipeline
+		m, err := workload.ByName(p.Workload)
+		if err != nil {
+			return nil, err
+		}
+		sched, err := graph.ParsePipeSchedule(p.Schedule)
+		if err != nil {
+			return nil, err
+		}
+		g, err = graph.Pipeline(graph.PipelineConfig{
+			Model:        m,
+			Ranks:        u.Torus.N(),
+			Stages:       p.Stages,
+			Microbatches: p.Microbatches,
+			Schedule:     sched,
+			Iterations:   p.Iterations,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := exper.RunGraph(buildSpec(u), g)
+	if err != nil {
+		return nil, err
+	}
+	frac := 0.0
+	if res.Span > 0 {
+		frac = float64(res.Exposed) / float64(res.Span)
+	}
+	return map[string]float64{
+		"graph_span_us":      res.Span.Micros(),
+		"graph_compute_us":   res.Compute.Micros(),
+		"graph_exposed_us":   res.Exposed.Micros(),
+		"graph_exposed_frac": frac,
+	}, nil
 }
 
 // execMultiJob co-runs the unit's sub-jobs via exper.Interference and
@@ -375,6 +446,9 @@ func (r *Results) Tables() []*report.Table {
 		case scenario.KindMultiJob:
 			t = report.New(r.Name+": multijob (per-job slowdown vs solo)",
 				"torus", "preset", "job", "placement", "kind", "solo us", "co-run us", "slowdown")
+		case scenario.KindGraph:
+			t = report.New(r.Name+": graphs (span / busiest-rank compute)",
+				"torus", "preset", "graph", "span us", "compute us", "exposed us", "exposed frac")
 		}
 		byKind[k] = t
 		tabs = append(tabs, t)
@@ -405,6 +479,9 @@ func (r *Results) Tables() []*report.Table {
 				get(u.Kind).Add(u.Torus.String(), u.Preset.String(), sj.Name, placement, kind,
 					m[sj.Name+"_solo_us"], m[sj.Name+"_co_us"], m[sj.Name+"_slowdown"])
 			}
+		case scenario.KindGraph:
+			get(u.Kind).Add(u.Torus.String(), u.Preset.String(), graphLabel(u),
+				m["graph_span_us"], m["graph_compute_us"], m["graph_exposed_us"], m["graph_exposed_frac"])
 		}
 	}
 	if len(r.Assertions) > 0 {
@@ -432,6 +509,7 @@ type unitJSON struct {
 	Workload     string             `json:"workload,omitempty"`
 	Kernel       string             `json:"kernel,omitempty"`
 	Jobs         []string           `json:"jobs,omitempty"`
+	Graph        string             `json:"graph,omitempty"`
 	Metrics      map[string]float64 `json:"metrics"`
 }
 
@@ -460,6 +538,9 @@ func (r *Results) WriteJSON(w io.Writer) error {
 			for _, sj := range u.SubJobs {
 				uj.Jobs = append(uj.Jobs, sj.Name)
 			}
+		case scenario.KindGraph:
+			uj.Torus, uj.Preset = u.Torus.String(), u.Preset.String()
+			uj.Graph = graphLabel(u)
 		}
 		out.Units = append(out.Units, uj)
 	}

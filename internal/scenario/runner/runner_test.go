@@ -3,6 +3,7 @@ package runner
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -224,5 +225,63 @@ func TestOutputFormats(t *testing.T) {
 	}
 	if !strings.HasPrefix(csv.String(), "torus,preset,collective,MB") {
 		t.Fatalf("csv header wrong:\n%s", csv.String())
+	}
+}
+
+// TestGraphUnits runs a graph job end to end: a pipeline synthesis and a
+// graph file referenced relative to the scenario file's directory.
+func TestGraphUnits(t *testing.T) {
+	dir := t.TempDir()
+	graphJSON := `{
+	  "name": "two-rank",
+	  "ranks": 16,
+	  "ops": [
+	    {"id": 0, "kind": "compute", "rank": 0, "name": "k", "macs": 1e9, "bytes": 1048576},
+	    {"id": 1, "kind": "send", "rank": 0, "dst": 3, "bytes": 65536, "deps": [0]},
+	    {"id": 2, "kind": "mark", "rank": 3, "name": "end", "deps": [1], "final": true}
+	  ]
+	}`
+	if err := os.WriteFile(filepath.Join(dir, "trace.json"), []byte(graphJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	scJSON := `{
+	  "name": "graph-units",
+	  "platform": {"toruses": ["4x2x2"], "presets": ["ACE"]},
+	  "jobs": [
+	    {"kind": "graph", "graph": "trace.json"},
+	    {"kind": "graph", "pipeline": {"workload": "resnet50", "stages": 4, "microbatches": 2, "schedule": "1f1b", "iterations": 1}}
+	  ],
+	  "assertions": [
+	    {"metric": "graph_span_us", "op": ">", "value": 0},
+	    {"metric": "graph_exposed_us", "op": ">=", "value": 0}
+	  ]
+	}`
+	path := filepath.Join(dir, "sc.json")
+	if err := os.WriteFile(path, []byte(scJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sc, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := res.Failures(); len(fails) > 0 {
+		t.Fatalf("assertions failed: %v", fails)
+	}
+	if len(res.Units) != 2 {
+		t.Fatalf("%d units, want 2", len(res.Units))
+	}
+	if res.Units[0].Metrics["graph_span_us"] <= 0 {
+		t.Fatalf("file graph span = %g", res.Units[0].Metrics["graph_span_us"])
+	}
+	// The trace's rank count must match the torus; a mismatching platform
+	// errors rather than mis-running.
+	bad := *sc
+	bad.Platform = &scenario.Platform{Toruses: []string{"4x4x2"}}
+	if _, err := Run(&bad, Options{}); err == nil {
+		t.Fatal("ran a 16-rank trace on a 32-node torus")
 	}
 }

@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"acesim/internal/collectives"
+	"acesim/internal/graph"
 	"acesim/internal/noc"
 	"acesim/internal/system"
 	"acesim/internal/workload"
@@ -32,6 +34,11 @@ type Scenario struct {
 	Platform   *Platform   `json:"platform,omitempty"`
 	Jobs       []Job       `json:"jobs"`
 	Assertions []Assertion `json:"assertions,omitempty"`
+
+	// dir is the scenario file's directory (set by Load); relative graph
+	// paths resolve against it. Scenarios parsed from a reader resolve
+	// against the working directory.
+	dir string
 }
 
 // Platform is the grid of simulated platforms: the cross product of
@@ -79,6 +86,10 @@ const (
 	// shared full fabric or on disjoint sub-torus partitions — and
 	// reports each sub-job's slowdown against its solo baseline.
 	KindMultiJob JobKind = "multijob"
+	// KindGraph runs a workload execution graph on every platform grid
+	// point: a hand-written (or externally generated) JSON graph file, or
+	// a pipeline-parallel schedule synthesized from a bundled workload.
+	KindGraph JobKind = "graph"
 )
 
 // Job is one sweep within a scenario.
@@ -104,6 +115,30 @@ type Job struct {
 	// Arbitration selects how concurrent sub-jobs share each node's
 	// endpoint on a shared fabric: "lifo" (default) or "round-robin".
 	Arbitration string `json:"arbitration,omitempty"`
+	// Graph names a JSON execution-graph file for graph jobs (resolved
+	// relative to the scenario file). The graph's rank count must match
+	// every torus of the platform grid.
+	Graph string `json:"graph,omitempty"`
+	// Pipeline synthesizes a pipeline-parallel execution graph for graph
+	// jobs instead of loading one from a file.
+	Pipeline *PipelineSpec `json:"pipeline,omitempty"`
+}
+
+// PipelineSpec describes a synthesized pipeline-parallel graph job: the
+// named workload's layer stack split over Stages stages (each torus's
+// nodes divided evenly, so stages map to contiguous rank slabs), with
+// the per-NPU mini-batch split into Microbatches.
+type PipelineSpec struct {
+	Workload     string `json:"workload"`
+	Stages       int    `json:"stages"`
+	Microbatches int    `json:"microbatches"`
+	// Schedule is "gpipe" (default: all forwards, then all backwards,
+	// one fused blocking all-reduce per stage) or "1f1b" (warmup +
+	// one-forward-one-backward steady state, per-layer all-reduces
+	// overlapped with the drain and the next iteration's forward).
+	Schedule string `json:"schedule,omitempty"`
+	// Iterations overrides the paper's two-iteration default (0 keeps it).
+	Iterations int `json:"iterations,omitempty"`
 }
 
 // SubJob is one concurrent job of a multijob group: a training workload
@@ -266,6 +301,13 @@ var Metrics = map[string]JobKind{
 	// "<name>_solo_us", "<name>_co_us" and "<name>_slowdown").
 	"job_slowdown_max": KindMultiJob,
 	"job_slowdown_min": KindMultiJob,
+	// graph metrics: span is the last rank's finish time, compute the
+	// busiest rank's kernel time, exposed their difference (communication
+	// plus pipeline bubbles not hidden behind the critical rank).
+	"graph_span_us":      KindGraph,
+	"graph_compute_us":   KindGraph,
+	"graph_exposed_us":   KindGraph,
+	"graph_exposed_frac": KindGraph,
 }
 
 // Unit is one independent work item of an expanded scenario: a single
@@ -301,6 +343,10 @@ type Unit struct {
 	// Multijob unit.
 	SubJobs     []SubJob
 	Arbitration string
+
+	// Graph unit: a resolved graph-file path, or a pipeline synthesis.
+	GraphFile string
+	Pipeline  *PipelineSpec
 }
 
 // Load reads and parses a scenario file. Call Validate (or Expand) to
@@ -315,6 +361,7 @@ func Load(path string) (*Scenario, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", path, err)
 	}
+	sc.dir = filepath.Dir(path)
 	return sc, nil
 }
 
@@ -396,8 +443,9 @@ func (s *Scenario) Expand() ([]Unit, error) {
 			if err != nil {
 				return fail("%v", err)
 			}
-			if len(j.Workloads) > 0 || len(j.Kernels) > 0 || len(j.Jobs) > 0 || j.Arbitration != "" {
-				return fail("workloads/kernels/jobs/arbitration do not apply to collective jobs")
+			if len(j.Workloads) > 0 || len(j.Kernels) > 0 || len(j.Jobs) > 0 || j.Arbitration != "" ||
+				j.Graph != "" || j.Pipeline != nil {
+				return fail("workloads/kernels/jobs/arbitration/graph/pipeline do not apply to collective jobs")
 			}
 			for _, t := range toruses {
 				for _, p := range presets {
@@ -432,8 +480,9 @@ func (s *Scenario) Expand() ([]Unit, error) {
 			if j.Iterations < 0 {
 				return fail("negative iterations")
 			}
-			if len(j.PayloadsMB) > 0 || len(j.PayloadBytes) > 0 || len(j.Kernels) > 0 || len(j.Jobs) > 0 || j.Arbitration != "" {
-				return fail("payloads/kernels/jobs/arbitration do not apply to training jobs")
+			if len(j.PayloadsMB) > 0 || len(j.PayloadBytes) > 0 || len(j.Kernels) > 0 || len(j.Jobs) > 0 ||
+				j.Arbitration != "" || j.Graph != "" || j.Pipeline != nil {
+				return fail("payloads/kernels/jobs/arbitration/graph/pipeline do not apply to training jobs")
 			}
 			for _, t := range toruses {
 				for _, p := range presets {
@@ -463,8 +512,8 @@ func (s *Scenario) Expand() ([]Unit, error) {
 					return fail("kernel %d: exactly one of gemm_n or emb_batch must be positive", ki)
 				}
 			}
-			if len(j.Workloads) > 0 || len(j.Jobs) > 0 || j.Arbitration != "" {
-				return fail("workloads/jobs/arbitration do not apply to microbench jobs")
+			if len(j.Workloads) > 0 || len(j.Jobs) > 0 || j.Arbitration != "" || j.Graph != "" || j.Pipeline != nil {
+				return fail("workloads/jobs/arbitration/graph/pipeline do not apply to microbench jobs")
 			}
 			for _, b := range payloads {
 				for _, k := range j.Kernels {
@@ -482,8 +531,8 @@ func (s *Scenario) Expand() ([]Unit, error) {
 				return fail("no sub-jobs")
 			}
 			if len(j.PayloadsMB) > 0 || len(j.PayloadBytes) > 0 || len(j.Workloads) > 0 || len(j.Kernels) > 0 ||
-				j.Iterations != 0 || j.DLRMOptimized || j.Collective != "" {
-				return fail("payloads/workloads/kernels/iterations/dlrm_optimized/collective do not apply to multijob groups; set them per sub-job in jobs[]")
+				j.Iterations != 0 || j.DLRMOptimized || j.Collective != "" || j.Graph != "" || j.Pipeline != nil {
+				return fail("payloads/workloads/kernels/iterations/dlrm_optimized/collective/graph/pipeline do not apply to multijob groups; set them per sub-job in jobs[]")
 			}
 			if _, err := collectives.ParseArbitration(j.Arbitration); err != nil {
 				return fail("%v", err)
@@ -545,8 +594,61 @@ func (s *Scenario) Expand() ([]Unit, error) {
 					})
 				}
 			}
+		case KindGraph:
+			if s.Platform == nil {
+				return fail("requires a platform grid")
+			}
+			if (j.Graph == "") == (j.Pipeline == nil) {
+				return fail("exactly one of graph or pipeline must be set")
+			}
+			if len(j.PayloadsMB) > 0 || len(j.PayloadBytes) > 0 || len(j.Workloads) > 0 || len(j.Kernels) > 0 ||
+				len(j.Jobs) > 0 || j.Arbitration != "" || j.Iterations != 0 || j.DLRMOptimized || j.Collective != "" {
+				return fail("payloads/workloads/kernels/jobs/arbitration/iterations/dlrm_optimized/collective do not apply to graph jobs")
+			}
+			path := j.Graph
+			if path != "" && !filepath.IsAbs(path) && s.dir != "" {
+				path = filepath.Join(s.dir, path)
+			}
+			if p := j.Pipeline; p != nil {
+				m, err := workload.ByName(p.Workload)
+				if err != nil {
+					return fail("pipeline: %v", err)
+				}
+				if m.Parallelism != workload.DataParallel {
+					return fail("pipeline: %q is not a data-parallel layer stack", m.Name)
+				}
+				if p.Stages < 2 || p.Stages > len(m.Layers) {
+					return fail("pipeline: %d stages out of range [2,%d]", p.Stages, len(m.Layers))
+				}
+				if p.Microbatches < 1 {
+					return fail("pipeline: %d microbatches (want >= 1)", p.Microbatches)
+				}
+				if p.Iterations < 0 {
+					return fail("pipeline: negative iterations")
+				}
+				if _, err := graph.ParsePipeSchedule(p.Schedule); err != nil {
+					return fail("pipeline: %v", err)
+				}
+				for _, t := range toruses {
+					if t.N()%p.Stages != 0 {
+						return fail("pipeline: torus %s (%d nodes) not divisible into %d stages", t, t.N(), p.Stages)
+					}
+				}
+			}
+			for _, t := range toruses {
+				for _, pr := range presets {
+					units = append(units, Unit{
+						Index: len(units), Job: ji, Kind: KindGraph,
+						Torus: t, Preset: pr,
+						FastGranularity: s.Platform.FastGranularity,
+						Overrides:       s.Platform.Overrides,
+						GraphFile:       path,
+						Pipeline:        j.Pipeline,
+					})
+				}
+			}
 		default:
-			return fail("unknown kind (want collective, training, microbench or multijob)")
+			return fail("unknown kind (want collective, training, microbench, multijob or graph)")
 		}
 	}
 	if err := s.validateAssertions(); err != nil {

@@ -297,3 +297,66 @@ func TestValidateMultiJobErrors(t *testing.T) {
 		})
 	}
 }
+
+func TestExpandGraphJob(t *testing.T) {
+	sc := parse(t, `{
+	  "name": "graphs",
+	  "platform": {"toruses": ["4x2x2"], "presets": ["ACE", "Ideal"]},
+	  "jobs": [
+	    {"kind": "graph", "pipeline": {"workload": "gnmt", "stages": 4, "microbatches": 2, "schedule": "1f1b"}},
+	    {"kind": "graph", "graph": "traces/hand.json"}
+	  ],
+	  "assertions": [{"metric": "graph_exposed_us", "op": ">=", "value": 0}]
+	}`)
+	units, err := sc.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 4 {
+		t.Fatalf("expanded %d units, want 4 (2 jobs x 2 presets)", len(units))
+	}
+	if units[0].Kind != KindGraph || units[0].Pipeline == nil || units[0].Pipeline.Workload != "gnmt" {
+		t.Fatalf("unit 0 = %+v", units[0])
+	}
+	// Parsed from a reader: relative graph paths stay relative.
+	if units[2].GraphFile != "traces/hand.json" {
+		t.Fatalf("unit 2 graph file %q", units[2].GraphFile)
+	}
+}
+
+func TestValidateGraphErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"both", `{"name":"x","platform":{"toruses":["4x2x2"]},"jobs":[
+		  {"kind":"graph","graph":"a.json","pipeline":{"workload":"gnmt","stages":4,"microbatches":2}}]}`,
+			"exactly one"},
+		{"neither", `{"name":"x","platform":{"toruses":["4x2x2"]},"jobs":[{"kind":"graph"}]}`,
+			"exactly one"},
+		{"no platform", `{"name":"x","jobs":[{"kind":"graph","graph":"a.json"}]}`,
+			"platform"},
+		{"bad schedule", `{"name":"x","platform":{"toruses":["4x2x2"]},"jobs":[
+		  {"kind":"graph","pipeline":{"workload":"gnmt","stages":4,"microbatches":2,"schedule":"zero-bubble"}}]}`,
+			"schedule"},
+		{"indivisible", `{"name":"x","platform":{"toruses":["4x2x2"]},"jobs":[
+		  {"kind":"graph","pipeline":{"workload":"gnmt","stages":5,"microbatches":2}}]}`,
+			"divisible"},
+		{"hybrid workload", `{"name":"x","platform":{"toruses":["4x2x2"]},"jobs":[
+		  {"kind":"graph","pipeline":{"workload":"dlrm","stages":4,"microbatches":2}}]}`,
+			"data-parallel"},
+		{"stray fields", `{"name":"x","platform":{"toruses":["4x2x2"]},"jobs":[
+		  {"kind":"graph","graph":"a.json","payloads_mb":[1]}]}`,
+			"do not apply"},
+	}
+	for _, c := range cases {
+		sc := parse(t, c.src)
+		err := sc.Validate()
+		if err == nil {
+			t.Errorf("%s: validated", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}

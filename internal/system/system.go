@@ -9,6 +9,7 @@ import (
 	"acesim/internal/collectives"
 	"acesim/internal/core"
 	"acesim/internal/des"
+	"acesim/internal/graph"
 	"acesim/internal/noc"
 	"acesim/internal/npu"
 	"acesim/internal/stats"
@@ -216,6 +217,20 @@ func (s *System) Runner(tc training.Config) *training.Runner {
 		Computes: s.Computes,
 		Plans:    s.Plans(),
 		Cfg:      tc,
+	}
+}
+
+// Executor builds a graph executor on this platform (issue stream 0, the
+// side stream at the paper's Fig 12 80 GB/s allocation). It is the entry
+// point for workload graphs that are not plain training loops: synthesized
+// pipeline schedules and hand-written JSON traces.
+func (s *System) Executor() *graph.Executor {
+	return &graph.Executor{
+		Eng:      s.Eng,
+		RT:       s.RT,
+		Computes: s.Computes,
+		Plans:    s.Plans(),
+		SideGBps: training.DefaultConfig().SideMemGBps,
 	}
 }
 

@@ -1,0 +1,78 @@
+package training_test
+
+import (
+	"testing"
+
+	"acesim/internal/noc"
+	"acesim/internal/system"
+	"acesim/internal/training"
+	"acesim/internal/workload"
+)
+
+// legacyGolden pins every bundled workload on every Table VI preset to
+// the exact values the pre-graph step driver measured (16-NPU platform,
+// the paper's two-iteration setup), picosecond-identical. The training
+// loop now lowers each model onto the internal/graph executor; this
+// table is the contract that the lowering changed *mechanism*, never
+// *results*. If a future change moves these numbers intentionally, it
+// must say so and re-record them.
+type legacyGolden struct {
+	workload    string
+	preset      system.Preset
+	iterTime    int64 // picoseconds
+	compute     int64
+	exposed     int64
+	collectives int
+}
+
+var legacyGoldens = []legacyGolden{
+	{"ResNet-50", system.BaselineNoOverlap, 9462528764, 8806474304, 656054460, 2},
+	{"ResNet-50", system.BaselineCommOpt, 11923160000, 11918189012, 4970988, 108},
+	{"ResNet-50", system.BaselineCompOpt, 9317963700, 9312539584, 5424116, 108},
+	{"ResNet-50", system.ACE, 9193546168, 9188173072, 5373096, 108},
+	{"ResNet-50", system.Ideal, 8811152734, 8806474304, 4678430, 108},
+	{"GNMT", system.BaselineNoOverlap, 18110660656, 11791587918, 6319072738, 2},
+	{"GNMT", system.BaselineCommOpt, 22988487821, 21866487704, 1122000117, 40},
+	{"GNMT", system.BaselineCompOpt, 26554238457, 13470129780, 13084108677, 40},
+	{"GNMT", system.ACE, 14715809370, 13437435720, 1278373650, 40},
+	{"GNMT", system.Ideal, 12721111731, 11791587918, 929523813, 40},
+	{"DLRM", system.BaselineNoOverlap, 4749089508, 3597714958, 1151374550, 6},
+	{"DLRM", system.BaselineCommOpt, 4272571272, 3855249290, 417321982, 22},
+	{"DLRM", system.BaselineCompOpt, 5266146568, 3677440412, 1588706156, 22},
+	{"DLRM", system.ACE, 4039558580, 3599089378, 440469202, 22},
+	{"DLRM", system.Ideal, 3980498690, 3597714958, 382783732, 22},
+}
+
+// dlrmOptGolden is the Fig 12 optimized DLRM run on ACE, same capture.
+var dlrmOptGolden = legacyGolden{"DLRM", system.ACE, 4020507152, 3374374178, 646132974, 22}
+
+func checkGolden(t *testing.T, label string, want legacyGolden, got training.Result) {
+	t.Helper()
+	if int64(got.IterTime) != want.iterTime || int64(got.TotalCompute) != want.compute ||
+		int64(got.ExposedComm) != want.exposed || got.Collectives != want.collectives {
+		t.Errorf("%s: got (iter=%d compute=%d exposed=%d colls=%d), want (%d %d %d %d)",
+			label, got.IterTime, got.TotalCompute, got.ExposedComm, got.Collectives,
+			want.iterTime, want.compute, want.exposed, want.collectives)
+	}
+}
+
+// TestTrainingGoldenLegacy replays every lowered workload against the
+// recorded legacy-executor numbers.
+func TestTrainingGoldenLegacy(t *testing.T) {
+	torus := noc.Torus{L: 4, V: 2, H: 2}
+	for _, g := range legacyGoldens {
+		if testing.Short() && g.workload == "GNMT" {
+			continue // the heaviest rows; the full suite covers them
+		}
+		m, err := workload.ByName(g.workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := run(t, torus, g.preset, m, training.DefaultConfig())
+		checkGolden(t, g.workload+"/"+g.preset.String(), g, res)
+	}
+	tc := training.DefaultConfig()
+	tc.DLRMOptimized = true
+	res := run(t, torus, system.ACE, workload.DLRM(workload.DLRMBatch), tc)
+	checkGolden(t, "DLRM-opt/ACE", dlrmOptGolden, res)
+}

@@ -6,6 +6,12 @@
 // all-reduce from iteration k-1), and DLRM's blocking all-to-all embedding
 // exchanges. The metrics are the paper's: total computation time, exposed
 // communication time, and their sum, the iteration time.
+//
+// Execution is graph-driven: the per-layer program is lowered into the
+// internal/graph execution IR (graph.FromModel) and replayed by the graph
+// executor — the simulator's single training engine, shared with pipeline
+// schedules and hand-written graph traces. TestTrainingGoldenLegacy pins
+// the lowered programs bit-identical to the pre-graph step driver.
 package training
 
 import (
@@ -13,7 +19,7 @@ import (
 
 	"acesim/internal/collectives"
 	"acesim/internal/des"
-	"acesim/internal/noc"
+	"acesim/internal/graph"
 	"acesim/internal/npu"
 	"acesim/internal/workload"
 )
@@ -53,10 +59,9 @@ func DefaultConfig() Config {
 }
 
 // Plans carries the topology-aware collective plans the loop issues.
-type Plans struct {
-	AllReduce collectives.Plan
-	AllToAll  collectives.Plan
-}
+// It is the graph executor's plan set; the alias keeps the historical
+// training-facing name.
+type Plans = graph.Plans
 
 // Result summarizes one simulated run (per node; the system is
 // symmetric, node 0 is reported).
@@ -100,18 +105,15 @@ type Runner struct {
 }
 
 // Launch is a started (but not yet simulated) training job: every node's
-// driver has been built and advanced to its first blocking point. In a
-// multi-job run, start every job's Launch, drive the shared engine to
-// completion once, then collect each Result.
+// program has been lowered to a graph and advanced to its first blocking
+// point. In a multi-job run, start every job's Launch, drive the shared
+// engine to completion once, then collect each Result.
 type Launch struct {
-	r        *Runner
-	model    *workload.Model
-	drivers  []*driver
-	finished int
+	run *graph.Run
 }
 
-// Start builds and launches the per-node drivers without running the
-// engine.
+// Start lowers the model onto the graph executor and launches it without
+// running the engine.
 func (r *Runner) Start(m *workload.Model) (*Launch, error) {
 	if len(r.Computes) != r.RT.Nodes() {
 		return nil, fmt.Errorf("training: %d compute engines for %d nodes", len(r.Computes), r.RT.Nodes())
@@ -119,40 +121,64 @@ func (r *Runner) Start(m *workload.Model) (*Launch, error) {
 	if r.Cfg.Iterations <= 0 {
 		return nil, fmt.Errorf("training: non-positive iteration count")
 	}
-	l := &Launch{r: r, model: m, drivers: make([]*driver, r.RT.Nodes())}
-	for i := range l.drivers {
-		d, err := newDriver(r, noc.NodeID(i), m)
-		if err != nil {
-			return nil, err
-		}
-		d.onFinish = func() { l.finished++ }
-		l.drivers[i] = d
+	g, err := graph.FromModel(m, graph.ModelConfig{
+		Iterations:    r.Cfg.Iterations,
+		Overlap:       r.Cfg.Schedule == Overlap,
+		DLRMOptimized: r.Cfg.DLRMOptimized,
+	}, r.RT.Nodes())
+	if err != nil {
+		return nil, fmt.Errorf("training: %w", err)
 	}
-	for _, d := range l.drivers {
-		d.advance()
+	x := &graph.Executor{
+		Eng:      r.Eng,
+		RT:       r.RT,
+		Computes: r.Computes,
+		Plans:    r.Plans,
+		Stream:   r.Stream,
+		Job:      r.Job,
+		SideGBps: r.Cfg.SideMemGBps,
 	}
-	return l, nil
+	run, err := x.Start(g)
+	if err != nil {
+		return nil, fmt.Errorf("training: %w", err)
+	}
+	return &Launch{run: run}, nil
 }
 
 // Done reports whether every node's program has finished.
-func (l *Launch) Done() bool { return l.finished == len(l.drivers) }
+func (l *Launch) Done() bool { return l.run.Finished() }
+
+// windows pairs a rank's start/end marks into half-open intervals.
+func windows(marks map[string][]des.Time, start, end string) []Window {
+	starts, ends := marks[start], marks[end]
+	n := len(starts)
+	if len(ends) < n {
+		n = len(ends)
+	}
+	ws := make([]Window, n)
+	for i := 0; i < n; i++ {
+		ws[i] = Window{Start: starts[i], End: ends[i]}
+	}
+	return ws
+}
 
 // Result returns node 0's metrics. It errors if the engine drained while
 // some node was still blocked (deadlock).
 func (l *Launch) Result() (Result, error) {
-	if !l.Done() {
-		return Result{}, fmt.Errorf("training: %d/%d nodes finished (deadlock)", l.finished, len(l.drivers))
+	gres, err := l.run.Result()
+	if err != nil {
+		return Result{}, fmt.Errorf("training: %w", err)
 	}
-	d0 := l.drivers[0]
+	r0 := gres.Ranks[0]
 	res := Result{
-		IterTime: d0.finishedAt,
-		// Per-driver accounting, not Compute.BusyTime(): on a shared
+		IterTime: r0.FinishedAt,
+		// Per-rank accounting, not Compute.BusyTime(): on a shared
 		// fabric the compute stream also carries co-running jobs'
 		// kernels, which must not count as this job's compute.
-		TotalCompute: d0.computeBusy,
-		FwdWindows:   d0.fwdWindows,
-		BwdWindows:   d0.bwdWindows,
-		Collectives:  d0.issued,
+		TotalCompute: r0.ComputeBusy,
+		FwdWindows:   windows(r0.Marks, graph.MarkFwdStart, graph.MarkFwdEnd),
+		BwdWindows:   windows(r0.Marks, graph.MarkBwdStart, graph.MarkBwdEnd),
+		Collectives:  r0.Issued,
 	}
 	res.ExposedComm = res.IterTime - res.TotalCompute
 	if res.ExposedComm < 0 {

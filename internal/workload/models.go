@@ -68,9 +68,10 @@ func GNMT(batch int) *Model {
 	embParams := int64(vocab) * hidden
 	add(Layer{
 		Name: "embedding", Params: embParams,
-		FwdBytes:   int64(batch) * seq * hidden * BytesPerElement,
-		IgradBytes: int64(batch) * seq * hidden * BytesPerElement,
-		WgradBytes: int64(batch) * seq * hidden * BytesPerElement * 2,
+		FwdBytes:    int64(batch) * seq * hidden * BytesPerElement,
+		IgradBytes:  int64(batch) * seq * hidden * BytesPerElement,
+		WgradBytes:  int64(batch) * seq * hidden * BytesPerElement * 2,
+		ActOutBytes: int64(batch) * seq * hidden * BytesPerElement,
 	})
 	// Encoder: layer 1 bidirectional (two directions), then 7 layers.
 	add(lstmLayer("enc.l1.fwd", hidden, hidden, seq, batch))

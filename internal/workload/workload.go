@@ -44,6 +44,13 @@ type Layer struct {
 	FwdBytes   int64 // HBM traffic of the forward kernel
 	IgradBytes int64
 	WgradBytes int64
+
+	// ActOutBytes is the layer's full output-activation footprint for the
+	// whole per-NPU mini-batch — the payload a pipeline-parallel schedule
+	// ships to the next stage at a stage boundary (the backward pass ships
+	// the same-sized gradient back). It is the raw tensor size, not the
+	// (reuse-discounted) HBM traffic above.
+	ActOutBytes int64
 }
 
 // GradBytes is the all-reduce payload for this layer's weight gradients.
@@ -143,7 +150,8 @@ func convLayer(name string, k, cin, cout, hout, wout, batch int) Layer {
 		// igrad reads weights + output grads, writes input grads.
 		IgradBytes: w + inAct + outAct,
 		// wgrad reads input acts + output grads, writes weight grads.
-		WgradBytes: w + inAct + outAct,
+		WgradBytes:  w + inAct + outAct,
+		ActOutBytes: int64(cout) * int64(hout*wout) * int64(batch) * BytesPerElement,
 	}
 }
 
@@ -160,14 +168,15 @@ func fcLayer(name string, in, out, batch int, eff float64) Layer {
 	acts := int64(in+out) * int64(batch) * BytesPerElement
 	w := params * BytesPerElement
 	return Layer{
-		Name:       name,
-		Params:     params,
-		FwdMACs:    macs,
-		IgradMACs:  macs,
-		WgradMACs:  macs,
-		FwdBytes:   w + acts,
-		IgradBytes: w + acts,
-		WgradBytes: w + acts,
+		Name:        name,
+		Params:      params,
+		FwdMACs:     macs,
+		IgradMACs:   macs,
+		WgradMACs:   macs,
+		FwdBytes:    w + acts,
+		IgradBytes:  w + acts,
+		WgradBytes:  w + acts,
+		ActOutBytes: int64(out) * int64(batch) * BytesPerElement,
 	}
 }
 
@@ -181,13 +190,14 @@ func lstmLayer(name string, in, hidden, seq, batch int) Layer {
 	w := params * BytesPerElement * int64(seq) // streamed every timestep
 	acts := int64(in+hidden) * int64(seq) * int64(batch) * BytesPerElement
 	return Layer{
-		Name:       name,
-		Params:     params,
-		FwdMACs:    macs,
-		IgradMACs:  macs,
-		WgradMACs:  macs,
-		FwdBytes:   w + acts,
-		IgradBytes: w + acts,
-		WgradBytes: w + acts,
+		Name:        name,
+		Params:      params,
+		FwdMACs:     macs,
+		IgradMACs:   macs,
+		WgradMACs:   macs,
+		FwdBytes:    w + acts,
+		IgradBytes:  w + acts,
+		WgradBytes:  w + acts,
+		ActOutBytes: int64(hidden) * int64(seq) * int64(batch) * BytesPerElement,
 	}
 }
