@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test test-short test-race bench lint vet fuzz-smoke fmt
+# Minimum total statement coverage (percent) for `make cover-check`.
+# Set from the post-topology-refactor baseline; raise it as coverage
+# grows, never lower it without explanation.
+COVER_MIN ?= 75.0
+
+.PHONY: build test test-short test-race bench lint vet fuzz-smoke fmt cover cover-check
 
 build:
 	$(GO) build ./...
@@ -22,11 +27,26 @@ bench:
 vet:
 	$(GO) vet ./...
 
-# Short fuzz passes over the two JSON decoders external input reaches
-# (scenario files and graph traces). CI runs the graph one on every push.
+# Short fuzz passes over the three decoders external input reaches
+# (scenario files, graph traces, and topology specs). CI runs the graph
+# and topology ones on every push.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseGraph -fuzztime=10s ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzParseScenario -fuzztime=10s ./internal/scenario
+	$(GO) test -run='^$$' -fuzz=FuzzParseTopology -fuzztime=10s ./internal/noc
+
+# Per-package coverage summary plus the total (short mode: the full
+# grids add minutes without covering new statements).
+cover:
+	$(GO) test -short -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | tail -1
+
+# CI gate: fail when total statement coverage drops below COVER_MIN.
+cover-check: cover
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	echo "total coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v m="$(COVER_MIN)" 'BEGIN { exit (t+0 < m+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% fell below the $(COVER_MIN)% floor"; exit 1; }
 
 lint:
 	@unformatted="$$(gofmt -l .)"; \

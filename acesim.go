@@ -12,7 +12,7 @@
 //
 // Quick start:
 //
-//	spec := acesim.NewSpec(acesim.Torus{L: 4, V: 2, H: 2}, acesim.ACE)
+//	spec := acesim.NewSpec(acesim.Torus3(4, 2, 2), acesim.ACE)
 //	res, err := acesim.RunCollective(spec, acesim.AllReduce, 64<<20)
 //	// res.EffGBpsNode is the achieved network bandwidth per NPU.
 package acesim
@@ -32,8 +32,26 @@ import (
 	"acesim/internal/workload"
 )
 
-// Torus is the accelerator-fabric shape (LxVxH, Table V).
-type Torus = noc.Torus
+// Topology is the accelerator-fabric shape: an ordered list of
+// dimensions, each a ring (wraparound) or a line (mesh), with optional
+// per-dimension link bandwidth/latency overrides. The paper's Table V
+// LxVxH 3D torus is Torus3.
+type Topology = noc.Topology
+
+// DimSpec describes one dimension of a Topology.
+type DimSpec = noc.DimSpec
+
+// Torus3 returns the paper's LxVxH 3D torus (every dimension wraps).
+func Torus3(l, v, h int) Topology { return noc.Torus3(l, v, h) }
+
+// Grid returns an all-wraparound topology with the given sizes, one
+// dimension per argument (2D/4D tori, flat rings, ...).
+func Grid(sizes ...int) Topology { return noc.Grid(sizes...) }
+
+// ParseTopology parses a fabric-shape string: sizes joined by "x", each
+// optionally suffixed with "m" for a mesh (non-wraparound) dimension —
+// "4x4x4", "8x8m", "16".
+func ParseTopology(s string) (Topology, error) { return noc.ParseTopology(s) }
 
 // Preset selects a Table VI system configuration.
 type Preset = system.Preset
@@ -58,7 +76,7 @@ func ParsePreset(s string) (Preset, error) { return system.ParsePreset(s) }
 type Spec = system.Spec
 
 // NewSpec returns the paper's platform at the given size and preset.
-func NewSpec(t Torus, p Preset) Spec { return system.NewSpec(t, p) }
+func NewSpec(t Topology, p Preset) Spec { return system.NewSpec(t, p) }
 
 // System is a fully wired platform.
 type System = system.System
@@ -121,7 +139,7 @@ type Time = des.Time
 
 // Sizes4 returns the paper's four evaluation sizes: 16, 32, 64 and 128
 // NPUs.
-func Sizes4() []Torus { return exper.Sizes4() }
+func Sizes4() []Topology { return exper.Sizes4() }
 
 // FastGranularity coarsens chunking for large simulations (fidelity knob;
 // see DESIGN.md).
@@ -210,9 +228,9 @@ func RunGraph(spec Spec, g *Graph) (GraphResult, error) { return exper.RunGraph(
 // isolate concurrent jobs on private slices of a platform.
 type Partition = noc.Partition
 
-// ParsePartition parses a "LxVxH@l,v,h" carve-out (or a bare "LxVxH",
-// anchored at the origin) inside the given fabric.
-func ParsePartition(full Torus, s string) (Partition, error) {
+// ParsePartition parses a "<shape>@<coords>" carve-out (or a bare
+// shape, anchored at the origin) inside the given fabric.
+func ParsePartition(full Topology, s string) (Partition, error) {
 	return noc.ParsePartition(full, s)
 }
 

@@ -8,7 +8,7 @@ import (
 )
 
 func TestFacadeCollective(t *testing.T) {
-	spec := acesim.NewSpec(acesim.Torus{L: 4, V: 2, H: 2}, acesim.ACE)
+	spec := acesim.NewSpec(acesim.Torus3(4, 2, 2), acesim.ACE)
 	res, err := acesim.RunCollective(spec, acesim.AllReduce, 8<<20)
 	if err != nil {
 		t.Fatal(err)
@@ -19,7 +19,7 @@ func TestFacadeCollective(t *testing.T) {
 }
 
 func TestFacadeTraining(t *testing.T) {
-	spec := acesim.NewSpec(acesim.Torus{L: 4, V: 2, H: 2}, acesim.BaselineCompOpt)
+	spec := acesim.NewSpec(acesim.Torus3(4, 2, 2), acesim.BaselineCompOpt)
 	res, err := acesim.RunTraining(spec, acesim.ResNet50(), acesim.DefaultTrainConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -73,7 +73,7 @@ func TestFacadeScenario(t *testing.T) {
 }
 
 func TestFacadeInterference(t *testing.T) {
-	full := acesim.Torus{L: 2, V: 1, H: 2}
+	full := acesim.Torus3(2, 1, 2)
 	spec := acesim.NewSpec(full, acesim.BaselineCommOpt)
 	pa, err := acesim.ParsePartition(full, "2x1x1@0,0,0")
 	if err != nil {
@@ -92,5 +92,33 @@ func TestFacadeInterference(t *testing.T) {
 	}
 	if res.MaxSlowdown() != 1.0 {
 		t.Fatalf("disjoint partitions interfered: %+v", res.Jobs)
+	}
+}
+
+func TestFacadeTopology(t *testing.T) {
+	// The generalized fabric API: parse, construct, and run on non-3D
+	// shapes through the facade.
+	topo, err := acesim.ParseTopology("4x4m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.N() != 16 || topo.Wrap(1) {
+		t.Fatalf("parsed %+v", topo)
+	}
+	if g := acesim.Grid(2, 2, 2, 2); g.N() != 16 || g.NumDims() != 4 {
+		t.Fatalf("Grid: %+v", g)
+	}
+	spec := acesim.NewSpec(topo, acesim.Ideal)
+	res, err := acesim.RunCollective(spec, acesim.AllReduce, 2<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torus, _ := acesim.ParseTopology("4x4")
+	tres, err := acesim.RunCollective(acesim.NewSpec(torus, acesim.Ideal), acesim.AllReduce, 2<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration <= tres.Duration {
+		t.Fatalf("mesh all-reduce (%v) not slower than torus (%v)", res.Duration, tres.Duration)
 	}
 }

@@ -17,7 +17,7 @@ import (
 	"acesim/internal/workload"
 )
 
-var benchTorus = noc.Torus{L: 4, V: 2, H: 2}
+var benchTorus = noc.Torus3(4, 2, 2)
 
 // BenchmarkFig4 regenerates the compute-communication interference
 // microbenchmark (slowdown of an all-reduce under a concurrent kernel).
@@ -38,7 +38,7 @@ func BenchmarkFig4(b *testing.B) {
 func BenchmarkFig5(b *testing.B) {
 	var ace float64
 	for i := 0; i < b.N; i++ {
-		pts, _, err := exper.Fig5([]noc.Torus{benchTorus}, []float64{128, 450}, 16<<20)
+		pts, _, err := exper.Fig5([]noc.Topology{benchTorus}, []float64{128, 450}, 16<<20)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -51,7 +51,7 @@ func BenchmarkFig5(b *testing.B) {
 func BenchmarkFig6(b *testing.B) {
 	var bw float64
 	for i := 0; i < b.N; i++ {
-		pts, _, err := exper.Fig6([]noc.Torus{benchTorus}, []int{2, 6}, 16<<20)
+		pts, _, err := exper.Fig6([]noc.Topology{benchTorus}, []int{2, 6}, 16<<20)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -111,7 +111,7 @@ func BenchmarkFig11(b *testing.B) {
 	}
 	var speedup float64
 	for i := 0; i < b.N; i++ {
-		rows, _, _, err := exper.Fig11([]noc.Torus{benchTorus}, models)
+		rows, _, _, err := exper.Fig11([]noc.Topology{benchTorus}, models)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -163,7 +163,7 @@ func BenchmarkTable4(b *testing.B) {
 func BenchmarkAnalytic(b *testing.B) {
 	var reduction float64
 	for i := 0; i < b.N; i++ {
-		rows, _, err := exper.AnalyticVIA([]noc.Torus{{L: 4, V: 4, H: 4}}, 4<<20)
+		rows, _, err := exper.AnalyticVIA([]noc.Topology{noc.Torus3(4, 4, 4)}, 4<<20)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -32,7 +32,7 @@ func runGraphCmd(args []string) error {
 	}
 	sub := args[0]
 	fs := flag.NewFlagSet("graph "+sub, flag.ExitOnError)
-	sizeStr := fs.String("size", "4x2x2", "torus LxVxH the graph runs on / is lowered for")
+	sizeStr := fs.String("size", "4x2x2", "fabric topology the graph runs on / is lowered for")
 	preset := fs.String("preset", "ACE", "Table VI preset for graph run")
 	wl := fs.String("workload", "", "workload to convert (resnet50, gnmt, dlrm)")
 	iters := fs.Int("iterations", 2, "training iterations to lower")
@@ -125,6 +125,7 @@ func runGraphCmd(args []string) error {
 				return err
 			}
 		}
+		g.Topo = &size // record the fabric the graph was lowered for
 		if *out == "-" {
 			return g.WriteJSON(os.Stdout)
 		}

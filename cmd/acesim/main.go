@@ -17,7 +17,8 @@
 //
 // Experiment flags:
 //
-//	-size LxVxH   torus for single-size experiments (default 4x8x4)
+//	-size SHAPE   fabric topology for single-size experiments (default
+//	              4x8x4; sizes joined by "x", "m" suffix = mesh dimension)
 //	-quick        shrink sweeps for a fast pass (small sizes, fewer points)
 //	-csv dir      write Fig 10 utilization timelines as CSV files into dir
 //
@@ -71,7 +72,7 @@ func run(args []string) error {
 		return runGraphCmd(args[1:])
 	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	sizeStr := fs.String("size", "4x8x4", "torus LxVxH for single-size experiments")
+	sizeStr := fs.String("size", "4x8x4", "fabric topology for single-size experiments (sizes joined by \"x\", \"m\" suffix = mesh dim)")
 	quick := fs.Bool("quick", false, "shrink sweeps for a fast pass")
 	csvDir := fs.String("csv", "", "write Fig 10 timelines as CSV into this directory")
 	if err := fs.Parse(args[1:]); err != nil {
@@ -112,16 +113,16 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: acesim <experiment> [-size LxVxH] [-quick] [-csv dir]
+	fmt.Fprintln(os.Stderr, `usage: acesim <experiment> [-size SHAPE] [-quick] [-csv dir]
        acesim scenario run|validate|list [-workers N] [-format text|json|csv] <file>...
-       acesim graph run|convert|validate [-size LxVxH] [-preset P] [convert flags] <file>...
+       acesim graph run|convert|validate [-size SHAPE] [-preset P] [convert flags] <file>...
        acesim bench [-short] [-runs N] [-out path]
 experiments: fig4 fig5 fig6 fig9a fig9b fig10 fig11 fig12
              table4 table5 table6 analytic ablation interference all`)
 }
 
-func parseTorus(s string) (noc.Torus, error) {
-	t, err := scenario.ParseTorus(s)
+func parseTorus(s string) (noc.Topology, error) {
+	t, err := scenario.ParseTopology(s)
 	if err != nil {
 		return t, fmt.Errorf("bad -size: %w", err)
 	}
@@ -230,7 +231,7 @@ func runScenario(args []string) error {
 }
 
 type runner struct {
-	size   noc.Torus
+	size   noc.Topology
 	quick  bool
 	csvDir string
 }
@@ -242,9 +243,9 @@ func (r runner) models() []*workload.Model {
 	return workload.All()
 }
 
-func (r runner) trainSize() noc.Torus {
+func (r runner) trainSize() noc.Topology {
 	if r.quick {
-		return noc.Torus{L: 4, V: 2, H: 2}
+		return noc.Torus3(4, 2, 2)
 	}
 	return r.size
 }
@@ -293,7 +294,7 @@ func (r runner) fig6() error {
 
 func (r runner) fig9a() error {
 	srams, fsms := exper.Fig9aDefaults()
-	t := noc.Torus{L: 4, V: 2, H: 2} // design sweep on the 16-NPU platform
+	t := noc.Torus3(4, 2, 2) // design sweep on the 16-NPU platform
 	models := r.models()
 	if r.quick {
 		srams = []int64{1 << 20, 4 << 20}
@@ -379,15 +380,15 @@ func (r runner) table6() error {
 // interference trend at fabric scale). Scenario files can express
 // arbitrary mixes via the "multijob" job kind.
 func (r runner) interference() error {
-	full := noc.Torus{L: 4, V: 2, H: 2}
+	full := noc.Torus3(4, 2, 2)
 	spec := system.NewSpec(full, system.BaselineCommOpt)
 	m := workload.ResNet50(workload.ResNet50Batch)
 	count := 32
 	if r.quick {
 		count = 8
 	}
-	partA := noc.Partition{Full: full, Shape: noc.Torus{L: 4, V: 1, H: 2}}
-	partB := noc.Partition{Full: full, Shape: noc.Torus{L: 4, V: 1, H: 2}, Origin: [3]int{0, 1, 0}}
+	partA := noc.Partition{Full: full, Shape: noc.Torus3(4, 1, 2)}
+	partB := noc.Partition{Full: full, Shape: noc.Torus3(4, 1, 2), Origin: []int{0, 1, 0}}
 	_, tab, err := exper.Interference(spec, []exper.InterferenceJob{
 		{Name: "train-a", Part: &partA, Model: m},
 		{Name: "train-b", Part: &partB, Model: m},
@@ -403,7 +404,7 @@ func (r runner) interference() error {
 }
 
 func (r runner) analytic() error {
-	toruses := []noc.Torus{{L: 4, V: 2, H: 2}, {L: 4, V: 4, H: 4}, {L: 4, V: 8, H: 4}}
+	toruses := []noc.Topology{noc.Torus3(4, 2, 2), noc.Torus3(4, 4, 4), noc.Torus3(4, 8, 4)}
 	if r.quick {
 		toruses = toruses[:2]
 	}
@@ -412,7 +413,7 @@ func (r runner) analytic() error {
 }
 
 func (r runner) ablation() error {
-	_, tab, err := exper.AblationForwarding(noc.Torus{L: 4, V: 2, H: 2}, 2<<20)
+	_, tab, err := exper.AblationForwarding(noc.Torus3(4, 2, 2), 2<<20)
 	if err := show(tab, err); err != nil {
 		return err
 	}
@@ -420,6 +421,6 @@ func (r runner) ablation() error {
 	if err := show(tab2, err); err != nil {
 		return err
 	}
-	_, tab3, err := exper.AblationScheduling(noc.Torus{L: 4, V: 2, H: 2}, "resnet50")
+	_, tab3, err := exper.AblationScheduling(noc.Torus3(4, 2, 2), "resnet50")
 	return show(tab3, err)
 }

@@ -38,16 +38,20 @@ func writeScenario(t *testing.T, name, body string) string {
 func TestParseTorus(t *testing.T) {
 	cases := []struct {
 		in   string
-		want noc.Torus
+		want noc.Topology
 		ok   bool
 	}{
-		{"4x2x2", noc.Torus{L: 4, V: 2, H: 2}, true},
-		{"4X8X4", noc.Torus{L: 4, V: 8, H: 4}, true},
-		{"8x1x1", noc.Torus{L: 8, V: 1, H: 1}, true},
-		{"4x2", noc.Torus{}, false},
-		{"0x2x2", noc.Torus{}, false},
-		{"axbxc", noc.Torus{}, false},
-		{"", noc.Torus{}, false},
+		{"4x2x2", noc.Torus3(4, 2, 2), true},
+		{"4X8X4", noc.Torus3(4, 8, 4), true},
+		{"8x1x1", noc.Torus3(8, 1, 1), true},
+		// Generalized shapes: 1D/2D/4D grids and mesh dimensions.
+		{"16", noc.Grid(16), true},
+		{"4x2", noc.Grid(4, 2), true},
+		{"2x2x2x2", noc.Grid(2, 2, 2, 2), true},
+		{"8x8m", noc.Topology{Dims: []noc.DimSpec{{Size: 8, Wrap: true}, {Size: 8}}}, true},
+		{"0x2x2", noc.Topology{}, false},
+		{"axbxc", noc.Topology{}, false},
+		{"", noc.Topology{}, false},
 	}
 	for _, tc := range cases {
 		got, err := parseTorus(tc.in)
@@ -55,7 +59,7 @@ func TestParseTorus(t *testing.T) {
 			t.Errorf("parseTorus(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
 			continue
 		}
-		if tc.ok && got != tc.want {
+		if tc.ok && !got.Equal(tc.want) {
 			t.Errorf("parseTorus(%q) = %v, want %v", tc.in, got, tc.want)
 		}
 	}
@@ -69,7 +73,7 @@ func TestRunDispatch(t *testing.T) {
 	}{
 		{"no args", nil, "missing experiment"},
 		{"unknown experiment", []string{"fig99"}, `unknown experiment "fig99"`},
-		{"bad size", []string{"table5", "-size", "4x2"}, "bad -size"},
+		{"bad size", []string{"table5", "-size", "4xZ"}, "bad -size"},
 		{"table4", []string{"table4"}, ""},
 		{"table5", []string{"table5"}, ""},
 		{"table6", []string{"table6"}, ""},

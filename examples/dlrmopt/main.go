@@ -12,7 +12,7 @@ import (
 )
 
 func main() {
-	torus := acesim.Torus{L: 4, V: 4, H: 4} // 64 NPUs
+	torus := acesim.Torus3(4, 4, 4) // 64 NPUs
 	model := acesim.DLRM()
 	fmt.Printf("%s on %s (%d NPUs), 2 iterations\n\n", model, torus, torus.N())
 

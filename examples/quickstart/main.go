@@ -11,8 +11,8 @@ import (
 )
 
 func main() {
-	torus := acesim.Torus{L: 4, V: 2, H: 2} // 16 NPUs: 4 per package, 2x2 packages
-	const payload = 64 << 20                // 64 MB all-reduce, as in Fig 5
+	torus := acesim.Torus3(4, 2, 2) // 16 NPUs: 4 per package, 2x2 packages
+	const payload = 64 << 20        // 64 MB all-reduce, as in Fig 5
 
 	fmt.Printf("single %d MB all-reduce on a %s torus\n\n", payload>>20, torus)
 	fmt.Printf("%-20s %12s %16s %18s\n", "system", "duration", "eff GB/s / NPU", "HBM reads / NPU")

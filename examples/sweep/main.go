@@ -11,7 +11,7 @@ import (
 )
 
 func main() {
-	torus := acesim.Torus{L: 8, V: 2, H: 2} // a custom 32-NPU shape
+	torus := acesim.Torus3(8, 2, 2) // a custom 32-NPU shape
 	const payload = 32 << 20
 
 	fmt.Printf("all-reduce bandwidth vs comm memory allocation on %s (%d NPUs)\n\n",

@@ -12,7 +12,7 @@ import (
 )
 
 func main() {
-	torus := acesim.Torus{L: 4, V: 4, H: 2} // 32 NPUs
+	torus := acesim.Torus3(4, 4, 2) // 32 NPUs
 	model := acesim.ResNet50()
 	fmt.Printf("%s on %s (%d NPUs), 2 iterations\n\n", model, torus, torus.N())
 

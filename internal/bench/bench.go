@@ -87,7 +87,7 @@ type spec struct {
 // torus16 is the 16-NPU platform every suite entry uses: small enough
 // that the full suite finishes in seconds, large enough that the event
 // queue, not system construction, dominates.
-var torus16 = noc.Torus{L: 4, V: 2, H: 2}
+var torus16 = noc.Torus3(4, 2, 2)
 
 // suite returns the fixed measurement suite. The short form drops the
 // larger payloads and keeps one unit per family.

@@ -1,9 +1,12 @@
 // Package collectives implements topology-aware collective communication
-// for the accelerator fabric: the 4-phase hierarchical all-reduce used on
-// the 3D torus (Section V of the paper), single-ring collectives, the
-// direct all-to-all with XYZ routing, and a halving-doubling all-reduce
-// (ablation). A chunk-pipelined runtime executes plans against any
-// core.Endpoint over a noc.Network, with LIFO collective scheduling.
+// for the accelerator fabric: the hierarchical all-reduce over the
+// dimensions of an N-dimensional torus/mesh (the paper's 4-phase 3D-torus
+// plan, Section V, generalized), single-ring collectives, and the direct
+// all-to-all with dimension-order routing. A chunk-pipelined runtime
+// executes plans against any core.Endpoint over a noc.Network, with LIFO
+// collective scheduling. On mesh (non-wraparound) dimensions the ring
+// phases run on the logical ring; the network charges the boundary hop as
+// a routed multi-hop transfer back across the line.
 //
 // Units: payloads, chunk and segment sizes are bytes; all times are
 // des.Time picoseconds. Determinism: the runtime schedules exclusively on
@@ -76,24 +79,37 @@ func (p Plan) Validate() error {
 	return nil
 }
 
-// HierarchicalAllReduce returns the paper's 4-phase torus all-reduce:
-// reduce-scatter on the local ring, all-reduce on the vertical ring,
-// all-reduce on the horizontal ring, all-gather on the local ring.
-// Degenerate (size-1) dimensions are skipped; a fully degenerate torus
-// yields an error at Validate time.
-func HierarchicalAllReduce(t noc.Torus) Plan {
+// HierarchicalAllReduce returns the generalized hierarchical all-reduce
+// over the topology's dimensions, the paper's 4-phase torus plan extended
+// to N dimensions: reduce-scatter on the first non-degenerate dimension's
+// ring, all-reduce on every later non-degenerate dimension in order, and
+// all-gather back on the first. On the 3D LxVxH torus with L > 1 this is
+// exactly the paper's RS(local), AR(vertical), AR(horizontal), AG(local).
+// Degenerate (size-1) dimensions are skipped entirely; a fully degenerate
+// topology yields an empty plan, which errors at Validate time.
+//
+// Pinning the RS/AG pair to the first *non-degenerate* dimension (rather
+// than dimension 0 unconditionally) matters for shapes like 1x4x2: the
+// reduce-scatter shrinks the payload by the ring size before it crosses
+// the remaining (typically slower, inter-package) dimensions, instead of
+// shipping the full payload across every dimension.
+func HierarchicalAllReduce(t noc.Topology) Plan {
 	var ph []Phase
-	if t.L > 1 {
-		ph = append(ph, Phase{core.PhaseReduceScatter, noc.DimLocal, t.L})
+	first := -1
+	for d := 0; d < t.NumDims(); d++ {
+		n := t.Size(noc.Dim(d))
+		if n <= 1 {
+			continue
+		}
+		if first < 0 {
+			first = d
+			ph = append(ph, Phase{core.PhaseReduceScatter, noc.Dim(d), n})
+			continue
+		}
+		ph = append(ph, Phase{core.PhaseAllReduce, noc.Dim(d), n})
 	}
-	if t.V > 1 {
-		ph = append(ph, Phase{core.PhaseAllReduce, noc.DimVertical, t.V})
-	}
-	if t.H > 1 {
-		ph = append(ph, Phase{core.PhaseAllReduce, noc.DimHorizontal, t.H})
-	}
-	if t.L > 1 {
-		ph = append(ph, Phase{core.PhaseAllGather, noc.DimLocal, t.L})
+	if first >= 0 {
+		ph = append(ph, Phase{core.PhaseAllGather, noc.Dim(first), t.Size(noc.Dim(first))})
 	}
 	return Plan{Phases: ph, Bidir: true}
 }

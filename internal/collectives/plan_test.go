@@ -9,7 +9,7 @@ import (
 )
 
 func TestHierarchicalPlanPhases(t *testing.T) {
-	p := HierarchicalAllReduce(noc.Torus{L: 4, V: 8, H: 4})
+	p := HierarchicalAllReduce(noc.Torus3(4, 8, 4))
 	if len(p.Phases) != 4 {
 		t.Fatalf("phases = %d, want 4", len(p.Phases))
 	}
@@ -27,15 +27,22 @@ func TestHierarchicalPlanPhases(t *testing.T) {
 }
 
 func TestHierarchicalPlanDegenerateDims(t *testing.T) {
-	p := HierarchicalAllReduce(noc.Torus{L: 4, V: 1, H: 1})
+	p := HierarchicalAllReduce(noc.Torus3(4, 1, 1))
 	if len(p.Phases) != 2 {
 		t.Fatalf("phases = %d, want RS+AG only", len(p.Phases))
 	}
-	p2 := HierarchicalAllReduce(noc.Torus{L: 1, V: 4, H: 1})
-	if len(p2.Phases) != 1 || p2.Phases[0].Kind != core.PhaseAllReduce {
+	// The RS/AG pair lands on the first NON-degenerate dimension: a
+	// 1x4x1 shape reduce-scatters on the vertical ring rather than
+	// shipping the full payload around it as a flat all-reduce (the old
+	// dim-0-only rule silently degraded these shapes; see the
+	// degenerate-dimension audit table in TestHierarchicalPlanAudit).
+	p2 := HierarchicalAllReduce(noc.Torus3(1, 4, 1))
+	wantKinds := []core.PhaseKind{core.PhaseReduceScatter, core.PhaseAllGather}
+	if len(p2.Phases) != 2 || p2.Phases[0].Kind != wantKinds[0] || p2.Phases[1].Kind != wantKinds[1] ||
+		p2.Phases[0].Dim != noc.DimVertical || p2.Phases[1].Dim != noc.DimVertical {
 		t.Fatalf("single-dim plan wrong: %+v", p2.Phases)
 	}
-	bad := HierarchicalAllReduce(noc.Torus{L: 1, V: 1, H: 1})
+	bad := HierarchicalAllReduce(noc.Torus3(1, 1, 1))
 	if bad.Validate() == nil {
 		t.Fatal("1x1x1 plan should fail validation")
 	}
@@ -89,7 +96,7 @@ func TestShapesBidirSplit(t *testing.T) {
 func TestShapesHierarchical444(t *testing.T) {
 	// The paper's Section VI-A example: 4x4x4, chunk C. Total injected
 	// must be 2.25C.
-	plan := HierarchicalAllReduce(noc.Torus{L: 4, V: 4, H: 4})
+	plan := HierarchicalAllReduce(noc.Torus3(4, 4, 4))
 	const C = 1 << 20
 	sh := Shapes(plan, C)
 	if len(sh) != 4 {
@@ -132,7 +139,7 @@ func TestShapesAllToAll(t *testing.T) {
 }
 
 func TestResidentBytes(t *testing.T) {
-	plan := HierarchicalAllReduce(noc.Torus{L: 4, V: 4, H: 4})
+	plan := HierarchicalAllReduce(noc.Torus3(4, 4, 4))
 	const C = 1 << 20
 	r := ResidentBytes(Shapes(plan, C))
 	if len(r) != 5 {
@@ -177,7 +184,7 @@ func TestKindString(t *testing.T) {
 func TestAnalyzeMatchesPaper444(t *testing.T) {
 	// Section VI-A: for every N bytes cached, 2.25N is sent on a 4x4x4;
 	// baseline reads 1.5 bytes per byte sent; ACE reads N once.
-	plan := HierarchicalAllReduce(noc.Torus{L: 4, V: 4, H: 4})
+	plan := HierarchicalAllReduce(noc.Torus3(4, 4, 4))
 	const C = 4 << 20
 	tr := Analyze(plan, C)
 	if got, want := tr.Injected, int64(2.25*C); got != want {
@@ -197,7 +204,7 @@ func TestAnalyzeMatchesPaper444(t *testing.T) {
 
 func TestAnalyze422(t *testing.T) {
 	// 16 NPUs (4x2x2): 0.75C + 0.25C + 0.25C + 0.75C = 2C injected.
-	plan := HierarchicalAllReduce(noc.Torus{L: 4, V: 2, H: 2})
+	plan := HierarchicalAllReduce(noc.Torus3(4, 2, 2))
 	const C = 4 << 20
 	if got := Analyze(plan, C).Injected; got != 2*C {
 		t.Fatalf("injected = %d, want 2C", got)
@@ -227,10 +234,138 @@ func TestAnalyzeAllToAll(t *testing.T) {
 }
 
 func TestInjectedScalesLinearly(t *testing.T) {
-	plan := HierarchicalAllReduce(noc.Torus{L: 4, V: 4, H: 4})
+	plan := HierarchicalAllReduce(noc.Torus3(4, 4, 4))
 	a := InjectedPerNode(plan, 1<<20)
 	b := InjectedPerNode(plan, 4<<20)
 	if 4*a != b {
 		t.Fatalf("injection not linear: %d vs %d", a, b)
+	}
+}
+
+// TestHierarchicalPlanAudit is the degenerate-dimension audit: a
+// table-driven sweep of the generalized plan builder over size-1 and
+// size-2 dimensions in every position, 1D-4D, pinning phase counts,
+// kinds, dims, ring sizes and per-chunk byte totals. Size-1 dims must
+// vanish from the plan; size-2 dims are legitimate 2-rings (1 RS step, 2
+// AR steps, 1 AG step); and the RS/AG pair must land on the first
+// non-degenerate dimension so the payload shrinks before crossing the
+// remaining (slower) dimensions.
+func TestHierarchicalPlanAudit(t *testing.T) {
+	type phase struct {
+		kind core.PhaseKind
+		dim  noc.Dim
+		ring int
+	}
+	const C = 1 << 20 // per-chunk bytes for the Shapes cross-check
+	cases := []struct {
+		shape  string
+		phases []phase
+		out    int64 // terminal per-node bytes after the plan (C in, C out)
+	}{
+		{"4x4x4", []phase{
+			{core.PhaseReduceScatter, 0, 4}, {core.PhaseAllReduce, 1, 4},
+			{core.PhaseAllReduce, 2, 4}, {core.PhaseAllGather, 0, 4}}, C},
+		{"4x1x1", []phase{
+			{core.PhaseReduceScatter, 0, 4}, {core.PhaseAllGather, 0, 4}}, C},
+		{"1x4x1", []phase{
+			{core.PhaseReduceScatter, 1, 4}, {core.PhaseAllGather, 1, 4}}, C},
+		{"1x1x4", []phase{
+			{core.PhaseReduceScatter, 2, 4}, {core.PhaseAllGather, 2, 4}}, C},
+		{"1x4x2", []phase{
+			{core.PhaseReduceScatter, 1, 4}, {core.PhaseAllReduce, 2, 2},
+			{core.PhaseAllGather, 1, 4}}, C},
+		{"2x1x3", []phase{
+			{core.PhaseReduceScatter, 0, 2}, {core.PhaseAllReduce, 2, 3},
+			{core.PhaseAllGather, 0, 2}}, C},
+		{"2x2x2", []phase{
+			{core.PhaseReduceScatter, 0, 2}, {core.PhaseAllReduce, 1, 2},
+			{core.PhaseAllReduce, 2, 2}, {core.PhaseAllGather, 0, 2}}, C},
+		{"2", []phase{
+			{core.PhaseReduceScatter, 0, 2}, {core.PhaseAllGather, 0, 2}}, C},
+		{"1x1x1x2", []phase{
+			{core.PhaseReduceScatter, 3, 2}, {core.PhaseAllGather, 3, 2}}, C},
+		{"2x2x2x2", []phase{
+			{core.PhaseReduceScatter, 0, 2}, {core.PhaseAllReduce, 1, 2},
+			{core.PhaseAllReduce, 2, 2}, {core.PhaseAllReduce, 3, 2},
+			{core.PhaseAllGather, 0, 2}}, C},
+		// Wrap flags do not change the schedule, only the network's
+		// pricing of the boundary hop.
+		{"4m x set below", nil, 0},
+	}
+	for _, tc := range cases {
+		var topo noc.Topology
+		if tc.phases == nil {
+			topo = noc.Topology{Dims: []noc.DimSpec{{Size: 4}}}
+			tc.phases = []phase{{core.PhaseReduceScatter, 0, 4}, {core.PhaseAllGather, 0, 4}}
+			tc.out = C
+			tc.shape = topo.String()
+		} else {
+			var err error
+			topo, err = noc.ParseTopology(tc.shape)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.shape, err)
+			}
+		}
+		plan := HierarchicalAllReduce(topo)
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("%s: %v", tc.shape, err)
+		}
+		if len(plan.Phases) != len(tc.phases) {
+			t.Fatalf("%s: %d phases, want %d: %+v", tc.shape, len(plan.Phases), len(tc.phases), plan.Phases)
+		}
+		for i, want := range tc.phases {
+			got := plan.Phases[i]
+			if got.Kind != want.kind || got.Dim != want.dim || got.Ring != want.ring {
+				t.Fatalf("%s phase %d = %+v, want %+v", tc.shape, i, got, want)
+			}
+		}
+		// Byte geometry: every plan must return the full chunk.
+		sh := Shapes(plan, C)
+		if last := sh[len(sh)-1]; last.Out != tc.out {
+			t.Fatalf("%s: terminal out = %d, want %d", tc.shape, last.Out, tc.out)
+		}
+		// Size-2 ring step counts: RS/AG take 1 step, AR takes 2.
+		for i, s := range sh {
+			wantSteps := s.Ring - 1
+			if s.Kind == core.PhaseAllReduce {
+				wantSteps = 2 * (s.Ring - 1)
+			}
+			if s.Steps != wantSteps {
+				t.Fatalf("%s phase %d: %d steps, want %d", tc.shape, i, s.Steps, wantSteps)
+			}
+		}
+	}
+	// Fully degenerate: every size-1 shape yields an empty, invalid plan.
+	for _, shape := range []string{"1", "1x1x1", "1x1x1x1"} {
+		topo, _ := noc.ParseTopology(shape)
+		if p := HierarchicalAllReduce(topo); len(p.Phases) != 0 || p.Validate() == nil {
+			t.Fatalf("%s: degenerate shape produced a plan: %+v", shape, p.Phases)
+		}
+	}
+}
+
+// TestShapesTinyPayloadDegenerate: 1-byte chunks over bidirectional
+// size-2 rings. The ceil/floor halving sends the whole byte in direction
+// 0 and nothing in direction 1 (the idle direction must carry no
+// segment), and the ceilDiv segment convention makes the byte accounting
+// deliberately conservative for chunks smaller than a segment: the
+// reduce-scatter's ceil(1/2)=1 "share" is not halved, so the terminal
+// all-gather reports ring x that share (2 bytes out for 1 byte in). The
+// audit pins this so the over-count stays a documented rounding
+// convention rather than drifting silently — real chunk sizes are
+// segment-aligned and report Out == In exactly (TestShapesHierarchical444).
+func TestShapesTinyPayloadDegenerate(t *testing.T) {
+	plan := HierarchicalAllReduce(noc.Torus3(2, 2, 2))
+	sh := Shapes(plan, 1)
+	if sh[0].DirIn != [2]int64{1, 0} {
+		t.Fatalf("1-byte bidir split = %v", sh[0].DirIn)
+	}
+	if last := sh[len(sh)-1]; last.Out != 2 {
+		t.Fatalf("1-byte terminal out = %d, want the documented ceil convention (2)", last.Out)
+	}
+	for _, s := range sh {
+		if s.DirIn[1] == 0 && s.DirSeg[1] != 0 {
+			t.Fatalf("idle direction has a segment: %+v", s)
+		}
 	}
 }

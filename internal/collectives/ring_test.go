@@ -185,7 +185,7 @@ func activeElems(st planState) []int {
 
 // ringsAlong groups the torus into rings over dimension d, members in
 // ring-rank (= coordinate) order.
-func ringsAlong(t noc.Torus, d noc.Dim) [][]noc.NodeID {
+func ringsAlong(t noc.Topology, d noc.Dim) [][]noc.NodeID {
 	n := t.Size(d)
 	var rings [][]noc.NodeID
 	for id := noc.NodeID(0); int(id) < t.N(); id++ {
@@ -279,7 +279,7 @@ func replayAG(tt *testing.T, data []planState, ring []noc.NodeID, segs [][]int, 
 // interpretPlan replays a plan's full schedule over the torus on real
 // data. init[node] is every node's initial U-element vector; the returned
 // states are the nodes' buffers after the last phase.
-func interpretPlan(tt *testing.T, t noc.Torus, plan Plan, init [][]int) []planState {
+func interpretPlan(tt *testing.T, t noc.Topology, plan Plan, init [][]int) []planState {
 	tt.Helper()
 	data := make([]planState, t.N())
 	for n := range data {
@@ -365,18 +365,31 @@ func interpretPlan(tt *testing.T, t noc.Torus, plan Plan, init [][]int) []planSt
 }
 
 // TestHierarchicalAllReducePlanData replays the full hierarchical
-// all-reduce schedule over randomized torus shapes on real data and
-// asserts every node ends with the complete reduction — the plan-level
-// extension of TestRingAllReduceSemantics.
+// all-reduce schedule over randomized topologies on real data and asserts
+// every node ends with the complete reduction — the plan-level extension
+// of TestRingAllReduceSemantics. The shapes span 1D–4D, wraparound and
+// mesh dimensions, and degenerate size-1/size-2 dims: the plan schedule
+// runs on logical rings, so the interpreter covers every geometry the
+// generalized plan builder can emit (the network decides only how the
+// mesh boundary hop is priced, not which bytes move where).
 func TestHierarchicalAllReducePlanData(t *testing.T) {
-	shapes := []noc.Torus{
-		{L: 2, V: 1, H: 1}, {L: 8, V: 1, H: 1}, {L: 1, V: 1, H: 5},
-		{L: 2, V: 2, H: 2}, {L: 4, V: 2, H: 2}, {L: 3, V: 1, H: 2},
-		{L: 1, V: 4, H: 2}, {L: 2, V: 3, H: 4}, {L: 4, V: 4, H: 4},
+	shapes := []noc.Topology{
+		// Hand-picked edges: flat rings/lines, degenerate leading dims,
+		// all-size-2, the paper's shapes.
+		noc.Grid(2), noc.Grid(8), noc.Grid(1, 1, 5),
+		noc.Torus3(2, 2, 2), noc.Torus3(4, 2, 2), noc.Torus3(3, 1, 2),
+		noc.Torus3(1, 4, 2), noc.Torus3(2, 3, 4), noc.Torus3(4, 4, 4),
+		{Dims: []noc.DimSpec{{Size: 4}, {Size: 4}}},                                               // 2D full mesh
+		{Dims: []noc.DimSpec{{Size: 2}, {Size: 1}, {Size: 3}}},                                    // mesh with size-1 gap
+		{Dims: []noc.DimSpec{{Size: 2, Wrap: true}, {Size: 2}, {Size: 2, Wrap: true}, {Size: 2}}}, // 4D mixed
 	}
 	rng := rand.New(rand.NewSource(20260728))
-	for len(shapes) < 21 {
-		s := noc.Torus{L: 1 + rng.Intn(4), V: 1 + rng.Intn(4), H: 1 + rng.Intn(4)}
+	for len(shapes) < 32 {
+		nd := 1 + rng.Intn(4)
+		s := noc.Topology{Dims: make([]noc.DimSpec, nd)}
+		for d := range s.Dims {
+			s.Dims[d] = noc.DimSpec{Size: 1 + rng.Intn(4), Wrap: rng.Intn(2) == 0}
+		}
 		if s.N() > 1 {
 			shapes = append(shapes, s)
 		}
@@ -417,7 +430,7 @@ func TestHierarchicalAllReducePlanData(t *testing.T) {
 // plan, per-node output elements must equal Shapes' terminal Out (scaled
 // from bytes to elements exactly when U divides evenly).
 func TestInterpretPlanMatchesShapes(t *testing.T) {
-	tor := noc.Torus{L: 4, V: 2, H: 2}
+	tor := noc.Torus3(4, 2, 2)
 	plan := HierarchicalAllReduce(tor)
 	// One element per byte, U divisible by every ring size and by 2 for
 	// the bidirectional halving, so byte algebra and element counts agree.

@@ -132,7 +132,22 @@ func NewRuntime(eng *des.Engine, net *noc.Network, eps []core.Endpoint, cfg Conf
 	if len(eps) != net.Topo().N() {
 		panic(fmt.Sprintf("collectives: %d endpoints for %d nodes", len(eps), net.Topo().N()))
 	}
-	rt := &Runtime{eng: eng, net: net, eps: eps, cfg: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	if !net.Topo().NodeSymmetric() {
+		// LIFO admission assumes every node pops the same chunk sequence,
+		// which holds only when all node timelines are identical (the
+		// rotation symmetry of all-wraparound fabrics). On an asymmetric
+		// fabric (a mesh dimension of size >= 3) timelines diverge, so
+		// LIFO pops different chunk sets on different nodes and the
+		// admission windows can cyclically starve each other — a real
+		// distributed deadlock. FIFO admission is timing-independent (the
+		// admitted set after k grants is the first k chunks in global
+		// issue order on every node), which makes the globally oldest
+		// unfinished chunk always admitted everywhere, so progress is
+		// guaranteed. Force it on asymmetric fabrics.
+		cfg.FIFOSched = true
+	}
+	rt := &Runtime{eng: eng, net: net, eps: eps, cfg: cfg}
 	rt.streams = make([][]*Collective, rt.cfg.Streams)
 	for i := range eps {
 		sc := &nodeSched{rt: rt, node: noc.NodeID(i), issued: make([]int, rt.cfg.Streams)}
@@ -669,19 +684,13 @@ func (e *chunkExec) startA2A(s *PhaseShape) {
 }
 
 // a2aOrder lists every node other than self in lexicographic coordinate-
-// offset order relative to self.
-func a2aOrder(t noc.Torus, self noc.NodeID) []noc.NodeID {
-	l0, v0, h0 := t.Coords(self)
-	order := make([]noc.NodeID, 0, t.N()-1)
-	for dh := 0; dh < t.H; dh++ {
-		for dv := 0; dv < t.V; dv++ {
-			for dl := 0; dl < t.L; dl++ {
-				if dl == 0 && dv == 0 && dh == 0 {
-					continue
-				}
-				order = append(order, t.ID((l0+dl)%t.L, (v0+dv)%t.V, (h0+dh)%t.H))
-			}
-		}
+// offset order relative to self (row-major offsets, dimension 0 fastest —
+// the same enumeration for every node, shifted by its own position).
+func a2aOrder(t noc.Topology, self noc.NodeID) []noc.NodeID {
+	n := t.N()
+	order := make([]noc.NodeID, 0, n-1)
+	for off := 1; off < n; off++ {
+		order = append(order, t.OffsetID(self, off))
 	}
 	return order
 }

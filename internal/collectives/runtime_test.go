@@ -20,7 +20,7 @@ type testSys struct {
 
 // buildSys constructs a system with the given endpoint kind:
 // "ideal", "baseline", or "ace".
-func buildSys(t *testing.T, torus noc.Torus, kind string, cfg Config) *testSys {
+func buildSys(t *testing.T, torus noc.Topology, kind string, cfg Config) *testSys {
 	t.Helper()
 	eng := des.NewEngine()
 	net, err := noc.New(eng, noc.Config{
@@ -95,12 +95,12 @@ func (s *testSys) runSingle(t *testing.T, spec Spec) des.Time {
 	return last
 }
 
-func arSpec(torus noc.Torus, bytes int64) Spec {
+func arSpec(torus noc.Topology, bytes int64) Spec {
 	return Spec{Kind: AllReduce, Bytes: bytes, Plan: HierarchicalAllReduce(torus), Name: "ar"}
 }
 
 func TestRuntimeIdealAllReduceCompletes(t *testing.T) {
-	torus := noc.Torus{L: 4, V: 2, H: 2}
+	torus := noc.Torus3(4, 2, 2)
 	s := buildSys(t, torus, "ideal", DefaultConfig())
 	dur := s.runSingle(t, arSpec(torus, 8<<20))
 	if dur <= 0 {
@@ -125,7 +125,7 @@ func perNodeInjected(t *testing.T, rt *Runtime, bytes int64, plan Plan) int64 {
 }
 
 func TestRuntimeBaselineMemoryTraffic(t *testing.T) {
-	torus := noc.Torus{L: 4, V: 2, H: 2}
+	torus := noc.Torus3(4, 2, 2)
 	s := buildSys(t, torus, "baseline", DefaultConfig())
 	plan := HierarchicalAllReduce(torus)
 	const payload = 4 << 20
@@ -147,7 +147,7 @@ func TestRuntimeBaselineMemoryTraffic(t *testing.T) {
 }
 
 func TestRuntimeACEMemoryTraffic(t *testing.T) {
-	torus := noc.Torus{L: 4, V: 2, H: 2}
+	torus := noc.Torus3(4, 2, 2)
 	s := buildSys(t, torus, "ace", DefaultConfig())
 	const payload = 4 << 20
 	s.runSingle(t, arSpec(torus, payload))
@@ -165,7 +165,7 @@ func TestRuntimeACEMemoryTraffic(t *testing.T) {
 func TestRuntimeEndpointOrdering(t *testing.T) {
 	// Same collective: ideal completes fastest, then ACE, then baseline
 	// with starved comm resources.
-	torus := noc.Torus{L: 4, V: 2, H: 2}
+	torus := noc.Torus3(4, 2, 2)
 	const payload = 8 << 20
 	ideal := buildSys(t, torus, "ideal", DefaultConfig()).runSingle(t, arSpec(torus, payload))
 	ace := buildSys(t, torus, "ace", DefaultConfig()).runSingle(t, arSpec(torus, payload))
@@ -180,7 +180,7 @@ func TestRuntimeEndpointOrdering(t *testing.T) {
 }
 
 func TestRuntimeAllToAll(t *testing.T) {
-	torus := noc.Torus{L: 4, V: 2, H: 2}
+	torus := noc.Torus3(4, 2, 2)
 	for _, kind := range []string{"ideal", "baseline", "ace"} {
 		s := buildSys(t, torus, kind, DefaultConfig())
 		spec := Spec{Kind: AllToAll, Bytes: 1 << 20, Plan: DirectAllToAll(torus.N()), Name: "a2a"}
@@ -193,7 +193,7 @@ func TestRuntimeAllToAll(t *testing.T) {
 
 func TestRuntimeAllToAllForwardingTraffic(t *testing.T) {
 	// Multi-hop all-to-all must put more bytes on the wire than injected.
-	torus := noc.Torus{L: 4, V: 2, H: 2}
+	torus := noc.Torus3(4, 2, 2)
 	s := buildSys(t, torus, "ideal", DefaultConfig())
 	spec := Spec{Kind: AllToAll, Bytes: 1 << 20, Plan: DirectAllToAll(torus.N()), Name: "a2a"}
 	s.runSingle(t, spec)
@@ -207,7 +207,7 @@ func TestRuntimeLIFOPriority(t *testing.T) {
 	// With a window of 1, a later-issued collective jumps the queue:
 	// its chunks are admitted before the earlier collective's remaining
 	// chunks, so it completes first.
-	torus := noc.Torus{L: 4, V: 1, H: 1}
+	torus := noc.Torus3(4, 1, 1)
 	cfg := DefaultConfig()
 	cfg.Window = 1
 	cfg.ChunkBytes = 64 << 10
@@ -232,7 +232,7 @@ func TestRuntimeLIFOPriority(t *testing.T) {
 func TestRuntimeStaggeredIssue(t *testing.T) {
 	// Nodes issue at different times; early arrivals must be buffered
 	// and the collective still completes correctly.
-	torus := noc.Torus{L: 4, V: 1, H: 1}
+	torus := noc.Torus3(4, 1, 1)
 	s := buildSys(t, torus, "ideal", DefaultConfig())
 	spec := arSpec(torus, 1<<20)
 	done := 0
@@ -255,7 +255,7 @@ func TestRuntimeStaggeredIssue(t *testing.T) {
 }
 
 func TestRuntimeDeterminism(t *testing.T) {
-	torus := noc.Torus{L: 4, V: 2, H: 2}
+	torus := noc.Torus3(4, 2, 2)
 	run := func() des.Time {
 		s := buildSys(t, torus, "ace", DefaultConfig())
 		return s.runSingle(t, arSpec(torus, 4<<20))
@@ -266,7 +266,7 @@ func TestRuntimeDeterminism(t *testing.T) {
 }
 
 func TestRuntimeChunkSizes(t *testing.T) {
-	s := buildSys(t, noc.Torus{L: 2, V: 1, H: 1}, "ideal", Config{
+	s := buildSys(t, noc.Torus3(2, 1, 1), "ideal", Config{
 		ChunkBytes: 64 << 10, MaxChunks: 4, Window: 16,
 	})
 	// Small payload: one chunk.
@@ -288,7 +288,7 @@ func TestRuntimeChunkSizes(t *testing.T) {
 }
 
 func TestRuntimeMaxChunkBytes(t *testing.T) {
-	s := buildSys(t, noc.Torus{L: 2, V: 1, H: 1}, "ideal", Config{
+	s := buildSys(t, noc.Torus3(2, 1, 1), "ideal", Config{
 		ChunkBytes: 1 << 20, MaxChunks: 2, MaxChunkBytes: 128 << 10, Window: 16,
 	})
 	// MaxChunkBytes overrides MaxChunks.
@@ -304,7 +304,7 @@ func TestRuntimeMaxChunkBytes(t *testing.T) {
 }
 
 func TestRuntimeAsymmetricProgramPanics(t *testing.T) {
-	torus := noc.Torus{L: 2, V: 1, H: 1}
+	torus := noc.Torus3(2, 1, 1)
 	s := buildSys(t, torus, "ideal", DefaultConfig())
 	s.rt.Issue(0, Spec{Kind: AllReduce, Bytes: 1 << 10, Plan: RingAllReduce(2, noc.DimLocal), Name: "a"}, nil)
 	defer func() {
@@ -316,7 +316,7 @@ func TestRuntimeAsymmetricProgramPanics(t *testing.T) {
 }
 
 func TestRuntimeInvalidSpecPanics(t *testing.T) {
-	torus := noc.Torus{L: 2, V: 1, H: 1}
+	torus := noc.Torus3(2, 1, 1)
 	s := buildSys(t, torus, "ideal", DefaultConfig())
 	defer func() {
 		if recover() == nil {
@@ -324,4 +324,73 @@ func TestRuntimeInvalidSpecPanics(t *testing.T) {
 		}
 	}()
 	s.rt.Issue(0, Spec{Kind: AllReduce, Bytes: 0, Plan: RingAllReduce(2, noc.DimLocal)}, nil)
+}
+
+func TestRuntimeMeshCompletes(t *testing.T) {
+	// Hierarchical all-reduce on mesh (non-wraparound) fabrics: the
+	// logical-ring boundary hop routes across the line, so the collective
+	// completes correctly but strictly slower than on the torus of the
+	// same shape.
+	for _, kind := range []string{"ideal", "ace", "baseline"} {
+		torus := buildSys(t, noc.Grid(4, 2, 2), kind, Config{})
+		tDur := torus.runSingle(t, arSpec(noc.Grid(4, 2, 2), 1<<20))
+		mesh := noc.Topology{Dims: []noc.DimSpec{{Size: 4}, {Size: 2}, {Size: 2}}}
+		msys := buildSys(t, mesh, kind, Config{})
+		mDur := msys.runSingle(t, arSpec(mesh, 1<<20))
+		if mDur <= tDur {
+			t.Errorf("%s: mesh all-reduce %v not slower than torus %v", kind, mDur, tDur)
+		}
+	}
+}
+
+func TestRuntimeAsymmetricForcesFIFO(t *testing.T) {
+	// LIFO admission assumes identical node timelines; a mesh dimension
+	// of size >= 3 breaks that symmetry, so the runtime must fall back to
+	// timing-independent FIFO admission (see NewRuntime).
+	line := buildSys(t, noc.Topology{Dims: []noc.DimSpec{{Size: 3}}}, "ideal", Config{})
+	if !line.rt.cfg.FIFOSched {
+		t.Fatal("asymmetric fabric kept LIFO admission")
+	}
+	ring := buildSys(t, noc.Grid(4, 2, 2), "ideal", Config{})
+	if ring.rt.cfg.FIFOSched {
+		t.Fatal("symmetric fabric lost LIFO admission")
+	}
+	// Size-2 lines are mirror-symmetric: both endpoints pay identical
+	// costs, so LIFO stays safe.
+	pair := buildSys(t, noc.Topology{Dims: []noc.DimSpec{{Size: 2}}}, "ideal", Config{})
+	if pair.rt.cfg.FIFOSched {
+		t.Fatal("size-2 line treated as asymmetric")
+	}
+}
+
+// TestRuntimeMeshStaggeredNoDeadlock is the regression for the
+// asymmetric-fabric admission deadlock: chained collectives on a mesh
+// (every node issues the next one as soon as the previous completes
+// locally, so issue times diverge across boundary and interior nodes)
+// with a tiny admission window. Under LIFO admission different nodes
+// admit different chunk sets and the run wedges; the forced FIFO
+// fallback keeps the globally oldest chunk admitted everywhere.
+func TestRuntimeMeshStaggeredNoDeadlock(t *testing.T) {
+	mesh := noc.Topology{Dims: []noc.DimSpec{{Size: 5}, {Size: 3}}}
+	s := buildSys(t, mesh, "ace", Config{Window: 2, ChunkBytes: 32 << 10})
+	const rounds = 6
+	done := 0
+	var issue func(node noc.NodeID, i int)
+	issue = func(node noc.NodeID, i int) {
+		s.rt.Issue(node, arSpec(mesh, 512<<10), func() {
+			if i+1 < rounds {
+				issue(node, i+1)
+				return
+			}
+			done++
+		})
+	}
+	for n := 0; n < s.rt.Nodes(); n++ {
+		issue(noc.NodeID(n), 0)
+	}
+	s.eng.Run()
+	if done != s.rt.Nodes() {
+		t.Fatalf("chained mesh collectives finished on %d/%d nodes (deadlock):\n%s",
+			done, s.rt.Nodes(), s.rt.DebugState())
+	}
 }

@@ -39,7 +39,7 @@ func TestRuntimeStreamsAsymmetricPrograms(t *testing.T) {
 	// Two jobs with different payloads and kinds on one fabric: per-stream
 	// matching must keep them apart (a single-stream runtime would panic
 	// with "asymmetric program").
-	torus := noc.Torus{L: 4, V: 2, H: 2}
+	torus := noc.Torus3(4, 2, 2)
 	cfg := DefaultConfig()
 	cfg.Streams = 2
 	s := buildSys(t, torus, "ideal", cfg)
@@ -58,7 +58,7 @@ func TestRuntimeStreamsAsymmetricPrograms(t *testing.T) {
 func TestRuntimeSingleStreamUnchanged(t *testing.T) {
 	// Streams=1 must be bit-identical to the pre-stream runtime: IssueOn(0)
 	// and Issue are the same path.
-	torus := noc.Torus{L: 4, V: 2, H: 2}
+	torus := noc.Torus3(4, 2, 2)
 	a := buildSys(t, torus, "baseline", DefaultConfig())
 	da := a.runSingle(t, arSpec(torus, 8<<20))
 	cfg := DefaultConfig()
@@ -74,7 +74,7 @@ func TestRuntimeStreamContention(t *testing.T) {
 	// Two identical streams sharing the fabric must each take longer than
 	// one stream alone (they halve the link bandwidth), and the co-run
 	// must be deterministic.
-	torus := noc.Torus{L: 4, V: 2, H: 2}
+	torus := noc.Torus3(4, 2, 2)
 	solo := buildSys(t, torus, "ideal", DefaultConfig()).runSingle(t, arSpec(torus, 8<<20))
 	co := func() []des.Time {
 		cfg := DefaultConfig()
@@ -97,7 +97,7 @@ func TestRuntimeRoundRobinArbitration(t *testing.T) {
 	// Under LIFO the later-issued stream's chunks preempt the pending
 	// queue; round-robin alternates admission slots, so the first-issued
 	// stream must finish no later (and the policy stays deterministic).
-	torus := noc.Torus{L: 4, V: 2, H: 2}
+	torus := noc.Torus3(4, 2, 2)
 	run := func(arb Arbitration) []des.Time {
 		cfg := DefaultConfig()
 		cfg.Streams = 2
@@ -116,7 +116,7 @@ func TestRuntimeRoundRobinArbitration(t *testing.T) {
 }
 
 func TestRuntimeStreamOutOfRangePanics(t *testing.T) {
-	torus := noc.Torus{L: 2, V: 1, H: 1}
+	torus := noc.Torus3(2, 1, 1)
 	s := buildSys(t, torus, "ideal", DefaultConfig())
 	defer func() {
 		if recover() == nil {

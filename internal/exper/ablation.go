@@ -20,7 +20,7 @@ type AblationA2ARow struct {
 }
 
 // AblationForwarding runs one all-to-all under every preset.
-func AblationForwarding(t noc.Torus, payload int64) ([]AblationA2ARow, *report.Table, error) {
+func AblationForwarding(t noc.Topology, payload int64) ([]AblationA2ARow, *report.Table, error) {
 	tab := report.New("Ablation: all-to-all forwarding (endpoint staging vs ACE SRAM absorption)",
 		"system", "duration us", "HBM reads/node", "eff GB/s per NPU")
 	var rows []AblationA2ARow
@@ -56,7 +56,7 @@ func AblationSwitch(payload int64) ([]AblationSwitchRow, *report.Table, error) {
 		"system", "duration us", "eff GB/s per NPU")
 	var rows []AblationSwitchRow
 	for _, p := range system.Presets() {
-		spec := system.NewSpec(noc.Torus{L: 8, V: 1, H: 1}, p)
+		spec := system.NewSpec(noc.Torus3(8, 1, 1), p)
 		spec.Intra = noc.LinkClass{GBps: 75, LatCycles: 300, Efficiency: 1, FreqGHz: 1.245}
 		res, err := RunCollective(spec, collectives.AllReduce, payload)
 		if err != nil {
@@ -82,7 +82,7 @@ type AblationSchedRow struct {
 
 // AblationScheduling trains the given workload under LIFO and FIFO chunk
 // scheduling on the ACE and CompOpt systems.
-func AblationScheduling(t noc.Torus, model string) ([]AblationSchedRow, *report.Table, error) {
+func AblationScheduling(t noc.Topology, model string) ([]AblationSchedRow, *report.Table, error) {
 	m, err := workload.ByName(model)
 	if err != nil {
 		return nil, nil, err

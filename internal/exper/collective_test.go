@@ -15,7 +15,7 @@ import (
 // issued to that node — not through whichever handle the issue loop
 // happened to return last.
 func TestRunCollectivePerNodeCompletion(t *testing.T) {
-	spec := system.NewSpec(noc.Torus{L: 4, V: 2, H: 2}, system.BaselineCommOpt)
+	spec := system.NewSpec(noc.Torus3(4, 2, 2), system.BaselineCommOpt)
 	payload := int64(4 << 20)
 	res, err := RunCollective(spec, collectives.AllReduce, payload)
 	if err != nil {
@@ -30,7 +30,7 @@ func TestRunCollectivePerNodeCompletion(t *testing.T) {
 	cs := collectives.Spec{
 		Kind:  collectives.AllReduce,
 		Bytes: payload,
-		Plan:  collectives.HierarchicalAllReduce(spec.Torus),
+		Plan:  collectives.HierarchicalAllReduce(spec.Topo),
 		Name:  "ar",
 	}
 	colls := make([]*collectives.Collective, s.RT.Nodes())

@@ -18,7 +18,7 @@ import (
 // CollectiveResult summarizes one standalone collective run.
 type CollectiveResult struct {
 	Preset       system.Preset
-	Torus        noc.Torus
+	Topo         noc.Topology
 	Bytes        int64
 	Duration     des.Time
 	EffGBpsNode  float64 // injected bytes / node / duration
@@ -39,9 +39,14 @@ func RunCollective(spec system.Spec, kind collectives.Kind, bytes int64) (Collec
 	if err != nil {
 		return CollectiveResult{}, err
 	}
-	plan := collectives.HierarchicalAllReduce(spec.Torus)
+	plan := collectives.HierarchicalAllReduce(spec.Topo)
 	if kind == collectives.AllToAll {
-		plan = collectives.DirectAllToAll(spec.Torus.N())
+		plan = collectives.DirectAllToAll(spec.Topo.N())
+	}
+	// A fully degenerate fabric (single node) yields an empty plan; fail
+	// with an error instead of tripping the runtime's panic contract.
+	if err := plan.Validate(); err != nil {
+		return CollectiveResult{}, fmt.Errorf("exper: %s on %s: %w", kind, spec.Topo, err)
 	}
 	cs := collectives.Spec{Kind: kind, Bytes: bytes, Plan: plan, Name: kind.String()}
 	done := 0
@@ -63,11 +68,11 @@ func RunCollective(spec system.Spec, kind collectives.Kind, bytes int64) (Collec
 			last = t
 		}
 	}
-	n := int64(spec.Torus.N())
+	n := int64(spec.Topo.N())
 	injectedNode := s.Net.InjectedBytes() / n
 	return CollectiveResult{
 		Preset:       spec.Preset,
-		Torus:        spec.Torus,
+		Topo:         spec.Topo,
 		Bytes:        bytes,
 		Duration:     last,
 		EffGBpsNode:  des.Rate(injectedNode, last),
@@ -82,7 +87,7 @@ func RunCollective(spec system.Spec, kind collectives.Kind, bytes int64) (Collec
 // TrainResult couples a workload run with its configuration.
 type TrainResult struct {
 	Preset   system.Preset
-	Torus    noc.Torus
+	Topo     noc.Topology
 	Workload string
 	training.Result
 }
@@ -100,7 +105,7 @@ func RunTraining(spec system.Spec, m *workload.Model, tc training.Config) (Train
 	}
 	return TrainResult{
 		Preset:   spec.Preset,
-		Torus:    spec.Torus,
+		Topo:     spec.Topo,
 		Workload: m.Name,
 		Result:   res,
 	}, s, nil
@@ -108,12 +113,12 @@ func RunTraining(spec system.Spec, m *workload.Model, tc training.Config) (Train
 
 // Sizes4 returns the paper's four evaluation sizes (Fig 11):
 // 16 (4x2x2), 32 (4x4x2), 64 (4x4x4), 128 (4x8x4).
-func Sizes4() []noc.Torus {
-	return []noc.Torus{
-		{L: 4, V: 2, H: 2},
-		{L: 4, V: 4, H: 2},
-		{L: 4, V: 4, H: 4},
-		{L: 4, V: 8, H: 4},
+func Sizes4() []noc.Topology {
+	return []noc.Topology{
+		noc.Torus3(4, 2, 2),
+		noc.Torus3(4, 4, 2),
+		noc.Torus3(4, 4, 4),
+		noc.Torus3(4, 8, 4),
 	}
 }
 

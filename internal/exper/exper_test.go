@@ -11,7 +11,7 @@ import (
 	"acesim/internal/workload"
 )
 
-var torus16 = noc.Torus{L: 4, V: 2, H: 2}
+var torus16 = noc.Torus3(4, 2, 2)
 
 func TestRunCollectiveBasics(t *testing.T) {
 	res, err := RunCollective(system.NewSpec(torus16, system.Ideal), collectives.AllReduce, 16<<20)
@@ -28,7 +28,7 @@ func TestRunCollectiveBasics(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
-	toruses := []noc.Torus{torus16}
+	toruses := []noc.Topology{torus16}
 	memBWs := []float64{64, 128, 450, 900}
 	pts, tab, err := Fig5(toruses, memBWs, 16<<20)
 	if err != nil {
@@ -70,7 +70,7 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
-	pts, _, err := Fig6([]noc.Torus{torus16}, []int{1, 2, 6, 16}, 16<<20)
+	pts, _, err := Fig6([]noc.Topology{torus16}, []int{1, 2, 6, 16}, 16<<20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestFig12Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("64-NPU DLRM sweep in -short mode")
 	}
-	rows, _, err := Fig12(noc.Torus{L: 4, V: 4, H: 4})
+	rows, _, err := Fig12(noc.Torus3(4, 4, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestFig12Shape(t *testing.T) {
 }
 
 func TestAnalyticVIA(t *testing.T) {
-	rows, _, err := AnalyticVIA([]noc.Torus{{L: 4, V: 4, H: 4}}, 4<<20)
+	rows, _, err := AnalyticVIA([]noc.Topology{noc.Torus3(4, 4, 4)}, 4<<20)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -69,7 +69,7 @@ type Fig4Row struct {
 // NVSwitch-class fabric with 150 GB/s per NPU, modeled as an 8-ring with
 // 75 GB/s per direction, running the software (NCCL-like) endpoint.
 func fig4Spec() system.Spec {
-	spec := system.NewSpec(noc.Torus{L: 8, V: 1, H: 1}, system.BaselineCommOpt)
+	spec := system.NewSpec(noc.Torus3(8, 1, 1), system.BaselineCommOpt)
 	spec.Intra = noc.LinkClass{GBps: 75, LatCycles: 300, Efficiency: 1, FreqGHz: 1.245}
 	spec.NPU.CommMemGBps = 450
 	spec.NPU.CommSMs = 6

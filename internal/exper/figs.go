@@ -25,7 +25,7 @@ type Fig5Point struct {
 // all-reduce as the memory bandwidth available to communication varies,
 // for the baseline (all 80 SMs available to comm, per the figure caption)
 // and ACE, against the ideal endpoint.
-func Fig5(toruses []noc.Torus, memBWs []float64, payload int64) ([]Fig5Point, *report.Table, error) {
+func Fig5(toruses []noc.Topology, memBWs []float64, payload int64) ([]Fig5Point, *report.Table, error) {
 	tab := report.New("Fig 5: network BW utilization vs comm memory BW (single 64MB all-reduce)",
 		"NPUs", "commGB/s", "Baseline GB/s", "ACE GB/s", "Ideal GB/s")
 	var pts []Fig5Point
@@ -61,8 +61,8 @@ func Fig5(toruses []noc.Torus, memBWs []float64, payload int64) ([]Fig5Point, *r
 }
 
 // Fig5Defaults returns the paper-like sweep inputs.
-func Fig5Defaults() ([]noc.Torus, []float64, int64) {
-	return []noc.Torus{{L: 4, V: 2, H: 2}, {L: 4, V: 4, H: 4}},
+func Fig5Defaults() ([]noc.Topology, []float64, int64) {
+	return []noc.Topology{noc.Torus3(4, 2, 2), noc.Torus3(4, 4, 4)},
 		[]float64{32, 64, 96, 128, 192, 256, 350, 450, 600, 750, 900},
 		64 << 20
 }
@@ -78,7 +78,7 @@ type Fig6Point struct {
 // available for communication varies (all memory bandwidth available; the
 // paper's takeaway is that 6 SMs suffice to drive the fabric, in line
 // with NCCL/oneCCL core usage).
-func Fig6(toruses []noc.Torus, sms []int, payload int64) ([]Fig6Point, *report.Table, error) {
+func Fig6(toruses []noc.Topology, sms []int, payload int64) ([]Fig6Point, *report.Table, error) {
 	tab := report.New("Fig 6: baseline network BW vs SMs for communication (single 64MB all-reduce)",
 		"NPUs", "SMs", "GB/s per NPU")
 	var pts []Fig6Point
@@ -100,8 +100,8 @@ func Fig6(toruses []noc.Torus, sms []int, payload int64) ([]Fig6Point, *report.T
 }
 
 // Fig6Defaults returns the paper's x-axis (SM counts).
-func Fig6Defaults() ([]noc.Torus, []int, int64) {
-	return []noc.Torus{{L: 4, V: 2, H: 2}, {L: 4, V: 4, H: 4}},
+func Fig6Defaults() ([]noc.Topology, []int, int64) {
+	return []noc.Topology{noc.Torus3(4, 2, 2), noc.Torus3(4, 4, 4)},
 		[]int{1, 2, 3, 4, 5, 6, 8, 16, 64},
 		64 << 20
 }
@@ -118,7 +118,7 @@ type Fig9aPoint struct {
 // Fig9a reproduces the ACE design-space exploration: mean training
 // performance across the given workloads as SRAM size and FSM count vary,
 // normalized to the 4 MB / 16 FSM design point.
-func Fig9a(t noc.Torus, models []*workload.Model, srams []int64, fsms []int) ([]Fig9aPoint, *report.Table, error) {
+func Fig9a(t noc.Topology, models []*workload.Model, srams []int64, fsms []int) ([]Fig9aPoint, *report.Table, error) {
 	iterTime := func(sram int64, fsm int) (float64, error) {
 		var sum float64
 		for _, m := range models {
@@ -170,7 +170,7 @@ type Fig9bRow struct {
 // Fig9b reproduces the ACE utilization split: the fraction of forward and
 // backward pass time during which the engine has at least one chunk
 // assigned (averaged over both iterations, node 0).
-func Fig9b(t noc.Torus, models []*workload.Model) ([]Fig9bRow, *report.Table, error) {
+func Fig9b(t noc.Topology, models []*workload.Model) ([]Fig9bRow, *report.Table, error) {
 	tab := report.New("Fig 9b: ACE utilization (fraction of pass with >=1 chunk assigned)",
 		"workload", "fwd", "bwd")
 	var rows []Fig9bRow
@@ -226,7 +226,7 @@ type Fig10Trace struct {
 // Fig10 reproduces the compute/communication overlap timelines: per-bucket
 // network-link and compute utilization for two training iterations of each
 // workload under each system with overlap.
-func Fig10(t noc.Torus, models []*workload.Model, presets []system.Preset) ([]Fig10Trace, *report.Table, error) {
+func Fig10(t noc.Topology, models []*workload.Model, presets []system.Preset) ([]Fig10Trace, *report.Table, error) {
 	tab := report.New("Fig 10: compute-communication overlap (2 iterations)",
 		"workload", "system", "iter us", "compute us", "exposed us", "net util", "cmp util")
 	var traces []Fig10Trace
@@ -282,7 +282,7 @@ type Fig11Row struct {
 // Fig11 reproduces the scalability study: total compute and exposed
 // communication for every workload on every system size under all five
 // Table VI configurations, plus ACE's speedup over each baseline (Fig 11b).
-func Fig11(sizes []noc.Torus, models []*workload.Model) ([]Fig11Row, *report.Table, *report.Table, error) {
+func Fig11(sizes []noc.Topology, models []*workload.Model) ([]Fig11Row, *report.Table, *report.Table, error) {
 	tabA := report.New("Fig 11a: total compute vs exposed communication (2 iterations)",
 		"NPUs", "workload", "system", "compute us", "exposed us", "total us", "% of ideal")
 	tabB := report.New("Fig 11b: ACE speedup over baselines",
@@ -304,7 +304,7 @@ func Fig11(sizes []noc.Torus, models []*workload.Model) ([]Fig11Row, *report.Tab
 			for _, p := range system.Presets() {
 				r := byPreset[p]
 				row := Fig11Row{
-					TrainResult: TrainResult{Preset: p, Torus: t, Workload: m.Name, Result: r},
+					TrainResult: TrainResult{Preset: p, Topo: t, Workload: m.Name, Result: r},
 					PctOfIdeal:  100 * ideal / r.IterTime.Seconds(),
 				}
 				rows = append(rows, row)
@@ -335,7 +335,7 @@ type Fig12Row struct {
 // Fig12 reproduces the DLRM training-loop optimization: default vs
 // optimized (embedding lookup/update overlapped on a spare 80 GB/s
 // allocation) for BaselineCompOpt and ACE.
-func Fig12(t noc.Torus) ([]Fig12Row, *report.Table, error) {
+func Fig12(t noc.Topology) ([]Fig12Row, *report.Table, error) {
 	tab := report.New("Fig 12: DLRM optimized training loop (2 iterations)",
 		"system", "loop", "compute us", "exposed us", "total us", "speedup")
 	m := workload.DLRM(workload.DLRMBatch)

@@ -12,7 +12,7 @@ import (
 // GraphResult summarizes one execution-graph run.
 type GraphResult struct {
 	Preset system.Preset
-	Torus  noc.Torus
+	Topo   noc.Topology
 	Name   string
 	// Span is the time the last rank finished.
 	Span des.Time
@@ -64,7 +64,7 @@ func RunGraph(spec system.Spec, g *graph.Graph) (res GraphResult, err error) {
 	st := g.Stats()
 	return GraphResult{
 		Preset:      spec.Preset,
-		Torus:       spec.Torus,
+		Topo:        spec.Topo,
 		Name:        g.Name,
 		Span:        gres.Span,
 		Compute:     gres.MaxComputeBusy(),

@@ -137,7 +137,7 @@ func Interference(spec system.Spec, jobs []InterferenceJob) (InterferenceResult,
 	m.Eng.Run()
 
 	res := InterferenceResult{}
-	tab := report.New(fmt.Sprintf("interference: %d jobs on %s %s", len(jobs), spec.Torus, spec.Preset),
+	tab := report.New(fmt.Sprintf("interference: %d jobs on %s %s", len(jobs), spec.Topo, spec.Preset),
 		"job", "placement", "kind", "solo us", "co-run us", "slowdown")
 	for i, run := range runs {
 		co, tres, err := run.finish()
@@ -254,9 +254,9 @@ func startStream(js *system.JobSystem, spec StreamSpec) *streamRun {
 		spec.Count = 1
 	}
 	s := &streamRun{js: js, spec: spec, nodes: js.Sys.RT.Nodes()}
-	s.plan = collectives.HierarchicalAllReduce(js.Sys.Spec.Torus)
+	s.plan = collectives.HierarchicalAllReduce(js.Sys.Spec.Topo)
 	if spec.Kind == collectives.AllToAll {
-		s.plan = collectives.DirectAllToAll(js.Sys.Spec.Torus.N())
+		s.plan = collectives.DirectAllToAll(js.Sys.Spec.Topo.N())
 	}
 	for node := 0; node < s.nodes; node++ {
 		s.issue(noc.NodeID(node), 0)

@@ -15,10 +15,10 @@ import (
 // each must report exactly its solo timeline (slowdown 1.0, well under
 // the 1% acceptance bound).
 func TestInterferenceIsolation(t *testing.T) {
-	full := noc.Torus{L: 4, V: 2, H: 2}
+	full := noc.Torus3(4, 2, 2)
 	spec := system.NewSpec(full, system.ACE)
-	partA := &noc.Partition{Full: full, Shape: noc.Torus{L: 4, V: 1, H: 2}}
-	partB := &noc.Partition{Full: full, Shape: noc.Torus{L: 4, V: 1, H: 2}, Origin: [3]int{0, 1, 0}}
+	partA := &noc.Partition{Full: full, Shape: noc.Torus3(4, 1, 2)}
+	partB := &noc.Partition{Full: full, Shape: noc.Torus3(4, 1, 2), Origin: []int{0, 1, 0}}
 	m := workload.ResNet50(workload.ResNet50Batch)
 	res, _, err := Interference(spec, []InterferenceJob{
 		{Name: "a", Part: partA, Model: m},
@@ -47,7 +47,7 @@ func TestInterferenceIsolation(t *testing.T) {
 // less — its collectives are mostly overlapped, and LIFO arbitration
 // favors the later-issued training chunks — but still measurably.
 func TestInterferenceSharedFabric(t *testing.T) {
-	spec := system.NewSpec(noc.Torus{L: 4, V: 2, H: 2}, system.BaselineCommOpt)
+	spec := system.NewSpec(noc.Torus3(4, 2, 2), system.BaselineCommOpt)
 
 	// Stream vs stream: both contend for every link; the slowdown is
 	// nearly 2x (measured ~1.7x, pipelining hides some of it).
@@ -98,7 +98,7 @@ func TestInterferenceSharedFabric(t *testing.T) {
 // ("attached twice" panic) and un-prefixed tags would cross-signal. With
 // per-job streams and namespaced tags both must run to completion.
 func TestTwoIdenticalJobsSharedFabric(t *testing.T) {
-	spec := system.NewSpec(noc.Torus{L: 4, V: 2, H: 2}, system.ACE)
+	spec := system.NewSpec(noc.Torus3(4, 2, 2), system.ACE)
 	m := workload.ResNet50(workload.ResNet50Batch)
 	res, _, err := Interference(spec, []InterferenceJob{
 		{Name: "a", Model: m},
@@ -128,7 +128,7 @@ func TestTwoIdenticalJobsSharedFabric(t *testing.T) {
 // TestInterferenceDeterminism: the multi-job timeline is a pure function
 // of the configuration, regardless of job mix.
 func TestInterferenceDeterminism(t *testing.T) {
-	spec := system.NewSpec(noc.Torus{L: 4, V: 2, H: 2}, system.ACE)
+	spec := system.NewSpec(noc.Torus3(4, 2, 2), system.ACE)
 	m := workload.ResNet50(workload.ResNet50Batch)
 	run := func() InterferenceResult {
 		res, _, err := Interference(spec, []InterferenceJob{
@@ -149,10 +149,10 @@ func TestInterferenceDeterminism(t *testing.T) {
 }
 
 func TestInterferenceValidation(t *testing.T) {
-	full := noc.Torus{L: 4, V: 2, H: 2}
+	full := noc.Torus3(4, 2, 2)
 	spec := system.NewSpec(full, system.ACE)
 	m := workload.ResNet50(workload.ResNet50Batch)
-	part := &noc.Partition{Full: full, Shape: noc.Torus{L: 4, V: 1, H: 2}}
+	part := &noc.Partition{Full: full, Shape: noc.Torus3(4, 1, 2)}
 	// Mixed shared + partitioned placements.
 	if _, _, err := Interference(spec, []InterferenceJob{
 		{Name: "a", Model: m},
@@ -179,8 +179,8 @@ func TestInterferenceValidation(t *testing.T) {
 
 // TestRespec re-derives shape-dependent spec fields for a carve-out.
 func TestRespec(t *testing.T) {
-	spec := system.NewSpec(noc.Torus{L: 4, V: 2, H: 2}, system.ACE)
-	sub := system.Respec(spec, noc.Torus{L: 4, V: 1, H: 2})
+	spec := system.NewSpec(noc.Torus3(4, 2, 2), system.ACE)
+	sub := system.Respec(spec, noc.Torus3(4, 1, 2))
 	// 4x1x2: local RS + horizontal AR + local AG = 3 phases (V degenerate).
 	if sub.ACE.Phases != 3 {
 		t.Fatalf("respec phases = %d, want 3", sub.ACE.Phases)

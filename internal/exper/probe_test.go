@@ -16,7 +16,7 @@ func TestProbeScaling(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow probe")
 	}
-	torus := noc.Torus{L: 4, V: 8, H: 4}
+	torus := noc.Torus3(4, 8, 4)
 	spec := system.NewSpec(torus, system.ACE)
 	FastGranularity(&spec)
 	m := workload.GNMT(workload.GNMTBatch)

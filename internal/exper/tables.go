@@ -67,7 +67,7 @@ func Table6() *report.Table {
 // AnalyticRow pairs the Section VI-A closed-form traffic numbers with the
 // simulator's measured meters for one system size.
 type AnalyticRow struct {
-	Torus             noc.Torus
+	Topo              noc.Topology
 	InjectedPerByte   float64 // bytes on the wire per payload byte (2.25 on 4x4x4)
 	BaselineReadRatio float64 // HBM reads per byte sent (1.5)
 	MemBWReduction    float64 // baseline reads / ACE reads (~3.4x)
@@ -78,7 +78,7 @@ type AnalyticRow struct {
 // AnalyticVIA reproduces the Section VI-A analysis: the per-byte injection
 // and read ratios of the hierarchical all-reduce, both in closed form and
 // as measured by the simulator on a real collective run.
-func AnalyticVIA(toruses []noc.Torus, payload int64) ([]AnalyticRow, *report.Table, error) {
+func AnalyticVIA(toruses []noc.Topology, payload int64) ([]AnalyticRow, *report.Table, error) {
 	tab := report.New("Section VI-A: memory traffic, analytic vs simulated (single all-reduce)",
 		"torus", "injected/byte", "baseline reads/sent", "memBW reduction",
 		"measured baseline reads", "measured ACE reads")
@@ -87,7 +87,7 @@ func AnalyticVIA(toruses []noc.Torus, payload int64) ([]AnalyticRow, *report.Tab
 		plan := collectives.HierarchicalAllReduce(t)
 		tr := collectives.Analyze(plan, payload)
 		row := AnalyticRow{
-			Torus:             t,
+			Topo:              t,
 			InjectedPerByte:   float64(tr.Injected) / float64(payload),
 			BaselineReadRatio: float64(tr.BaselineReads) / float64(tr.Injected),
 			MemBWReduction:    collectives.MemBWReduction(plan, payload),

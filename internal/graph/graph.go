@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"acesim/internal/collectives"
+	"acesim/internal/noc"
 )
 
 // OpKind discriminates the node types of the IR.
@@ -113,7 +114,12 @@ type Graph struct {
 	// Ranks is the number of NPUs the graph targets; it must match the
 	// fabric the executor runs on.
 	Ranks int
-	Ops   []Op
+	// Topo optionally records the fabric topology the trace was generated
+	// for. When set, its node count must equal Ranks; executors only
+	// require the rank count to match, so a trace recorded on one shape
+	// may be replayed on any fabric of the same size.
+	Topo *noc.Topology
+	Ops  []Op
 }
 
 // canonGroup reports whether the op's group is effectively "all ranks"
@@ -134,6 +140,14 @@ func (g *Graph) Validate() error {
 	}
 	if len(g.Ops) == 0 {
 		return fmt.Errorf("graph: no ops")
+	}
+	if g.Topo != nil {
+		if err := g.Topo.Validate(); err != nil {
+			return fmt.Errorf("graph: topology: %w", err)
+		}
+		if g.Topo.N() != g.Ranks {
+			return fmt.Errorf("graph: topology %s has %d NPUs, ranks is %d", g.Topo, g.Topo.N(), g.Ranks)
+		}
 	}
 	byID := make(map[int]*Op, len(g.Ops))
 	finals := make(map[int]bool)

@@ -12,7 +12,7 @@ import (
 	"acesim/internal/workload"
 )
 
-var torus16 = noc.Torus{L: 4, V: 2, H: 2}
+var torus16 = noc.Torus3(4, 2, 2)
 
 func mustValidate(t *testing.T, g *graph.Graph) {
 	t.Helper()
@@ -258,5 +258,40 @@ func TestFromModelShape(t *testing.T) {
 	}
 	if want := 2 * 16; g2.Stats().Collectives != want {
 		t.Fatalf("fused lowering has %d collectives, want %d", g2.Stats().Collectives, want)
+	}
+}
+
+// TestGraphTopologyField: the optional topology spec in the JSON wire
+// format round-trips, validates against ranks, and accepts both the
+// compact string and the object form.
+func TestGraphTopologyField(t *testing.T) {
+	src := `{"name":"t","ranks":8,"topology":"4x2m","ops":[{"id":0,"kind":"compute","rank":0,"macs":1,"bytes":1}]}`
+	g, err := graph.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Topo == nil || g.Topo.N() != 8 || g.Topo.Wrap(1) {
+		t.Fatalf("topology parsed as %+v", g.Topo)
+	}
+	var buf strings.Builder
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := graph.Parse(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Topo == nil || !back.Topo.Equal(*g.Topo) {
+		t.Fatalf("topology did not round-trip: %+v", back.Topo)
+	}
+	// Object form with a link override.
+	src = `{"name":"t","ranks":8,"topology":{"dims":[{"size":8,"wrap":true,"gbps":100}]},"ops":[{"id":0,"kind":"compute","rank":0,"macs":1,"bytes":1}]}`
+	if g, err = graph.Parse(strings.NewReader(src)); err != nil || g.Topo.Dims[0].GBps != 100 {
+		t.Fatalf("object form: %+v, %v", g.Topo, err)
+	}
+	// Mismatched node count is rejected.
+	src = `{"name":"t","ranks":16,"topology":"4x2","ops":[{"id":0,"kind":"compute","rank":0,"macs":1,"bytes":1}]}`
+	if _, err := graph.Parse(strings.NewReader(src)); err == nil {
+		t.Fatal("rank/topology mismatch accepted")
 	}
 }

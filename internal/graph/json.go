@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"acesim/internal/collectives"
+	"acesim/internal/noc"
 )
 
 // The JSON graph format mirrors the IR one-to-one:
@@ -55,11 +56,14 @@ type opJSON struct {
 	Dst int `json:"dst,omitempty"`
 }
 
-// graphJSON is the wire form of a graph document.
+// graphJSON is the wire form of a graph document. The optional topology
+// field accepts either the compact string form ("4x2x2", "8x8m") or the
+// per-dimension object form {"dims":[...]} and must agree with ranks.
 type graphJSON struct {
-	Name  string   `json:"name"`
-	Ranks int      `json:"ranks"`
-	Ops   []opJSON `json:"ops"`
+	Name     string        `json:"name"`
+	Ranks    int           `json:"ranks"`
+	Topology *noc.Topology `json:"topology,omitempty"`
+	Ops      []opJSON      `json:"ops"`
 }
 
 // parseKind resolves an op kind name.
@@ -97,7 +101,7 @@ func Parse(r io.Reader) (*Graph, error) {
 	if dec.More() {
 		return nil, errors.New("graph: trailing data after graph object")
 	}
-	g := &Graph{Name: gj.Name, Ranks: gj.Ranks, Ops: make([]Op, 0, len(gj.Ops))}
+	g := &Graph{Name: gj.Name, Ranks: gj.Ranks, Topo: gj.Topology, Ops: make([]Op, 0, len(gj.Ops))}
 	for i, oj := range gj.Ops {
 		kind, err := parseKind(oj.Kind)
 		if err != nil {
@@ -141,7 +145,7 @@ func Load(path string) (*Graph, error) {
 // WriteJSON serializes the graph as indented JSON in the wire format
 // Parse accepts.
 func (g *Graph) WriteJSON(w io.Writer) error {
-	gj := graphJSON{Name: g.Name, Ranks: g.Ranks, Ops: make([]opJSON, 0, len(g.Ops))}
+	gj := graphJSON{Name: g.Name, Ranks: g.Ranks, Topology: g.Topo, Ops: make([]opJSON, 0, len(g.Ops))}
 	for i := range g.Ops {
 		op := &g.Ops[i]
 		oj := opJSON{

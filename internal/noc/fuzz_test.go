@@ -1,0 +1,73 @@
+package noc
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseTopology hardens the two decoders a fabric shape can enter
+// through — the compact string form ("4x4x4", "8x8m") and the JSON form
+// (string or {"dims":[...]} object). For any input, parsing must return
+// an error or a topology that validates, never panic; an accepted
+// topology must have a bounded positive node count, a String form that
+// re-parses to an equal shape (for override-free topologies — the string
+// form cannot carry gbps/lat_cycles), and coordinate round-trips at the
+// corners. The seed corpus covers valid shapes, zero/negative sizes,
+// node-count overflow products, dimension-count overflow, mesh markers
+// and malformed JSON.
+func FuzzParseTopology(f *testing.F) {
+	seeds := []string{
+		"4x4x4", "4x2x2", "8x8m", "16", "2x2x2x2", "1x1x5", "3m",
+		"0x2", "-1", "4x", "x4", "", "m", "4m x2", "1048576", "1048577",
+		"2048x2048", "1x1x1x1x1x1x1x1x1", "4X8X4", "2m",
+		`"4x4m"`, `{"dims":[{"size":8,"wrap":true,"gbps":200},{"size":2,"wrap":false}]}`,
+		`{"dims":[]}`, `{"dims":[{"size":-1}]}`, `{"dims":[{"size":4,"lat_cycles":-3}]}`,
+		`{"dims":[{"size":1073741824},{"size":1073741824}]}`,
+		`{"bogus":1}`, `42`, `null`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	check := func(t *testing.T, tp Topology) {
+		if err := tp.Validate(); err != nil {
+			t.Fatalf("accepted topology fails validation: %v", err)
+		}
+		n := tp.N()
+		if n < 1 || n > MaxNodes {
+			t.Fatalf("accepted topology has %d nodes", n)
+		}
+		// Corner coordinate round trips.
+		for _, id := range []NodeID{0, NodeID(n - 1), NodeID(n / 2)} {
+			if got := tp.ID(tp.Coords(id)...); got != id {
+				t.Fatalf("coords round trip: %d -> %d", id, got)
+			}
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		// String form.
+		if tp, err := ParseTopology(src); err == nil {
+			check(t, tp)
+			// String round trip: overrides cannot come from the string
+			// form, so String() must re-parse to an equal topology.
+			back, err := ParseTopology(tp.String())
+			if err != nil || !back.Equal(tp) {
+				t.Fatalf("string round trip: %q -> %q (%v)", src, tp.String(), err)
+			}
+		}
+		// JSON form (string or object).
+		var tp Topology
+		if err := json.Unmarshal([]byte(src), &tp); err == nil {
+			check(t, tp)
+			data, err := json.Marshal(tp)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			var back Topology
+			if err := json.Unmarshal(data, &back); err != nil || !back.Equal(tp) {
+				t.Fatalf("JSON round trip: %s -> %s (%v)", src, data, err)
+			}
+		}
+	})
+}

@@ -48,18 +48,37 @@ func (l *Link) Bytes() int64 { return l.srv.Meter.Total() }
 // next() when the forwarding cost has been paid.
 type Forwarder func(node NodeID, bytes int64, next func())
 
-// Config configures a torus network.
+// Config configures a torus/mesh network.
 type Config struct {
-	Topo  Torus
-	Intra LinkClass // local-dimension links
-	Inter LinkClass // vertical/horizontal links
+	Topo  Topology
+	Intra LinkClass // dimension-0 links (intra-package)
+	Inter LinkClass // higher-dimension links (inter-package)
 	// TraceBucket, when > 0, enables the link-utilization trace used by
 	// the Fig 10 timelines.
 	TraceBucket des.Time
 }
 
-// Network is the torus accelerator fabric. Every node has two links
-// (directions +1/-1) per non-degenerate dimension.
+// classFor resolves the link class of dimension d: the intra class on
+// dimension 0, the inter class above, with the topology's per-dimension
+// bandwidth/latency overrides applied on top.
+func (c Config) classFor(d Dim) LinkClass {
+	cls := c.Inter
+	if d == 0 {
+		cls = c.Intra
+	}
+	ds := c.Topo.Dims[d]
+	if ds.GBps > 0 {
+		cls.GBps = ds.GBps
+	}
+	if ds.LatCycles > 0 {
+		cls.LatCycles = ds.LatCycles
+	}
+	return cls
+}
+
+// Network is the torus/mesh accelerator fabric. Every node has two links
+// (directions +1/-1) per non-degenerate wraparound dimension; mesh
+// dimensions omit the boundary (wraparound) links.
 type Network struct {
 	eng   *des.Engine
 	cfg   Config
@@ -79,7 +98,7 @@ type linkKey struct {
 	dir  int // +1 / -1
 }
 
-// New builds the torus fabric.
+// New builds the fabric.
 func New(eng *des.Engine, cfg Config) (*Network, error) {
 	if err := cfg.Topo.Validate(); err != nil {
 		return nil, err
@@ -92,17 +111,18 @@ func New(eng *des.Engine, cfg Config) (*Network, error) {
 	}
 	t := cfg.Topo
 	for id := NodeID(0); int(id) < t.N(); id++ {
-		for d := DimLocal; d < numDims; d++ {
+		for d := Dim(0); int(d) < t.NumDims(); d++ {
 			if t.Size(d) == 1 {
 				continue
 			}
-			cls := cfg.Inter
-			if d == DimLocal {
-				cls = cfg.Intra
-			}
+			cls := cfg.classFor(d)
 			// A 2-ring keeps both direction links: they are distinct
-			// wires to the same peer (one bidirectional ring).
+			// wires to the same peer (one bidirectional ring). Mesh
+			// dimensions get no boundary link.
 			for _, dir := range []int{+1, -1} {
+				if !t.HasLink(id, d, dir) {
+					continue
+				}
 				to := t.Neighbor(id, d, dir)
 				l := &Link{
 					From: id, To: to, Dim: d, Dir: dir,
@@ -118,8 +138,8 @@ func New(eng *des.Engine, cfg Config) (*Network, error) {
 	return n, nil
 }
 
-// Topo returns the torus shape.
-func (n *Network) Topo() Torus { return n.cfg.Topo }
+// Topo returns the fabric shape.
+func (n *Network) Topo() Topology { return n.cfg.Topo }
 
 // NumLinks returns the number of unidirectional links in the fabric.
 func (n *Network) NumLinks() int { return n.numLinks }
@@ -152,16 +172,37 @@ func (n *Network) TotalWireBytes() int64 {
 	return sum
 }
 
-// SendNeighbor transfers bytes from src to its ring neighbor along d in
-// direction dir and calls deliver at the destination when the full message
-// has arrived. Ring collectives use this path; it never forwards.
+// SendNeighbor transfers bytes from src to its logical ring neighbor
+// along d in direction dir and calls deliver at the destination when the
+// full message has arrived. Ring collectives use this path. On a
+// wraparound dimension every hop is one physical link; on a mesh (line)
+// dimension the boundary hop — the logical ring's closure — has no wire
+// and is routed back across the whole line, store-and-forward at every
+// intermediate endpoint (the same cost model as routed all-to-all
+// traffic). That multi-hop closure is exactly why ring collectives on a
+// mesh expose more communication than on a torus of the same size.
 func (n *Network) SendNeighbor(src NodeID, d Dim, dir int, bytes int64, deliver func()) {
-	l := n.links[linkKey{src, d, dir}]
-	if l == nil {
+	t := n.cfg.Topo
+	n.injected.Add(bytes)
+	if t.HasLink(src, d, dir) {
+		n.sendOnLink(n.links[linkKey{src, d, dir}], bytes, deliver)
+		return
+	}
+	if t.Size(d) == 1 || t.Wrap(d) {
 		panic(fmt.Sprintf("noc: no link from %d along %s dir %+d", src, d, dir))
 	}
-	n.injected.Add(bytes)
-	n.sendOnLink(l, bytes, deliver)
+	// Mesh boundary hop: walk the line to the far end (size-1 physical
+	// hops in the opposite direction).
+	steps := t.Size(d) - 1
+	path := make([]NodeID, steps)
+	cur := src
+	for i := 0; i < steps; i++ {
+		cur = t.Neighbor(cur, d, -dir)
+		path[i] = cur
+	}
+	x := &routedXfer{net: n, path: path, cur: src, bytes: bytes, deliver: deliver}
+	x.fwdDone = x.advance
+	x.send()
 }
 
 // sendOnLink serializes bytes on l (FIFO at the link's effective rate)
@@ -235,15 +276,15 @@ func (n *Network) SendRouted(src, dst NodeID, bytes int64, deliver func()) {
 	x.send()
 }
 
-// linkTo finds the link from a to its neighbor b.
+// linkTo finds the physical link from a to its neighbor b.
 func (n *Network) linkTo(a, b NodeID) *Link {
 	t := n.cfg.Topo
-	for d := DimLocal; d < numDims; d++ {
+	for d := Dim(0); int(d) < t.NumDims(); d++ {
 		if t.Size(d) == 1 {
 			continue
 		}
 		for _, dir := range []int{+1, -1} {
-			if t.Neighbor(a, d, dir) == b {
+			if t.HasLink(a, d, dir) && t.Neighbor(a, d, dir) == b {
 				return n.links[linkKey{a, d, dir}]
 			}
 		}

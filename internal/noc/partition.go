@@ -6,42 +6,78 @@ import (
 	"strings"
 )
 
-// Partition is a contiguous sub-torus carve-out of a larger fabric: an
+// Partition is a contiguous sub-fabric carve-out of a larger fabric: an
 // axis-aligned box of Shape NPUs anchored at Origin inside Full. Within
 // the carve-out the boundary links are reconfigured to close each ring
 // (the way optically-switched torus fabrics slice into sub-tori), so a
-// partition behaves as a self-contained Shape torus whose local node
+// partition behaves as a self-contained Shape fabric whose local node
 // ranks 0..Shape.N()-1 map onto global node IDs of the parent fabric.
+// The Shape carries its own wrap flags and link overrides: a carve-out
+// of a torus is itself a torus unless declared a mesh, while a ring
+// carved from a mesh parent dimension is rejected by Validate (it would
+// simulate boundary wires the fabric does not have). ParsePartition
+// inherits mesh-ness and the parent's per-dimension link overrides
+// automatically; directly constructed Partitions must carry the right
+// flags themselves.
 //
-// Partitions never wrap around the parent torus: Origin+Shape must fit
+// Partitions never wrap around the parent fabric: Origin+Shape must fit
 // inside Full along every dimension. Jobs placed on disjoint partitions
 // therefore share no NPUs and no links.
 type Partition struct {
-	Full   Torus  // the parent fabric
-	Shape  Torus  // the carved sub-torus
-	Origin [3]int // (l, v, h) of the carve-out's corner in Full
+	Full  Topology // the parent fabric
+	Shape Topology // the carved sub-fabric (same dimension count)
+	// Origin is the carve-out's corner in Full, one coordinate per
+	// dimension; nil anchors at the origin.
+	Origin []int
 }
 
 // FullPartition returns the identity partition covering the whole fabric.
-func FullPartition(t Torus) Partition {
+func FullPartition(t Topology) Partition {
 	return Partition{Full: t, Shape: t}
+}
+
+// origin returns the corner coordinate along dimension d (0 when Origin
+// is nil or short).
+func (p Partition) origin(d int) int {
+	if d >= len(p.Origin) {
+		return 0
+	}
+	return p.Origin[d]
 }
 
 // IsFull reports whether the partition covers its entire parent fabric.
 func (p Partition) IsFull() bool {
-	return p.Shape == p.Full && p.Origin == [3]int{}
+	if !p.Shape.Equal(p.Full) {
+		return false
+	}
+	for _, o := range p.Origin {
+		if o != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // N returns the number of NPUs in the partition.
 func (p Partition) N() int { return p.Shape.N() }
 
-// String formats the partition as "LxVxH@l,v,h" (or just the shape for a
-// full-fabric partition).
+// String formats the partition as "<shape>@<origin coords>" (or just the
+// shape for a full-fabric or origin-anchored partition).
 func (p Partition) String() string {
-	if p.IsFull() {
+	anchored := true
+	for _, o := range p.Origin {
+		if o != 0 {
+			anchored = false
+		}
+	}
+	if anchored {
 		return p.Shape.String()
 	}
-	return fmt.Sprintf("%s@%d,%d,%d", p.Shape, p.Origin[0], p.Origin[1], p.Origin[2])
+	coords := make([]string, p.Full.NumDims())
+	for d := range coords {
+		coords[d] = strconv.Itoa(p.origin(d))
+	}
+	return fmt.Sprintf("%s@%s", p.Shape, strings.Join(coords, ","))
 }
 
 // Validate reports malformed carve-outs.
@@ -52,11 +88,25 @@ func (p Partition) Validate() error {
 	if err := p.Shape.Validate(); err != nil {
 		return err
 	}
-	full := [3]int{p.Full.L, p.Full.V, p.Full.H}
-	shape := [3]int{p.Shape.L, p.Shape.V, p.Shape.H}
-	for d := 0; d < 3; d++ {
-		if p.Origin[d] < 0 || p.Origin[d]+shape[d] > full[d] {
+	if p.Shape.NumDims() != p.Full.NumDims() {
+		return fmt.Errorf("noc: partition %s has %d dims, fabric %s has %d",
+			p.Shape, p.Shape.NumDims(), p.Full, p.Full.NumDims())
+	}
+	if len(p.Origin) != 0 && len(p.Origin) != p.Full.NumDims() {
+		return fmt.Errorf("noc: partition origin has %d coordinates for %d dims", len(p.Origin), p.Full.NumDims())
+	}
+	for d := 0; d < p.Full.NumDims(); d++ {
+		if p.origin(d) < 0 || p.origin(d)+p.Shape.Dims[d].Size > p.Full.Dims[d].Size {
 			return fmt.Errorf("noc: partition %s does not fit in %s", p, p.Full)
+		}
+		// A ring needs wires the parent can supply: carving a wraparound
+		// sub-dimension out of a mesh (non-wrap) parent dimension would
+		// simulate boundary links the fabric does not have, silently
+		// skipping the expensive logical-ring closure. (A mesh carve-out
+		// of a torus parent is fine — it just declines the reconfigured
+		// boundary wires; size-1 dims have no links either way.)
+		if p.Shape.Dims[d].Wrap && !p.Full.Dims[d].Wrap && p.Shape.Dims[d].Size > 1 {
+			return fmt.Errorf("noc: partition %s dim %d is a ring but fabric %s dim %d is a mesh", p.Shape, d, p.Full, d)
 		}
 	}
 	return nil
@@ -64,19 +114,24 @@ func (p Partition) Validate() error {
 
 // GlobalID maps a partition-local node rank to its parent-fabric node ID.
 func (p Partition) GlobalID(local NodeID) NodeID {
-	l, v, h := p.Shape.Coords(local)
-	return p.Full.ID(l+p.Origin[0], v+p.Origin[1], h+p.Origin[2])
+	c := p.Shape.Coords(local)
+	for d := range c {
+		c[d] += p.origin(d)
+	}
+	return p.Full.ID(c...)
 }
 
 // LocalID maps a parent-fabric node ID to the partition-local rank, or
 // reports false when the node is outside the carve-out.
 func (p Partition) LocalID(global NodeID) (NodeID, bool) {
-	l, v, h := p.Full.Coords(global)
-	l, v, h = l-p.Origin[0], v-p.Origin[1], h-p.Origin[2]
-	if l < 0 || l >= p.Shape.L || v < 0 || v >= p.Shape.V || h < 0 || h >= p.Shape.H {
-		return 0, false
+	c := p.Full.Coords(global)
+	for d := range c {
+		c[d] -= p.origin(d)
+		if c[d] < 0 || c[d] >= p.Shape.Dims[d].Size {
+			return 0, false
+		}
 	}
-	return p.Shape.ID(l, v, h), true
+	return p.Shape.ID(c...), true
 }
 
 // Contains reports whether the parent-fabric node is inside the partition.
@@ -96,55 +151,55 @@ func (p Partition) Nodes() []NodeID {
 
 // Overlaps reports whether two carve-outs of the same fabric share nodes.
 func (p Partition) Overlaps(q Partition) bool {
-	po := [3]int{p.Origin[0], p.Origin[1], p.Origin[2]}
-	qo := [3]int{q.Origin[0], q.Origin[1], q.Origin[2]}
-	ps := [3]int{p.Shape.L, p.Shape.V, p.Shape.H}
-	qs := [3]int{q.Shape.L, q.Shape.V, q.Shape.H}
-	for d := 0; d < 3; d++ {
-		if po[d]+ps[d] <= qo[d] || qo[d]+qs[d] <= po[d] {
+	for d := 0; d < p.Full.NumDims(); d++ {
+		if p.origin(d)+p.Shape.Dims[d].Size <= q.origin(d) ||
+			q.origin(d)+q.Shape.Dims[d].Size <= p.origin(d) {
 			return false
 		}
 	}
 	return true
 }
 
-// ParsePartition parses a "LxVxH@l,v,h" carve-out (or a bare "LxVxH",
+// ParsePartition parses a "<shape>@<coords>" carve-out (or a bare shape,
 // anchored at the origin) inside the given fabric and validates the fit.
-// Parsing is strict: extra dimensions or trailing characters are errors,
-// so a placement typo fails validation instead of silently landing the
-// job on a different carve-out.
-func ParsePartition(full Torus, s string) (Partition, error) {
+// The shape uses the ParseTopology syntax ("4x1x2", "4x2m"); the origin
+// is comma-separated, one coordinate per dimension ("0,1,0"). The string
+// form cannot express per-dimension properties the parent carries, so
+// the shape inherits them: dimensions carved from a mesh parent
+// dimension are meshes (an explicit "m" suffix also forces mesh on a
+// torus parent), and the parent's per-dimension link overrides carry
+// over. Parsing is strict: wrong dimension counts or trailing
+// characters are errors, so a placement typo fails validation instead
+// of silently landing the job on a different carve-out.
+func ParsePartition(full Topology, s string) (Partition, error) {
 	p := Partition{Full: full}
 	shape, rest, found := strings.Cut(s, "@")
-	dims, err := splitInts(strings.ToLower(shape), "x")
+	st, err := ParseTopology(shape)
 	if err != nil {
-		return p, fmt.Errorf("noc: bad partition %q (want LxVxH[@l,v,h]): %w", s, err)
+		return p, fmt.Errorf("noc: bad partition %q (want shape[@coords]): %w", s, err)
 	}
-	p.Shape = Torus{L: dims[0], V: dims[1], H: dims[2]}
-	if found {
-		org, err := splitInts(rest, ",")
-		if err != nil {
-			return p, fmt.Errorf("noc: bad partition origin %q (want l,v,h): %w", rest, err)
+	for d := 0; d < st.NumDims() && d < full.NumDims(); d++ {
+		if !full.Dims[d].Wrap {
+			st.Dims[d].Wrap = false
 		}
-		p.Origin = [3]int{org[0], org[1], org[2]}
+		st.Dims[d].GBps = full.Dims[d].GBps
+		st.Dims[d].LatCycles = full.Dims[d].LatCycles
+	}
+	p.Shape = st
+	if found {
+		fields := strings.Split(rest, ",")
+		if len(fields) != full.NumDims() {
+			return p, fmt.Errorf("noc: bad partition origin %q: want %d comma-separated values, got %d",
+				rest, full.NumDims(), len(fields))
+		}
+		p.Origin = make([]int, len(fields))
+		for i, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return p, fmt.Errorf("noc: bad partition origin %q: %w", rest, err)
+			}
+			p.Origin[i] = v
+		}
 	}
 	return p, p.Validate()
-}
-
-// splitInts parses exactly three sep-separated integers, rejecting extra
-// fields and trailing garbage.
-func splitInts(s, sep string) ([3]int, error) {
-	var out [3]int
-	parts := strings.Split(s, sep)
-	if len(parts) != 3 {
-		return out, fmt.Errorf("want 3 %q-separated values, got %d", sep, len(parts))
-	}
-	for i, f := range parts {
-		v, err := strconv.Atoi(f)
-		if err != nil {
-			return out, err
-		}
-		out[i] = v
-	}
-	return out, nil
 }

@@ -3,8 +3,8 @@ package noc
 import "testing"
 
 func TestPartitionRoundTrip(t *testing.T) {
-	full := Torus{L: 4, V: 4, H: 2}
-	p := Partition{Full: full, Shape: Torus{L: 4, V: 2, H: 2}, Origin: [3]int{0, 2, 0}}
+	full := Torus3(4, 4, 2)
+	p := Partition{Full: full, Shape: Torus3(4, 2, 2), Origin: []int{0, 2, 0}}
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +23,7 @@ func TestPartitionRoundTrip(t *testing.T) {
 			t.Fatalf("Contains(%d) = false for member", g)
 		}
 		// The mapped coordinates sit inside the carve-out.
-		if _, v, _ := full.Coords(g); v < 2 {
+		if v := full.Coord(g, DimVertical); v < 2 {
 			t.Fatalf("global %d outside the v>=2 slab", g)
 		}
 	}
@@ -36,13 +36,13 @@ func TestPartitionNeighborStaysInside(t *testing.T) {
 	// Ring neighbors computed in the partition's local topology must map
 	// to nodes inside the carve-out — the property the per-partition
 	// network build relies on for isolation.
-	full := Torus{L: 4, V: 4, H: 3}
-	p := Partition{Full: full, Shape: Torus{L: 4, V: 2, H: 3}, Origin: [3]int{0, 1, 0}}
+	full := Torus3(4, 4, 3)
+	p := Partition{Full: full, Shape: Torus3(4, 2, 3), Origin: []int{0, 1, 0}}
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
 	}
 	for local := NodeID(0); int(local) < p.N(); local++ {
-		for d := DimLocal; d < numDims; d++ {
+		for d := Dim(0); int(d) < p.Shape.NumDims(); d++ {
 			if p.Shape.Size(d) == 1 {
 				continue
 			}
@@ -57,12 +57,12 @@ func TestPartitionNeighborStaysInside(t *testing.T) {
 }
 
 func TestPartitionValidate(t *testing.T) {
-	full := Torus{L: 4, V: 2, H: 2}
+	full := Torus3(4, 2, 2)
 	bad := []Partition{
-		{Full: full, Shape: Torus{L: 4, V: 2, H: 3}},                          // too big
-		{Full: full, Shape: Torus{L: 4, V: 2, H: 1}, Origin: [3]int{0, 0, 2}}, // off the edge
-		{Full: full, Shape: Torus{L: 2, V: 2, H: 2}, Origin: [3]int{3, 0, 0}}, // would wrap
-		{Full: full, Shape: Torus{L: 0, V: 2, H: 2}},                          // degenerate shape
+		{Full: full, Shape: Torus3(4, 2, 3)},                         // too big
+		{Full: full, Shape: Torus3(4, 2, 1), Origin: []int{0, 0, 2}}, // off the edge
+		{Full: full, Shape: Torus3(2, 2, 2), Origin: []int{3, 0, 0}}, // would wrap
+		{Full: full, Shape: Torus3(0, 2, 2)},                         // degenerate shape
 	}
 	for i, p := range bad {
 		if err := p.Validate(); err == nil {
@@ -78,13 +78,13 @@ func TestPartitionValidate(t *testing.T) {
 }
 
 func TestPartitionOverlaps(t *testing.T) {
-	full := Torus{L: 4, V: 4, H: 2}
-	a := Partition{Full: full, Shape: Torus{L: 4, V: 2, H: 2}}
-	b := Partition{Full: full, Shape: Torus{L: 4, V: 2, H: 2}, Origin: [3]int{0, 2, 0}}
+	full := Torus3(4, 4, 2)
+	a := Partition{Full: full, Shape: Torus3(4, 2, 2)}
+	b := Partition{Full: full, Shape: Torus3(4, 2, 2), Origin: []int{0, 2, 0}}
 	if a.Overlaps(b) || b.Overlaps(a) {
 		t.Fatal("disjoint slabs reported overlapping")
 	}
-	c := Partition{Full: full, Shape: Torus{L: 4, V: 3, H: 2}}
+	c := Partition{Full: full, Shape: Torus3(4, 3, 2)}
 	if !a.Overlaps(c) || !c.Overlaps(b) {
 		t.Fatal("overlapping slabs reported disjoint")
 	}
@@ -94,12 +94,12 @@ func TestPartitionOverlaps(t *testing.T) {
 }
 
 func TestParsePartition(t *testing.T) {
-	full := Torus{L: 4, V: 4, H: 2}
+	full := Torus3(4, 4, 2)
 	p, err := ParsePartition(full, "4x2x2@0,2,0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.Shape != (Torus{L: 4, V: 2, H: 2}) || p.Origin != [3]int{0, 2, 0} {
+	if !p.Shape.Equal(Torus3(4, 2, 2)) || len(p.Origin) != 3 || p.Origin[0] != 0 || p.Origin[1] != 2 || p.Origin[2] != 0 {
 		t.Fatalf("parsed %+v", p)
 	}
 	if p.String() != "4x2x2@0,2,0" {
@@ -117,5 +117,104 @@ func TestParsePartition(t *testing.T) {
 		if _, err := ParsePartition(full, bad); err == nil {
 			t.Fatalf("%q accepted", bad)
 		}
+	}
+}
+
+// TestPartitionDegenerateDims audits size-1 and size-2 dimensions in
+// carve-outs: slabs one node thick along any dimension must round-trip,
+// stay disjoint from their complements, and never wrap around the parent.
+func TestPartitionDegenerateDims(t *testing.T) {
+	full := Torus3(4, 4, 2)
+	cases := []struct {
+		shape  string
+		origin []int
+	}{
+		{"1x4x2", nil}, {"1x4x2", []int{3, 0, 0}},
+		{"4x1x1", []int{0, 3, 1}},
+		{"1x1x1", nil}, {"1x1x1", []int{3, 3, 1}},
+		{"2x2x2", []int{2, 2, 0}},
+		{"4x2x2", []int{0, 2, 0}},
+	}
+	for _, tc := range cases {
+		p := Partition{Full: full, Origin: tc.origin}
+		var err error
+		p.Shape, err = ParseTopology(tc.shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s@%v: %v", tc.shape, tc.origin, err)
+		}
+		seen := map[NodeID]bool{}
+		for local := NodeID(0); int(local) < p.N(); local++ {
+			g := p.GlobalID(local)
+			if seen[g] {
+				t.Fatalf("%s@%v: global %d mapped twice", tc.shape, tc.origin, g)
+			}
+			seen[g] = true
+			back, ok := p.LocalID(g)
+			if !ok || back != local {
+				t.Fatalf("%s@%v: round trip failed at %d", tc.shape, tc.origin, local)
+			}
+		}
+	}
+	// A 1-thick slab and its complement never overlap.
+	a := Partition{Full: full, Shape: Torus3(1, 4, 2)}
+	b := Partition{Full: full, Shape: Torus3(3, 4, 2), Origin: []int{1, 0, 0}}
+	if a.Overlaps(b) {
+		t.Fatal("slab overlaps its complement")
+	}
+	// Origin pushing a size-1 slab off the edge is rejected.
+	bad := Partition{Full: full, Shape: Torus3(1, 4, 2), Origin: []int{4, 0, 0}}
+	if bad.Validate() == nil {
+		t.Fatal("off-edge size-1 slab accepted")
+	}
+}
+
+// TestPartitionMeshParent: carve-outs inherit mesh-ness and link
+// overrides from the parent dimensions, a ring cannot be carved from a
+// mesh parent dimension, and dimension counts validate strictly.
+func TestPartitionMeshParent(t *testing.T) {
+	full, err := ParseTopology("4x4m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full.Dims[0].GBps = 123
+	// A bare "4x2" inherits: dim 1 becomes a mesh (the parent has no
+	// boundary wires to close its ring), dim 0 keeps the override.
+	p, err := ParsePartition(full, "4x2@0,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shape.Wrap(1) {
+		t.Fatal("ring carved from a mesh parent dimension")
+	}
+	if !p.Shape.Wrap(0) || p.Shape.Dims[0].GBps != 123 {
+		t.Fatalf("parent dim properties not inherited: %+v", p.Shape)
+	}
+	// The explicit mesh spelling works too.
+	if _, err := ParsePartition(full, "4x2m@0,2"); err != nil {
+		t.Fatal(err)
+	}
+	// A directly constructed wrap-on-mesh partition is rejected.
+	bad := Partition{Full: full, Shape: Grid(4, 2)}
+	if bad.Validate() == nil {
+		t.Fatal("wraparound carve-out of a mesh dimension accepted")
+	}
+	// A mesh carve-out of a torus parent stays legal (it just declines
+	// the reconfigured boundary wires).
+	torus := Torus3(4, 4, 2)
+	q, err := ParsePartition(torus, "4x2m x2")
+	if err == nil {
+		t.Fatalf("space in shape accepted: %+v", q)
+	}
+	if p, err := ParsePartition(torus, "4x2mx2"); err != nil || p.Shape.Wrap(1) {
+		t.Fatalf("explicit mesh carve of a torus: %+v, %v", p, err)
+	}
+	if _, err := ParsePartition(full, "4x2x1"); err == nil {
+		t.Fatal("dimension-count mismatch accepted")
+	}
+	if _, err := ParsePartition(full, "2x2@0,1,0"); err == nil {
+		t.Fatal("origin dimension-count mismatch accepted")
 	}
 }

@@ -124,15 +124,15 @@ func (r *Results) Failures() []string {
 func describe(u scenario.Unit) string {
 	switch u.Kind {
 	case scenario.KindCollective:
-		return fmt.Sprintf("%s %s %s %gMB", u.Torus, u.Preset, u.Collective, payloadMB(u.Bytes))
+		return fmt.Sprintf("%s %s %s %gMB", u.Topo, u.Preset, u.Collective, payloadMB(u.Bytes))
 	case scenario.KindTraining:
-		return fmt.Sprintf("%s %s %s", u.Torus, u.Preset, u.Workload)
+		return fmt.Sprintf("%s %s %s", u.Topo, u.Preset, u.Workload)
 	case scenario.KindMicrobench:
 		return fmt.Sprintf("%s ar=%gMB", u.Kernel.KernelName(), payloadMB(u.Bytes))
 	case scenario.KindMultiJob:
-		return fmt.Sprintf("%s %s multijob[%d]", u.Torus, u.Preset, len(u.SubJobs))
+		return fmt.Sprintf("%s %s multijob[%d]", u.Topo, u.Preset, len(u.SubJobs))
 	case scenario.KindGraph:
-		return fmt.Sprintf("%s %s graph %s", u.Torus, u.Preset, graphLabel(u))
+		return fmt.Sprintf("%s %s graph %s", u.Topo, u.Preset, graphLabel(u))
 	}
 	return string(u.Kind)
 }
@@ -148,7 +148,7 @@ func graphLabel(u scenario.Unit) string {
 	p := u.Pipeline
 	sched, _ := graph.ParsePipeSchedule(p.Schedule)
 	return fmt.Sprintf("%s/pipe%dx%d/mb%d/%s",
-		p.Workload, p.Stages, u.Torus.N()/p.Stages, p.Microbatches, sched)
+		p.Workload, p.Stages, u.Topo.N()/p.Stages, p.Microbatches, sched)
 }
 
 // payloadMB converts a payload to MB without truncating sub-MB sweeps.
@@ -180,7 +180,7 @@ func aloneBaselines(units []scenario.Unit) (map[int64]float64, error) {
 
 // buildSpec materializes the platform for a collective or training unit.
 func buildSpec(u scenario.Unit) system.Spec {
-	spec := system.NewSpec(u.Torus, u.Preset)
+	spec := system.NewSpec(u.Topo, u.Preset)
 	if o := u.Overrides; o != nil {
 		if o.CommMemGBps != nil {
 			spec.NPU.CommMemGBps = *o.CommMemGBps
@@ -287,8 +287,8 @@ func execGraph(u scenario.Unit) (map[string]float64, error) {
 		if err != nil {
 			return nil, err
 		}
-		if g.Ranks != u.Torus.N() {
-			return nil, fmt.Errorf("graph %s targets %d ranks, torus %s has %d", u.GraphFile, g.Ranks, u.Torus, u.Torus.N())
+		if g.Ranks != u.Topo.N() {
+			return nil, fmt.Errorf("graph %s targets %d ranks, torus %s has %d", u.GraphFile, g.Ranks, u.Topo, u.Topo.N())
 		}
 	} else {
 		p := u.Pipeline
@@ -302,7 +302,7 @@ func execGraph(u scenario.Unit) (map[string]float64, error) {
 		}
 		g, err = graph.Pipeline(graph.PipelineConfig{
 			Model:        m,
-			Ranks:        u.Torus.N(),
+			Ranks:        u.Topo.N(),
 			Stages:       p.Stages,
 			Microbatches: p.Microbatches,
 			Schedule:     sched,
@@ -342,7 +342,7 @@ func execMultiJob(u scenario.Unit) (map[string]float64, error) {
 	for i, sj := range u.SubJobs {
 		job := exper.InterferenceJob{Name: sj.Name}
 		if sj.Placement != "" && sj.Placement != "shared" {
-			part, err := noc.ParsePartition(u.Torus, sj.Placement)
+			part, err := noc.ParsePartition(u.Topo, sj.Placement)
 			if err != nil {
 				return nil, fmt.Errorf("sub-job %s: %w", sj.Name, err)
 			}
@@ -392,12 +392,23 @@ func check(a scenario.Assertion, units []UnitResult) AssertionOutcome {
 			wantWorkload = m.Name
 		}
 	}
+	// Same for the topology filter: units carry Topo.String(), so parse
+	// the user's spelling (case-insensitive) into the canonical form.
+	wantTopo := a.Topology
+	if wantTopo != "" {
+		if tp, err := scenario.ParseTopology(wantTopo); err == nil {
+			wantTopo = tp.String()
+		}
+	}
 	for _, ur := range units {
 		u := ur.Unit
 		if a.Kind != "" && a.Kind != u.Kind {
 			continue
 		}
 		if a.Job != nil && *a.Job != u.Job {
+			continue
+		}
+		if wantTopo != "" && (u.Kind == scenario.KindMicrobench || wantTopo != u.Topo.String()) {
 			continue
 		}
 		if a.Preset != "" && (u.Kind == scenario.KindMicrobench || a.Preset != u.Preset.String()) {
@@ -458,10 +469,10 @@ func (r *Results) Tables() []*report.Table {
 		u, m := ur.Unit, ur.Metrics
 		switch u.Kind {
 		case scenario.KindCollective:
-			get(u.Kind).Add(u.Torus.String(), u.Preset.String(), u.Collective.String(), payloadMB(u.Bytes),
+			get(u.Kind).Add(u.Topo.String(), u.Preset.String(), u.Collective.String(), payloadMB(u.Bytes),
 				m["duration_us"], m["eff_gbps_node"], int64(m["reads_node"]), int64(m["writes_node"]))
 		case scenario.KindTraining:
-			get(u.Kind).Add(u.Torus.String(), u.Preset.String(), u.Workload,
+			get(u.Kind).Add(u.Topo.String(), u.Preset.String(), u.Workload,
 				m["compute_us"], m["exposed_us"], m["iter_time_us"], m["exposed_comm_frac"])
 		case scenario.KindMicrobench:
 			get(u.Kind).Add(u.Kernel.KernelName(), payloadMB(u.Bytes),
@@ -476,11 +487,11 @@ func (r *Results) Tables() []*report.Table {
 				if sj.IsTraining() {
 					kind = "training"
 				}
-				get(u.Kind).Add(u.Torus.String(), u.Preset.String(), sj.Name, placement, kind,
+				get(u.Kind).Add(u.Topo.String(), u.Preset.String(), sj.Name, placement, kind,
 					m[sj.Name+"_solo_us"], m[sj.Name+"_co_us"], m[sj.Name+"_slowdown"])
 			}
 		case scenario.KindGraph:
-			get(u.Kind).Add(u.Torus.String(), u.Preset.String(), graphLabel(u),
+			get(u.Kind).Add(u.Topo.String(), u.Preset.String(), graphLabel(u),
 				m["graph_span_us"], m["graph_compute_us"], m["graph_exposed_us"], m["graph_exposed_frac"])
 		}
 	}
@@ -527,19 +538,19 @@ func (r *Results) WriteJSON(w io.Writer) error {
 		uj := unitJSON{Index: u.Index, Kind: string(u.Kind), Metrics: ur.Metrics}
 		switch u.Kind {
 		case scenario.KindCollective:
-			uj.Torus, uj.Preset = u.Torus.String(), u.Preset.String()
+			uj.Torus, uj.Preset = u.Topo.String(), u.Preset.String()
 			uj.Collective, uj.PayloadBytes = u.Collective.String(), u.Bytes
 		case scenario.KindTraining:
-			uj.Torus, uj.Preset, uj.Workload = u.Torus.String(), u.Preset.String(), u.Workload
+			uj.Torus, uj.Preset, uj.Workload = u.Topo.String(), u.Preset.String(), u.Workload
 		case scenario.KindMicrobench:
 			uj.Kernel, uj.PayloadBytes = u.Kernel.KernelName(), u.Bytes
 		case scenario.KindMultiJob:
-			uj.Torus, uj.Preset = u.Torus.String(), u.Preset.String()
+			uj.Torus, uj.Preset = u.Topo.String(), u.Preset.String()
 			for _, sj := range u.SubJobs {
 				uj.Jobs = append(uj.Jobs, sj.Name)
 			}
 		case scenario.KindGraph:
-			uj.Torus, uj.Preset = u.Torus.String(), u.Preset.String()
+			uj.Torus, uj.Preset = u.Topo.String(), u.Preset.String()
 			uj.Graph = graphLabel(u)
 		}
 		out.Units = append(out.Units, uj)

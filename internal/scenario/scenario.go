@@ -42,10 +42,18 @@ type Scenario struct {
 }
 
 // Platform is the grid of simulated platforms: the cross product of
-// torus shapes and Table VI presets, with optional spec overrides.
+// fabric topologies and Table VI presets, with optional spec overrides.
 type Platform struct {
-	// Toruses lists fabric shapes as "LxVxH" strings (e.g. "4x2x2").
-	Toruses []string `json:"toruses"`
+	// Toruses lists fabric shapes as legacy "LxVxH" strings (e.g.
+	// "4x2x2"); each parses into an all-wraparound topology. The general
+	// form is Topologies; both lists are concatenated (toruses first).
+	Toruses []string `json:"toruses,omitempty"`
+	// Topologies lists fabric shapes in the general form: either a
+	// compact string ("4x4x4", "8x8m" — "m" marks a mesh dimension) or a
+	// full per-dimension object
+	// {"dims":[{"size":8,"wrap":true,"gbps":200},...]} with optional
+	// per-dimension bandwidth (gbps) and latency (lat_cycles) overrides.
+	Topologies []noc.Topology `json:"topologies,omitempty"`
 	// Presets lists Table VI configuration names; empty means all five.
 	Presets []string `json:"presets,omitempty"`
 	// FastGranularity coarsens collective chunking for large grids
@@ -176,7 +184,7 @@ func (sj SubJob) StreamBytes() int64 {
 }
 
 // validate checks one sub-job against every torus of the platform grid.
-func (sj SubJob) validate(toruses []noc.Torus) error {
+func (sj SubJob) validate(toruses []noc.Topology) error {
 	if sj.IsTraining() {
 		if sj.PayloadMB != 0 || sj.PayloadBytes != 0 || sj.Repeat != 0 || sj.Collective != "" {
 			return errors.New("workload and stream fields are mutually exclusive")
@@ -232,6 +240,10 @@ type Assertion struct {
 	Preset   string  `json:"preset,omitempty"`
 	Workload string  `json:"workload,omitempty"`
 	Kind     JobKind `json:"kind,omitempty"`
+	// Topology, when set, restricts the assertion to units on the fabric
+	// shape with that string form (e.g. "4x4" or "4x4m") — the filter
+	// that lets one scenario compare mesh against torus variants.
+	Topology string `json:"topology,omitempty"`
 	// Job, when set, restricts the assertion to units expanded from the
 	// given index into Scenario.Jobs (useful when several multijob
 	// groups share one metric name).
@@ -262,6 +274,9 @@ func (a Assertion) String() string {
 	var filters []string
 	if a.Kind != "" {
 		filters = append(filters, string(a.Kind))
+	}
+	if a.Topology != "" {
+		filters = append(filters, a.Topology)
 	}
 	if a.Job != nil {
 		filters = append(filters, fmt.Sprintf("job %d", *a.Job))
@@ -323,7 +338,7 @@ type Unit struct {
 	Kind JobKind
 
 	// Platform point (collective and training units).
-	Torus           noc.Torus
+	Topo            noc.Topology
 	Preset          system.Preset
 	FastGranularity bool
 	Overrides       *Overrides
@@ -387,13 +402,12 @@ func (s *Scenario) Validate() error {
 	return err
 }
 
-// ParseTorus parses an "LxVxH" shape string.
-func ParseTorus(s string) (noc.Torus, error) {
-	var t noc.Torus
-	if _, err := fmt.Sscanf(strings.ToLower(s), "%dx%dx%d", &t.L, &t.V, &t.H); err != nil {
-		return t, fmt.Errorf("bad torus %q (want LxVxH): %w", s, err)
-	}
-	return t, t.Validate()
+// ParseTopology parses a fabric-shape string: dimension sizes joined by
+// "x", each optionally suffixed with "m" for a mesh (non-wraparound)
+// dimension — "4x4x4", "8x8m", "16". The legacy "LxVxH" torus strings
+// are the 3-dimension all-wraparound subset.
+func ParseTopology(s string) (noc.Topology, error) {
+	return noc.ParseTopology(s)
 }
 
 // ParseCollective resolves a collective name ("allreduce" or
@@ -452,7 +466,7 @@ func (s *Scenario) Expand() ([]Unit, error) {
 					for _, b := range payloads {
 						units = append(units, Unit{
 							Index: len(units), Job: ji, Kind: KindCollective,
-							Torus: t, Preset: p,
+							Topo: t, Preset: p,
 							FastGranularity: s.Platform.FastGranularity,
 							Overrides:       s.Platform.Overrides,
 							Collective:      ck, Bytes: b,
@@ -489,7 +503,7 @@ func (s *Scenario) Expand() ([]Unit, error) {
 					for _, w := range names {
 						units = append(units, Unit{
 							Index: len(units), Job: ji, Kind: KindTraining,
-							Torus: t, Preset: p,
+							Topo: t, Preset: p,
 							FastGranularity: s.Platform.FastGranularity,
 							Overrides:       s.Platform.Overrides,
 							Workload:        w,
@@ -586,7 +600,7 @@ func (s *Scenario) Expand() ([]Unit, error) {
 				for _, p := range presets {
 					units = append(units, Unit{
 						Index: len(units), Job: ji, Kind: KindMultiJob,
-						Torus: t, Preset: p,
+						Topo: t, Preset: p,
 						FastGranularity: s.Platform.FastGranularity,
 						Overrides:       s.Platform.Overrides,
 						SubJobs:         subs,
@@ -639,7 +653,7 @@ func (s *Scenario) Expand() ([]Unit, error) {
 				for _, pr := range presets {
 					units = append(units, Unit{
 						Index: len(units), Job: ji, Kind: KindGraph,
-						Torus: t, Preset: pr,
+						Topo: t, Preset: pr,
 						FastGranularity: s.Platform.FastGranularity,
 						Overrides:       s.Platform.Overrides,
 						GraphFile:       path,
@@ -657,18 +671,26 @@ func (s *Scenario) Expand() ([]Unit, error) {
 	return units, nil
 }
 
-// platformGrid resolves the torus and preset lists.
-func (s *Scenario) platformGrid() ([]noc.Torus, []system.Preset, error) {
+// platformGrid resolves the topology and preset lists: the legacy
+// toruses strings (parsed into all-wraparound topologies) concatenated
+// with the general topologies entries, in file order.
+func (s *Scenario) platformGrid() ([]noc.Topology, []system.Preset, error) {
 	if s.Platform == nil {
 		return nil, nil, nil
 	}
-	if len(s.Platform.Toruses) == 0 {
-		return nil, nil, errors.New("platform.toruses is empty")
+	if len(s.Platform.Toruses) == 0 && len(s.Platform.Topologies) == 0 {
+		return nil, nil, errors.New("platform.toruses and platform.topologies are both empty")
 	}
-	var toruses []noc.Torus
+	var toruses []noc.Topology
 	for _, ts := range s.Platform.Toruses {
-		t, err := ParseTorus(ts)
+		t, err := ParseTopology(ts)
 		if err != nil {
+			return nil, nil, err
+		}
+		toruses = append(toruses, t)
+	}
+	for _, t := range s.Platform.Topologies {
+		if err := t.Validate(); err != nil {
 			return nil, nil, err
 		}
 		toruses = append(toruses, t)
@@ -730,6 +752,11 @@ func (s *Scenario) validateAssertions() error {
 		}
 		if a.Workload != "" {
 			if _, err := workload.ByName(a.Workload); err != nil {
+				return fmt.Errorf("assertion %d: %w", i, err)
+			}
+		}
+		if a.Topology != "" {
+			if _, err := ParseTopology(a.Topology); err != nil {
 				return fmt.Errorf("assertion %d: %w", i, err)
 			}
 		}

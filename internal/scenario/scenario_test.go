@@ -54,7 +54,7 @@ func TestExpandGoodScenario(t *testing.T) {
 	}
 	// Expansion order: torus outer, preset, then sweep point.
 	u0 := units[0]
-	if u0.Kind != KindCollective || u0.Torus != (noc.Torus{L: 4, V: 2, H: 2}) ||
+	if u0.Kind != KindCollective || !u0.Topo.Equal(noc.Torus3(4, 2, 2)) ||
 		u0.Preset != system.BaselineCommOpt || u0.Bytes != 4<<20 {
 		t.Fatalf("unit 0 = %+v", u0)
 	}
@@ -64,7 +64,7 @@ func TestExpandGoodScenario(t *testing.T) {
 	if units[2].Preset != system.ACE {
 		t.Fatalf("preset is not the middle axis: %+v", units[2])
 	}
-	if u := units[4]; u.Torus != (noc.Torus{L: 4, V: 4, H: 2}) {
+	if u := units[4]; !u.Topo.Equal(noc.Torus3(4, 4, 2)) {
 		t.Fatalf("torus is not the outer axis: %+v", u)
 	}
 	// Training units follow (workload names canonicalized), then
@@ -137,11 +137,11 @@ func TestValidateErrors(t *testing.T) {
 		{"missing name", `{"jobs": [{"kind": "microbench", "payloads_mb": [1], "kernels": [{"gemm_n": 8}]}]}`, "missing name"},
 		{"no jobs", `{"name": "x"}`, "no jobs"},
 		{"unknown kind", `{"name": "x", "jobs": [{"kind": "bench"}]}`, "unknown kind"},
-		{"bad torus", `{"name": "x", "platform": {"toruses": ["4x2"]}, "jobs": [{"kind": "collective", "payloads_mb": [1]}]}`, "bad torus"},
-		{"degenerate torus", `{"name": "x", "platform": {"toruses": ["4x0x2"]}, "jobs": [{"kind": "collective", "payloads_mb": [1]}]}`, "invalid torus"},
+		{"bad torus", `{"name": "x", "platform": {"toruses": ["4xZ"]}, "jobs": [{"kind": "collective", "payloads_mb": [1]}]}`, "bad topology"},
+		{"degenerate torus", `{"name": "x", "platform": {"toruses": ["4x0x2"]}, "jobs": [{"kind": "collective", "payloads_mb": [1]}]}`, "invalid topology"},
 		{"bad preset", `{"name": "x", "platform": {"toruses": ["4x2x2"], "presets": ["Turbo"]}, "jobs": [{"kind": "collective", "payloads_mb": [1]}]}`, "unknown preset"},
 		{"no platform", `{"name": "x", "jobs": [{"kind": "collective", "payloads_mb": [1]}]}`, "requires a platform"},
-		{"empty toruses", `{"name": "x", "platform": {"toruses": []}, "jobs": [{"kind": "collective", "payloads_mb": [1]}]}`, "toruses is empty"},
+		{"empty toruses", `{"name": "x", "platform": {"toruses": []}, "jobs": [{"kind": "collective", "payloads_mb": [1]}]}`, "both empty"},
 		{"no payloads", `{"name": "x", "platform": {"toruses": ["4x2x2"]}, "jobs": [{"kind": "collective"}]}`, "no payloads"},
 		{"negative payload", `{"name": "x", "platform": {"toruses": ["4x2x2"]}, "jobs": [{"kind": "collective", "payloads_mb": [-4]}]}`, "non-positive payload"},
 		{"bad collective", `{"name": "x", "platform": {"toruses": ["4x2x2"]}, "jobs": [{"kind": "collective", "collective": "gather", "payloads_mb": [1]}]}`, "unknown collective"},
@@ -358,5 +358,41 @@ func TestValidateGraphErrors(t *testing.T) {
 		if !strings.Contains(err.Error(), c.want) {
 			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
 		}
+	}
+}
+
+// TestParseTopologyField: bad topologies entries are rejected at parse
+// time (Topology.UnmarshalJSON validates both the string and the object
+// form).
+func TestParseTopologyField(t *testing.T) {
+	for _, src := range []string{
+		`{"name": "x", "platform": {"topologies": ["2048x2048"]}, "jobs": [{"kind": "collective", "payloads_mb": [1]}]}`,
+		`{"name": "x", "platform": {"topologies": [{"dims":[{"size":0}]}]}, "jobs": [{"kind": "collective", "payloads_mb": [1]}]}`,
+		`{"name": "x", "platform": {"topologies": [{"dims":[{"size":4,"warp":true}]}]}, "jobs": [{"kind": "collective", "payloads_mb": [1]}]}`,
+	} {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("parsed scenario with bad topology: %s", src)
+		}
+	}
+	sc, err := Parse(strings.NewReader(`{
+	  "name": "x",
+	  "platform": {"toruses": ["4x2x2"], "topologies": ["4x4m", {"dims":[{"size":8,"wrap":true,"gbps":100}]}], "presets": ["Ideal"]},
+	  "jobs": [{"kind": "collective", "payloads_mb": [1]}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := sc.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 3 {
+		t.Fatalf("expanded %d units, want 3 (toruses + topologies concatenated)", len(units))
+	}
+	if units[0].Topo.String() != "4x2x2" || units[1].Topo.String() != "4x4m" || units[2].Topo.String() != "8" {
+		t.Fatalf("grid order wrong: %s, %s, %s", units[0].Topo, units[1].Topo, units[2].Topo)
+	}
+	if units[2].Topo.Dims[0].GBps != 100 {
+		t.Fatal("per-dimension bandwidth override lost")
 	}
 }

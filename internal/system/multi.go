@@ -76,9 +76,9 @@ func BuildMulti(spec Spec, jobs []JobPlacement) (*Multi, error) {
 			continue
 		}
 		partitioned++
-		if j.Part.Full != spec.Torus {
+		if !j.Part.Full.Equal(spec.Topo) {
 			return nil, fmt.Errorf("system: job %q partition %s carved from %s, platform is %s",
-				names[i], j.Part, j.Part.Full, spec.Torus)
+				names[i], j.Part, j.Part.Full, spec.Topo)
 		}
 		if err := j.Part.Validate(); err != nil {
 			return nil, fmt.Errorf("system: job %q: %w", names[i], err)
@@ -107,7 +107,7 @@ func BuildMulti(spec Spec, jobs []JobPlacement) (*Multi, error) {
 		for i := range jobs {
 			m.Jobs = append(m.Jobs, &JobSystem{
 				Name:   names[i],
-				Part:   noc.FullPartition(spec.Torus),
+				Part:   noc.FullPartition(spec.Topo),
 				Shared: true,
 				Sys:    sys,
 				Stream: collectives.StreamID(i),
@@ -128,11 +128,11 @@ func BuildMulti(spec Spec, jobs []JobPlacement) (*Multi, error) {
 	return m, nil
 }
 
-// Respec retargets a platform spec at a different torus shape, re-deriving
+// Respec retargets a platform spec at a different fabric shape, re-deriving
 // the shape-dependent fields (the ACE SRAM is partitioned per collective
 // phase, and a sub-torus with degenerate dimensions has fewer phases).
-func Respec(spec Spec, t noc.Torus) Spec {
-	spec.Torus = t
+func Respec(spec Spec, t noc.Topology) Spec {
+	spec.Topo = t
 	phases := len(collectives.HierarchicalAllReduce(t).Phases)
 	if phases == 0 {
 		phases = 1

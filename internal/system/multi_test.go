@@ -15,7 +15,7 @@ func runOneCollective(t *testing.T, s *System, st collectives.StreamID, bytes in
 	spec := collectives.Spec{
 		Kind:  collectives.AllReduce,
 		Bytes: bytes,
-		Plan:  collectives.HierarchicalAllReduce(s.Spec.Torus),
+		Plan:  collectives.HierarchicalAllReduce(s.Spec.Topo),
 		Name:  "ar",
 	}
 	done := 0
@@ -38,7 +38,7 @@ func runOneCollective(t *testing.T, s *System, st collectives.StreamID, bytes in
 
 func TestBuildMultiSharedSingleJobMatchesBuild(t *testing.T) {
 	// A one-job shared Multi is the classic system: same timeline.
-	spec := NewSpec(noc.Torus{L: 4, V: 2, H: 2}, ACE)
+	spec := NewSpec(noc.Torus3(4, 2, 2), ACE)
 	classic, err := Build(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -59,10 +59,10 @@ func TestBuildMultiSharedSingleJobMatchesBuild(t *testing.T) {
 }
 
 func TestBuildMultiPartitioned(t *testing.T) {
-	full := noc.Torus{L: 4, V: 2, H: 2}
+	full := noc.Torus3(4, 2, 2)
 	spec := NewSpec(full, ACE)
-	pa := noc.Partition{Full: full, Shape: noc.Torus{L: 4, V: 1, H: 2}}
-	pb := noc.Partition{Full: full, Shape: noc.Torus{L: 4, V: 1, H: 2}, Origin: [3]int{0, 1, 0}}
+	pa := noc.Partition{Full: full, Shape: noc.Torus3(4, 1, 2)}
+	pb := noc.Partition{Full: full, Shape: noc.Torus3(4, 1, 2), Origin: []int{0, 1, 0}}
 	m, err := BuildMulti(spec, []JobPlacement{{Name: "a", Part: &pa}, {Name: "b", Part: &pb}})
 	if err != nil {
 		t.Fatal(err)
@@ -77,7 +77,7 @@ func TestBuildMultiPartitioned(t *testing.T) {
 		if js.Sys.Eng != m.Eng {
 			t.Fatalf("job %s not on the common engine", js.Name)
 		}
-		if got := js.Sys.Spec.Torus; got != js.Part.Shape {
+		if got := js.Sys.Spec.Topo; !got.Equal(js.Part.Shape) {
 			t.Fatalf("job %s fabric %s != partition shape %s", js.Name, got, js.Part.Shape)
 		}
 		if js.Sys.RT.Nodes() != 8 {
@@ -91,10 +91,10 @@ func TestBuildMultiPartitioned(t *testing.T) {
 }
 
 func TestBuildMultiValidation(t *testing.T) {
-	full := noc.Torus{L: 4, V: 2, H: 2}
+	full := noc.Torus3(4, 2, 2)
 	spec := NewSpec(full, ACE)
-	pa := noc.Partition{Full: full, Shape: noc.Torus{L: 4, V: 1, H: 2}}
-	wrongParent := noc.Partition{Full: noc.Torus{L: 2, V: 2, H: 2}, Shape: noc.Torus{L: 2, V: 1, H: 2}}
+	pa := noc.Partition{Full: full, Shape: noc.Torus3(4, 1, 2)}
+	wrongParent := noc.Partition{Full: noc.Torus3(2, 2, 2), Shape: noc.Torus3(2, 1, 2)}
 	cases := []struct {
 		name string
 		jobs []JobPlacement

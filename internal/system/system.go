@@ -62,7 +62,7 @@ func ParsePreset(s string) (Preset, error) {
 
 // Spec fully describes a simulated platform.
 type Spec struct {
-	Torus  noc.Torus
+	Topo   noc.Topology
 	Preset Preset
 	NPU    npu.Params
 	Intra  noc.LinkClass
@@ -80,9 +80,11 @@ func DefaultLinkClasses() (intra, inter noc.LinkClass) {
 	return
 }
 
-// NewSpec returns the Table V platform in the given Table VI
-// configuration.
-func NewSpec(t noc.Torus, p Preset) Spec {
+// NewSpec returns the Table V platform on the given fabric topology in
+// the given Table VI configuration. Any topology works — the paper's 3D
+// LxVxH torus (noc.Torus3), 1D rings, 2D/4D tori, and meshes with
+// per-dimension link overrides.
+func NewSpec(t noc.Topology, p Preset) Spec {
 	np := npu.DefaultParams()
 	switch p {
 	case BaselineNoOverlap:
@@ -104,7 +106,7 @@ func NewSpec(t noc.Torus, p Preset) Spec {
 		phases = 1
 	}
 	return Spec{
-		Torus:  t,
+		Topo:   t,
 		Preset: p,
 		NPU:    np,
 		Intra:  intra,
@@ -144,7 +146,7 @@ func Build(spec Spec) (*System, error) {
 // Passing a fresh engine is exactly Build.
 func BuildOn(eng *des.Engine, spec Spec) (*System, error) {
 	net, err := noc.New(eng, noc.Config{
-		Topo:        spec.Torus,
+		Topo:        spec.Topo,
 		Intra:       spec.Intra,
 		Inter:       spec.Inter,
 		TraceBucket: spec.TraceBucket,
@@ -155,7 +157,7 @@ func BuildOn(eng *des.Engine, spec Spec) (*System, error) {
 	s := &System{Spec: spec, Eng: eng, Net: net}
 
 	if spec.Preset == ACE {
-		plan := collectives.HierarchicalAllReduce(spec.Torus)
+		plan := collectives.HierarchicalAllReduce(spec.Topo)
 		parts, maxChunk := acePartitions(spec.ACE, plan, spec)
 		spec.ACE.Partitions = parts
 		if spec.Coll.MaxChunkBytes == 0 || spec.Coll.MaxChunkBytes > maxChunk {
@@ -164,7 +166,7 @@ func BuildOn(eng *des.Engine, spec Spec) (*System, error) {
 		s.Spec = spec
 	}
 
-	n := spec.Torus.N()
+	n := spec.Topo.N()
 	for i := 0; i < n; i++ {
 		smCapped := spec.Preset == BaselineNoOverlap || spec.Preset == BaselineCommOpt || spec.Preset == BaselineCompOpt
 		node, err := npu.NewNode(eng, i, spec.NPU, smCapped)
@@ -203,8 +205,8 @@ func BuildOn(eng *des.Engine, spec Spec) (*System, error) {
 // Plans returns the topology-aware collective plans for this platform.
 func (s *System) Plans() training.Plans {
 	return training.Plans{
-		AllReduce: collectives.HierarchicalAllReduce(s.Spec.Torus),
-		AllToAll:  collectives.DirectAllToAll(s.Spec.Torus.N()),
+		AllReduce: collectives.HierarchicalAllReduce(s.Spec.Topo),
+		AllToAll:  collectives.DirectAllToAll(s.Spec.Topo.N()),
 	}
 }
 

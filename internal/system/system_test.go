@@ -23,7 +23,7 @@ func TestPresetNamesRoundTrip(t *testing.T) {
 }
 
 func TestNewSpecTableVI(t *testing.T) {
-	tor := noc.Torus{L: 4, V: 2, H: 2}
+	tor := noc.Torus3(4, 2, 2)
 	cases := []struct {
 		p    Preset
 		mem  float64
@@ -51,7 +51,7 @@ func TestNewSpecTableVI(t *testing.T) {
 }
 
 func TestBuildShapes(t *testing.T) {
-	tor := noc.Torus{L: 4, V: 2, H: 2}
+	tor := noc.Torus3(4, 2, 2)
 	for _, p := range Presets() {
 		s, err := Build(NewSpec(tor, p))
 		if err != nil {
@@ -70,13 +70,13 @@ func TestBuildShapes(t *testing.T) {
 }
 
 func TestBuildInvalid(t *testing.T) {
-	if _, err := Build(NewSpec(noc.Torus{L: 0, V: 1, H: 1}, ACE)); err == nil {
+	if _, err := Build(NewSpec(noc.Torus3(0, 1, 1), ACE)); err == nil {
 		t.Fatal("invalid torus accepted")
 	}
 }
 
 func TestACEPartitionSizing(t *testing.T) {
-	spec := NewSpec(noc.Torus{L: 4, V: 4, H: 4}, ACE)
+	spec := NewSpec(noc.Torus3(4, 4, 4), ACE)
 	s, err := Build(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -100,7 +100,7 @@ func TestACEPartitionSizing(t *testing.T) {
 }
 
 func TestPlansMatchTopology(t *testing.T) {
-	s, err := Build(NewSpec(noc.Torus{L: 4, V: 8, H: 4}, Ideal))
+	s, err := Build(NewSpec(noc.Torus3(4, 8, 4), Ideal))
 	if err != nil {
 		t.Fatal(err)
 	}

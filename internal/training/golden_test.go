@@ -59,7 +59,7 @@ func checkGolden(t *testing.T, label string, want legacyGolden, got training.Res
 // TestTrainingGoldenLegacy replays every lowered workload against the
 // recorded legacy-executor numbers.
 func TestTrainingGoldenLegacy(t *testing.T) {
-	torus := noc.Torus{L: 4, V: 2, H: 2}
+	torus := noc.Torus3(4, 2, 2)
 	for _, g := range legacyGoldens {
 		if testing.Short() && g.workload == "GNMT" {
 			continue // the heaviest rows; the full suite covers them

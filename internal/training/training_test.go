@@ -9,9 +9,9 @@ import (
 	"acesim/internal/workload"
 )
 
-var smallTorus = noc.Torus{L: 4, V: 2, H: 2}
+var smallTorus = noc.Torus3(4, 2, 2)
 
-func run(t *testing.T, torus noc.Torus, preset system.Preset, m *workload.Model, tc training.Config) training.Result {
+func run(t *testing.T, torus noc.Topology, preset system.Preset, m *workload.Model, tc training.Config) training.Result {
 	t.Helper()
 	s, err := system.Build(system.NewSpec(torus, preset))
 	if err != nil {
@@ -113,7 +113,7 @@ func TestDLRMOptimizedHelps(t *testing.T) {
 	if testing.Short() {
 		t.Skip("64-node simulation")
 	}
-	torus := noc.Torus{L: 4, V: 4, H: 4}
+	torus := noc.Torus3(4, 4, 4)
 	m := workload.DLRM(workload.DLRMBatch)
 	opt := training.DefaultConfig()
 	opt.DLRMOptimized = true
