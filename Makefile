@@ -5,7 +5,7 @@ GO ?= go
 # grows, never lower it without explanation.
 COVER_MIN ?= 75.0
 
-.PHONY: build test test-short test-race bench lint vet fuzz-smoke fmt cover cover-check
+.PHONY: build test test-short test-race bench lint vet fuzz-smoke fmt cover cover-check trace-smoke overhead-guard
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,18 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Trace smoke: run the span collector end to end on the bundled fig4
+# scenario. The CLI re-reads and schema-validates the Chrome trace-event
+# JSON it wrote, so a malformed export fails the target.
+trace-smoke:
+	$(GO) run ./cmd/acesim trace -out /tmp/acesim-fig4-trace.json examples/scenarios/fig4.json
+
+# Tracing overhead gate: with tracing disabled, the fig4 perf units must
+# match the pre-trace-layer BENCH_2026-07-28.json baseline — same event
+# count, no additional allocations.
+overhead-guard:
+	$(GO) test -run TestTracingDisabledOverheadGuard -v .
 
 vet:
 	$(GO) vet ./...

@@ -15,11 +15,11 @@ import (
 // emission fails the command — this is what the CI bench-smoke job gates
 // on (structure only, never speed).
 func runBench(args []string) error {
-	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	short := fs.Bool("short", false, "run the shrunk smoke suite (1 run per unit)")
 	runs := fs.Int("runs", 0, "runs per unit, best-of wall time (default 3, 1 with -short)")
 	out := fs.String("out", "", `output path; "-" for stdout (default BENCH_<date>.json)`)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {

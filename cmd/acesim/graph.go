@@ -9,6 +9,7 @@ import (
 	"acesim/internal/graph"
 	"acesim/internal/report"
 	"acesim/internal/system"
+	"acesim/internal/trace"
 	"acesim/internal/workload"
 )
 
@@ -31,7 +32,7 @@ func runGraphCmd(args []string) error {
 		return fmt.Errorf("missing graph subcommand (run, convert or validate)")
 	}
 	sub := args[0]
-	fs := flag.NewFlagSet("graph "+sub, flag.ExitOnError)
+	fs := flag.NewFlagSet("graph "+sub, flag.ContinueOnError)
 	sizeStr := fs.String("size", "4x2x2", "fabric topology the graph runs on / is lowered for")
 	preset := fs.String("preset", "ACE", "Table VI preset for graph run")
 	wl := fs.String("workload", "", "workload to convert (resnet50, gnmt, dlrm)")
@@ -42,7 +43,7 @@ func runGraphCmd(args []string) error {
 	microbatches := fs.Int("microbatches", 4, "microbatches per iteration (pipeline synthesis)")
 	schedule := fs.String("schedule", "gpipe", "pipeline schedule: gpipe or 1f1b")
 	out := fs.String("out", "-", `convert output path ("-" for stdout)`)
-	if err := fs.Parse(args[1:]); err != nil {
+	if err := parseFlags(fs, args[1:]); err != nil {
 		return err
 	}
 	size, err := parseTorus(*sizeStr)
@@ -72,14 +73,19 @@ func runGraphCmd(args []string) error {
 		if err != nil {
 			return err
 		}
+		// Every run collects a trace: the overlap fraction column comes
+		// from the span timeline, not the executor's own accounting.
 		tab := report.New(fmt.Sprintf("graphs on %s %s", size, p),
-			"graph", "ranks", "span us", "compute us", "exposed us", "exposed frac")
+			"graph", "ranks", "span us", "compute us", "exposed us", "exposed frac", "overlap frac", "link util")
 		for _, path := range fs.Args() {
 			g, err := graph.Load(path)
 			if err != nil {
 				return err
 			}
-			res, err := exper.RunGraph(system.NewSpec(size, p), g)
+			tr := trace.New()
+			spec := system.NewSpec(size, p)
+			spec.Tracer = tr
+			res, err := exper.RunGraph(spec, g)
 			if err != nil {
 				return err
 			}
@@ -87,7 +93,9 @@ func runGraphCmd(args []string) error {
 			if res.Span > 0 {
 				frac = float64(res.Exposed) / float64(res.Span)
 			}
-			tab.Add(g.Name, g.Ranks, res.Span.Micros(), res.Compute.Micros(), res.Exposed.Micros(), frac)
+			bd := tr.Breakdown()
+			tab.Add(g.Name, g.Ranks, res.Span.Micros(), res.Compute.Micros(), res.Exposed.Micros(), frac,
+				bd.OverlapFrac, bd.LinkUtil)
 		}
 		return show(tab, nil)
 	case "convert":

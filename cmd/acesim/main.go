@@ -10,6 +10,7 @@
 //	acesim <experiment> [flags]
 //	acesim scenario run|validate|list [flags] <file>...
 //	acesim graph run|convert|validate [flags] <file>...
+//	acesim trace [-out trace.json] [flags] <scenario.json|graph.json>
 //	acesim bench [-short] [-runs N] [-out path]
 //
 // Experiments: fig4 fig5 fig6 fig9a fig9b fig10 fig11 fig12 table4 table5
@@ -32,8 +33,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -46,14 +49,45 @@ import (
 	"acesim/internal/scenario"
 	scrunner "acesim/internal/scenario/runner"
 	"acesim/internal/system"
+	"acesim/internal/trace"
 	"acesim/internal/workload"
 )
 
+// errUsage marks a command-line mistake. main prints the error plus the
+// usage banner and exits 2, distinguishing bad invocations from
+// simulation failures (exit 1).
+var errUsage = errors.New("bad usage")
+
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "acesim:", err)
-		os.Exit(1)
+	err := run(os.Args[1:])
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "acesim:", err)
+	if errors.Is(err, errUsage) {
+		usage()
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+// parseFlags parses args and rejects flag-like arguments stranded after
+// the positionals. Go's flag package stops at the first non-flag
+// argument, so `acesim scenario run file.json -format json` used to
+// silently ignore -format and print the default format; every
+// subcommand routes through this helper so such mistakes exit 2 with
+// usage on stderr instead. The FlagSet must use flag.ContinueOnError.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	fs.SetOutput(io.Discard) // main prints the error once, with usage
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("%s: %w: %v", fs.Name(), errUsage, err)
+	}
+	for _, a := range fs.Args() {
+		if len(a) > 1 && a[0] == '-' {
+			return fmt.Errorf("%s: %w: flag %q after positional arguments (flags must come first)", fs.Name(), errUsage, a)
+		}
+	}
+	return nil
 }
 
 func run(args []string) error {
@@ -71,12 +105,18 @@ func run(args []string) error {
 	if cmd == "graph" {
 		return runGraphCmd(args[1:])
 	}
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	if cmd == "trace" {
+		return runTrace(args[1:])
+	}
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	sizeStr := fs.String("size", "4x8x4", "fabric topology for single-size experiments (sizes joined by \"x\", \"m\" suffix = mesh dim)")
 	quick := fs.Bool("quick", false, "shrink sweeps for a fast pass")
 	csvDir := fs.String("csv", "", "write Fig 10 timelines as CSV into this directory")
-	if err := fs.Parse(args[1:]); err != nil {
+	if err := parseFlags(fs, args[1:]); err != nil {
 		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("%s: %w: unexpected argument %q", cmd, errUsage, fs.Arg(0))
 	}
 	size, err := parseTorus(*sizeStr)
 	if err != nil {
@@ -116,6 +156,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: acesim <experiment> [-size SHAPE] [-quick] [-csv dir]
        acesim scenario run|validate|list [-workers N] [-format text|json|csv] <file>...
        acesim graph run|convert|validate [-size SHAPE] [-preset P] [convert flags] <file>...
+       acesim trace [-out trace.json] [-csv path] [-workers N] [-size SHAPE] [-preset P] <scenario.json|graph.json>
        acesim bench [-short] [-runs N] [-out path]
 experiments: fig4 fig5 fig6 fig9a fig9b fig10 fig11 fig12
              table4 table5 table6 analytic ablation interference all`)
@@ -136,10 +177,10 @@ func runScenario(args []string) error {
 		return fmt.Errorf("missing scenario subcommand (run, validate or list)")
 	}
 	sub := args[0]
-	fs := flag.NewFlagSet("scenario "+sub, flag.ExitOnError)
+	fs := flag.NewFlagSet("scenario "+sub, flag.ContinueOnError)
 	workers := fs.Int("workers", 0, "parallel work units (default GOMAXPROCS)")
 	format := fs.String("format", "text", "run output format: text, json or csv")
-	if err := fs.Parse(args[1:]); err != nil {
+	if err := parseFlags(fs, args[1:]); err != nil {
 		return err
 	}
 	files := fs.Args()
@@ -396,11 +437,22 @@ func (r runner) interference() error {
 	if err := show(tab, err); err != nil {
 		return err
 	}
+	// The shared-fabric co-run collects a trace so the interference
+	// report also quantifies how much communication stayed exposed.
+	tr := trace.New()
+	spec.Tracer = tr
 	_, tab2, err := exper.Interference(spec, []exper.InterferenceJob{
 		{Name: "train", Model: m},
 		{Name: "noise", Stream: exper.StreamSpec{Kind: collectives.AllReduce, Bytes: 32 << 20, Count: count}},
 	})
-	return show(tab2, err)
+	if err := show(tab2, err); err != nil {
+		return err
+	}
+	bd := tr.Breakdown()
+	fmt.Printf("co-run trace: comm %.1f us (exposed %.1f, overlapped %.1f), compute %.1f us, overlap frac %.3f, %d spans\n",
+		float64(bd.CommTotal)/1e6, float64(bd.CommExposed)/1e6, float64(bd.CommOverlapped)/1e6,
+		float64(bd.ComputeBusy)/1e6, bd.OverlapFrac, bd.Spans)
+	return nil
 }
 
 func (r runner) analytic() error {

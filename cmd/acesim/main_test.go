@@ -1,12 +1,14 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"acesim/internal/noc"
+	"acesim/internal/trace"
 )
 
 // silence redirects stdout to /dev/null for the duration of fn so table
@@ -217,5 +219,110 @@ func TestGraphCommands(t *testing.T) {
 	err := silence(t, func() error { return run([]string{"graph", "run", "-size", "4x4x2", trace}) })
 	if err == nil || !strings.Contains(err.Error(), "ranks") {
 		t.Fatalf("rank mismatch = %v, want ranks error", err)
+	}
+}
+
+// TestFlagErrorsExitUsage pins the S-class CLI fix: Go's flag package
+// stops parsing at the first positional argument, so flags stranded
+// after the files used to be silently ignored (`scenario run x.json
+// -format json` printed text). All subcommands now reject unknown and
+// misplaced flags with errUsage, which main maps to exit code 2.
+func TestFlagErrorsExitUsage(t *testing.T) {
+	ok := writeScenario(t, "ok.json", `{
+	  "name": "ok",
+	  "platform": {"toruses": ["4x2x2"], "presets": ["Ideal"]},
+	  "jobs": [{"kind": "collective", "payloads_mb": [1]}]
+	}`)
+	cases := [][]string{
+		{"scenario", "run", ok, "-format", "json"}, // trailing flag
+		{"scenario", "run", "-bogus", ok},          // unknown flag
+		{"scenario", "validate", ok, "-workers", "2"},
+		{"graph", "run", "nope.json", "-preset", "Ideal"},
+		{"graph", "convert", "-no-such-flag"},
+		{"trace", "-no-such-flag", ok},
+		{"trace", ok, "-out", "x.json"},
+		{"bench", "-not-a-flag"},
+		{"table5", "-bogus"},
+		{"table5", "stray-positional"},
+	}
+	for _, args := range cases {
+		err := silence(t, func() error { return run(args) })
+		if !errors.Is(err, errUsage) {
+			t.Errorf("run(%v) = %v, want errUsage", args, err)
+		}
+	}
+	// Flags before the positionals must keep working.
+	if err := silence(t, func() error { return run([]string{"scenario", "validate", ok}) }); err != nil {
+		t.Errorf("valid invocation failed: %v", err)
+	}
+}
+
+// TestTraceCommand drives `acesim trace` end to end on a scenario and on
+// a graph file, checking the emitted Chrome trace-event JSON validates.
+func TestTraceCommand(t *testing.T) {
+	dir := t.TempDir()
+	sc := writeScenario(t, "traced.json", `{
+	  "name": "traced",
+	  "platform": {"toruses": ["4x2x2"], "presets": ["Ideal"]},
+	  "jobs": [{"kind": "collective", "payloads_mb": [1]}],
+	  "trace": {"enabled": true},
+	  "assertions": [{"metric": "overlap_frac", "op": ">=", "value": 0}]
+	}`)
+	out := filepath.Join(dir, "sc_trace.json")
+	csv := filepath.Join(dir, "sc_trace.csv")
+	if err := silence(t, func() error { return run([]string{"trace", "-out", out, "-csv", csv, sc}) }); err != nil {
+		t.Fatalf("trace scenario: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := trace.ValidateChrome(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Spans == 0 {
+		t.Fatal("scenario trace exported no spans")
+	}
+	if b, err := os.ReadFile(csv); err != nil || !strings.Contains(string(b), "overlap frac") {
+		t.Fatalf("trace CSV missing breakdown column: %v, %q", err, b)
+	}
+
+	// Graph input: convert a workload, then trace the graph file.
+	gpath := filepath.Join(dir, "rn50.json")
+	if err := silence(t, func() error {
+		return run([]string{"graph", "convert", "-workload", "resnet50", "-size", "4x2x2", "-iterations", "1", "-out", gpath})
+	}); err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	gout := filepath.Join(dir, "g_trace.json")
+	if err := silence(t, func() error {
+		return run([]string{"trace", "-size", "4x2x2", "-preset", "Ideal", "-out", gout, gpath})
+	}); err != nil {
+		t.Fatalf("trace graph: %v", err)
+	}
+	f, err = os.Open(gout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = trace.ValidateChrome(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Spans == 0 {
+		t.Fatal("graph trace exported no spans")
+	}
+
+	// Error paths: no input, two inputs, unreadable input.
+	if err := silence(t, func() error { return run([]string{"trace"}) }); !errors.Is(err, errUsage) {
+		t.Errorf("trace without file = %v, want errUsage", err)
+	}
+	if err := silence(t, func() error { return run([]string{"trace", sc, gpath}) }); !errors.Is(err, errUsage) {
+		t.Errorf("trace with two files = %v, want errUsage", err)
+	}
+	if err := silence(t, func() error { return run([]string{"trace", filepath.Join(dir, "nope.json")}) }); err == nil {
+		t.Error("traced a missing file")
 	}
 }

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"acesim/internal/exper"
+	"acesim/internal/graph"
+	"acesim/internal/report"
+	"acesim/internal/scenario"
+	scrunner "acesim/internal/scenario/runner"
+	"acesim/internal/system"
+	"acesim/internal/trace"
+)
+
+// runTrace implements `acesim trace`: run a scenario file (or a single
+// execution graph) with the span collector on and export the full
+// timeline as Chrome trace-event JSON, loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. The summary tables —
+// including the exposed-communication breakdown — go to stdout; -csv
+// additionally writes the breakdown table as CSV.
+//
+//	acesim trace [-out trace.json] [-csv path] [-workers N] <scenario.json>
+//	acesim trace [-out trace.json] [-size SHAPE] [-preset P] <graph.json>
+//
+// The output path defaults to the scenario's "trace" block "out" field
+// when present, else <input>_trace.json next to the working directory.
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	out := fs.String("out", "", `Chrome trace-event JSON output path (default: scenario "trace" "out", else <input>_trace.json)`)
+	csvPath := fs.String("csv", "", "also write the trace summary table as CSV to this path")
+	workers := fs.Int("workers", 0, "parallel work units for scenario inputs (default GOMAXPROCS)")
+	sizeStr := fs.String("size", "4x2x2", "fabric topology for graph inputs")
+	preset := fs.String("preset", "ACE", "Table VI preset for graph inputs")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace: %w: want exactly one scenario or graph file, got %d", errUsage, fs.NArg())
+	}
+	path := fs.Arg(0)
+
+	// A scenario and a graph are both JSON documents; try the scenario
+	// schema first (it is strict), then fall back to the graph loader.
+	sc, scErr := scenario.Load(path)
+	if scErr == nil {
+		return traceScenario(sc, path, *out, *csvPath, *workers)
+	}
+	if g, err := graph.Load(path); err == nil {
+		return traceGraph(g, path, *out, *csvPath, *sizeStr, *preset)
+	}
+	return scErr
+}
+
+// defaultTraceOut resolves the export path: the explicit -out flag, the
+// scenario's own "trace" block, or <input>_trace.json.
+func defaultTraceOut(out, input string, sc *scenario.Scenario) string {
+	if out != "" {
+		return out
+	}
+	if sc != nil && sc.Trace != nil && sc.Trace.Out != "" {
+		return sc.Trace.Out
+	}
+	base := strings.TrimSuffix(filepath.Base(input), ".json")
+	return base + "_trace.json"
+}
+
+// writeChromeFile writes one Chrome trace-event document via write, then
+// re-reads and schema-validates what landed on disk, so a malformed
+// emission fails the command instead of failing later in Perfetto.
+func writeChromeFile(path string, write func(w io.Writer) error) (trace.ChromeStats, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return trace.ChromeStats{}, err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return trace.ChromeStats{}, err
+	}
+	if err := f.Close(); err != nil {
+		return trace.ChromeStats{}, err
+	}
+	f, err = os.Open(path)
+	if err != nil {
+		return trace.ChromeStats{}, err
+	}
+	defer f.Close()
+	st, err := trace.ValidateChrome(f)
+	if err != nil {
+		return st, fmt.Errorf("trace: emitted %s failed validation: %w", path, err)
+	}
+	return st, nil
+}
+
+// traceScenario runs every unit of the scenario with tracing forced on.
+func traceScenario(sc *scenario.Scenario, input, out, csvPath string, workers int) error {
+	res, err := scrunner.Run(sc, scrunner.Options{Workers: workers, Trace: true})
+	if err != nil {
+		return err
+	}
+	outPath := defaultTraceOut(out, input, sc)
+	st, err := writeChromeFile(outPath, res.WriteChromeTrace)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteTraceCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
+	fmt.Printf("wrote %s (%d spans, %d counter samples, %d processes) — load in https://ui.perfetto.dev\n",
+		outPath, st.Spans, st.Counters, st.Procs)
+	if failed := res.Failures(); len(failed) > 0 {
+		return fmt.Errorf("trace: %d assertion failure(s):\n  %s", len(failed), strings.Join(failed, "\n  "))
+	}
+	return nil
+}
+
+// traceSummaryTable renders one exposed-communication breakdown as a
+// metric/value table.
+func traceSummaryTable(title string, bd trace.Breakdown) *report.Table {
+	const psPerUs = 1e6
+	t := report.New(title, "metric", "value")
+	t.Add("comm us", float64(bd.CommTotal)/psPerUs)
+	t.Add("exposed comm us", float64(bd.CommExposed)/psPerUs)
+	t.Add("overlapped comm us", float64(bd.CommOverlapped)/psPerUs)
+	t.Add("compute busy us", float64(bd.ComputeBusy)/psPerUs)
+	t.Add("overlap frac", bd.OverlapFrac)
+	t.Add("link util", bd.LinkUtil)
+	t.Add("hbm util", bd.HBMUtil)
+	t.Add("spans", int64(bd.Spans))
+	return t
+}
+
+// traceGraph executes one graph file on a traced platform.
+func traceGraph(g *graph.Graph, input, out, csvPath, sizeStr, preset string) error {
+	size, err := parseTorus(sizeStr)
+	if err != nil {
+		return err
+	}
+	p, err := system.ParsePreset(preset)
+	if err != nil {
+		return err
+	}
+	if g.Ranks != size.N() {
+		return fmt.Errorf("trace: graph %s targets %d ranks, torus %s has %d", input, g.Ranks, size, size.N())
+	}
+	tr := trace.New()
+	spec := system.NewSpec(size, p)
+	spec.Tracer = tr
+	res, err := exper.RunGraph(spec, g)
+	if err != nil {
+		return err
+	}
+	outPath := defaultTraceOut(out, input, nil)
+	st, err := writeChromeFile(outPath, func(w io.Writer) error {
+		return trace.WriteChrome(w, []trace.Export{{Label: g.Name, T: tr}})
+	})
+	if err != nil {
+		return err
+	}
+	bd := tr.Breakdown()
+	tab := traceSummaryTable(fmt.Sprintf("%s on %s %s: trace", g.Name, size, p), bd)
+	tab.Add("span us", res.Span.Micros())
+	if err := tab.Write(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if err := tab.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
+	fmt.Printf("wrote %s (%d spans, %d counter samples, %d processes) — load in https://ui.perfetto.dev\n",
+		outPath, st.Spans, st.Counters, st.Procs)
+	return nil
+}

@@ -25,6 +25,7 @@ import (
 	"acesim/internal/graph"
 	"acesim/internal/noc"
 	"acesim/internal/system"
+	"acesim/internal/trace"
 	"acesim/internal/training"
 	"acesim/internal/workload"
 )
@@ -111,6 +112,21 @@ func suite(short bool) []spec {
 		emb := exper.EmbLookupKernel(10000)
 		specs = append(specs, fig4("fig4/emb10000-10MB", &emb, 10<<20))
 	}
+
+	// The same unit with the span collector attached: diffing it against
+	// fig4/gemm1000-10MB prices the tracing-enabled overhead (the
+	// disabled path is pinned to zero cost by the CI overhead guard).
+	specs = append(specs, spec{name: "fig4/gemm1000-10MB-traced", run: func() (stats, error) {
+		tr := trace.New()
+		d, events, err := exper.Fig4MeasureTrace(&gemm, 10<<20, tr)
+		if err != nil {
+			return stats{}, err
+		}
+		return stats{events: events, metrics: map[string]float64{
+			"duration_us": d.Micros(),
+			"spans":       float64(tr.NumSpans()),
+		}}, nil
+	}})
 
 	// Collective payload sweep: ring all-reduce on ACE (the paper's
 	// engine) across payloads, plus the software baseline and an

@@ -6,6 +6,7 @@ import (
 	"acesim/internal/core"
 	"acesim/internal/des"
 	"acesim/internal/noc"
+	"acesim/internal/trace"
 )
 
 // StreamID names one issue stream of a multi-job runtime. Each concurrent
@@ -124,6 +125,11 @@ type Runtime struct {
 	colls   []*Collective   // every collective, in creation order
 	streams [][]*Collective // per-stream match lists
 	scheds  []*nodeSched
+
+	// tracer and the per-node collective tracks are wired at build time
+	// when the engine carries a span collector; nil otherwise.
+	tracer     *trace.Tracer
+	collTracks []trace.TrackID
 }
 
 // NewRuntime wires the runtime to a fabric and per-node endpoints, and
@@ -158,6 +164,13 @@ func NewRuntime(eng *des.Engine, net *noc.Network, eps []core.Endpoint, cfg Conf
 	}
 	net.Forward = func(node noc.NodeID, bytes int64, next func()) {
 		rt.eps[node].Forward(bytes, next)
+	}
+	if tr := eng.Tracer(); tr != nil {
+		rt.tracer = tr
+		rt.collTracks = make([]trace.TrackID, len(eps))
+		for i := range eps {
+			rt.collTracks[i] = tr.RegisterTrack(fmt.Sprintf("npu%d/coll", i), i, trace.KindComm)
+		}
 	}
 	return rt
 }
@@ -299,11 +312,34 @@ type Collective struct {
 	pendingIn  [][]inMsg
 	completeAt []des.Time
 	issuedAt   des.Time
+	// phaseNames are the per-phase span labels ("name/p0.rs[local]",
+	// stream-qualified on multi-stream runtimes), precomputed once per
+	// collective so the per-chunk emission allocates nothing.
+	phaseNames []string
+}
+
+// phaseSpanNames builds a collective's per-phase span labels.
+func phaseSpanNames(rt *Runtime, stream StreamID, spec Spec) []string {
+	label := spec.Name
+	if rt.cfg.Streams > 1 {
+		label = fmt.Sprintf("%s@s%d", label, stream)
+	}
+	shapes := Shapes(spec.Plan, spec.Bytes)
+	names := make([]string, len(shapes))
+	for i, sh := range shapes {
+		names[i] = fmt.Sprintf("%s/p%d.%s[%s]", label, i, sh.Kind, sh.Dim)
+	}
+	return names
 }
 
 func newCollective(rt *Runtime, seq int, stream StreamID, spec Spec) *Collective {
 	n := rt.Nodes()
+	var phaseNames []string
+	if rt.tracer != nil {
+		phaseNames = phaseSpanNames(rt, stream, spec)
+	}
 	return &Collective{
+		phaseNames: phaseNames,
 		rt:         rt,
 		seq:        seq,
 		stream:     stream,
@@ -447,6 +483,9 @@ func (s *nodeSched) maybeAdmit() {
 			return
 		}
 		s.inflight++
+		if s.rt.tracer != nil {
+			s.rt.tracer.Count(s.rt.collTracks[s.node], "inflight", int64(s.rt.eng.Now()), float64(s.inflight))
+		}
 		s.rt.eps[s.node].Admit(e.chunk, e.start)
 	}
 }
@@ -455,6 +494,9 @@ func (s *nodeSched) chunkFinished() {
 	s.inflight--
 	if s.inflight < 0 {
 		panic(fmt.Sprintf("collectives: node %d finished more chunks than admitted", s.node))
+	}
+	if s.rt.tracer != nil {
+		s.rt.tracer.Count(s.rt.collTracks[s.node], "inflight", int64(s.rt.eng.Now()), float64(s.inflight))
 	}
 	s.maybeAdmit()
 }
@@ -521,17 +563,18 @@ type a2aRun struct {
 // chunkExec drives one chunk of one collective at one node through its
 // plan phases against the node's endpoint.
 type chunkExec struct {
-	coll    *Collective
-	idx     int
-	node    noc.NodeID
-	chunk   *core.Chunk
-	shapes  []PhaseShape
-	phase   int
-	started bool
-	dirs    [2]*ringRun
-	dirsUp  int
-	a2a     *a2aRun
-	inbox   [][2][]int64
+	coll       *Collective
+	idx        int
+	node       noc.NodeID
+	chunk      *core.Chunk
+	shapes     []PhaseShape
+	phase      int
+	phaseStart des.Time // when the current phase began (span emission)
+	started    bool
+	dirs       [2]*ringRun
+	dirsUp     int
+	a2a        *a2aRun
+	inbox      [][2][]int64
 
 	// startPhaseFn and drainedFn are built once per chunk and reused for
 	// every phase transition / the terminal drain, avoiding a method-value
@@ -576,6 +619,7 @@ func (e *chunkExec) start() {
 }
 
 func (e *chunkExec) startPhase() {
+	e.phaseStart = e.rt().eng.Now()
 	s := &e.shapes[e.phase]
 	if s.Kind == core.PhaseAllToAll {
 		e.startA2A(s)
@@ -740,8 +784,12 @@ func (e *chunkExec) phaseDone() {
 	// endpoint's NextPhase must be buffered, not fed to stale state.
 	e.dirs = [2]*ringRun{}
 	e.a2a = nil
-	e.phase++
 	rt := e.rt()
+	if rt.tracer != nil {
+		rt.tracer.Span(rt.collTracks[e.node], trace.CatComm, e.coll.phaseNames[e.phase],
+			int64(e.phaseStart), int64(rt.eng.Now()), e.chunk.Bytes)
+	}
+	e.phase++
 	if e.phase < len(e.shapes) {
 		rt.eps[e.node].NextPhase(e.chunk, e.phase, e.startPhaseFn)
 		return

@@ -7,6 +7,7 @@ import (
 	"acesim/internal/npu"
 	"acesim/internal/resource"
 	"acesim/internal/stats"
+	"acesim/internal/trace"
 )
 
 // ACEConfig describes one Accelerator Collectives Engine (Section IV-I
@@ -117,6 +118,9 @@ type ACE struct {
 	start  des.Time
 	// BusyTrace records intervals with >= 1 chunk assigned (Fig 9b).
 	BusyTrace *stats.Trace
+	// Span optionally mirrors the same occupancy intervals onto the
+	// engine's trace timeline (wired by system.BuildOn when tracing).
+	Span *trace.Emitter
 }
 
 // NewACE builds the engine for one node. The node's CommMem server is the
@@ -166,6 +170,7 @@ func (a *ACE) markActive(d int) {
 	a.active += d
 	if a.active == 0 && d < 0 {
 		a.BusyTrace.AddBusy(a.start, a.eng.Now(), 1)
+		a.Span.Emit(int64(a.start), int64(a.eng.Now()), 0)
 	}
 }
 
@@ -308,6 +313,7 @@ func (a *ACE) FlushBusy() {
 	if a.active > 0 {
 		now := a.eng.Now()
 		a.BusyTrace.AddBusy(a.start, now, 1)
+		a.Span.Emit(int64(a.start), int64(now), 0)
 		a.start = now
 	}
 }

@@ -1,5 +1,7 @@
 package des
 
+import "acesim/internal/trace"
+
 // event is a single scheduled callback. Exactly one of fn / ctxFn is set:
 // fn for At/After, ctxFn (+arg) for AtCtx/AfterCtx. Events are stored by
 // value in the engine's flat queue — scheduling never boxes an event
@@ -116,6 +118,10 @@ type Engine struct {
 	q      eventQueue
 	seq    uint64
 	nSteps uint64
+	// tracer is the optional per-run span collector. It is nil by
+	// default; every instrumented layer checks the nil fast path, so a
+	// tracerless engine pays nothing beyond a pointer test.
+	tracer *trace.Tracer
 }
 
 // NewEngine returns a fresh engine at time zero.
@@ -123,6 +129,14 @@ func NewEngine() *Engine { return &Engine{} }
 
 // Now returns the current simulated time in picoseconds.
 func (e *Engine) Now() Time { return e.now }
+
+// SetTracer attaches a span collector to the engine. Components read it
+// at build time to register tracks and wire emitters; setting it after
+// a system is built has no effect on that system.
+func (e *Engine) SetTracer(t *trace.Tracer) { e.tracer = t }
+
+// Tracer returns the attached span collector (nil when tracing is off).
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
 
 // Steps returns the number of events executed so far.
 func (e *Engine) Steps() uint64 { return e.nSteps }

@@ -9,6 +9,7 @@ import (
 	"acesim/internal/npu"
 	"acesim/internal/report"
 	"acesim/internal/system"
+	"acesim/internal/trace"
 )
 
 // Fig4Kernel describes one interfering compute kernel of the Section III
@@ -127,7 +128,18 @@ func fig4Run(k *Fig4Kernel, arBytes int64) (des.Time, error) {
 
 // fig4RunStats is fig4Run plus the engine's executed-event count.
 func fig4RunStats(k *Fig4Kernel, arBytes int64) (des.Time, uint64, error) {
+	return fig4RunTrace(k, arBytes, nil)
+}
+
+// fig4RunTrace is fig4RunStats with an optional span collector. The
+// microbenchmark's kernel is modeled as a contention window (a rate
+// change), not simulated on the compute stream, so the traced run adds
+// one synthetic compute span per node over the kernel window — the
+// overlap accounting then sees the same compute occupancy the rate
+// model charges for.
+func fig4RunTrace(k *Fig4Kernel, arBytes int64, tr *trace.Tracer) (des.Time, uint64, error) {
 	spec := fig4Spec()
+	spec.Tracer = tr
 	s, err := system.Build(spec)
 	if err != nil {
 		return 0, 0, err
@@ -156,6 +168,13 @@ func fig4RunStats(k *Fig4Kernel, arBytes int64) (des.Time, uint64, error) {
 				n.CommMem.SetRate(full)
 			}
 		})
+		if tr != nil {
+			for _, c := range s.Computes {
+				if t, track := c.TraceTrack(); t != nil {
+					t.Span(track, trace.CatCompute, k.Name, 0, int64(window), k.Bytes)
+				}
+			}
+		}
 	}
 	plan := collectives.RingAllReduce(8, noc.DimLocal)
 	done := 0
@@ -190,4 +209,10 @@ func Fig4Measure(k *Fig4Kernel, arBytes int64) (des.Time, error) {
 // exported for the bench harness (events/sec accounting).
 func Fig4MeasureStats(k *Fig4Kernel, arBytes int64) (des.Time, uint64, error) {
 	return fig4RunStats(k, arBytes)
+}
+
+// Fig4MeasureTrace is Fig4MeasureStats with the run's spans collected
+// into tr (nil behaves exactly like Fig4MeasureStats).
+func Fig4MeasureTrace(k *Fig4Kernel, arBytes int64, tr *trace.Tracer) (des.Time, uint64, error) {
+	return fig4RunTrace(k, arBytes, tr)
 }

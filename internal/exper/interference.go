@@ -100,6 +100,10 @@ func Interference(spec system.Spec, jobs []InterferenceJob) (InterferenceResult,
 	// runs are deterministic and a partition's origin does not change
 	// its private sub-fabric, so jobs identical up to origin (the common
 	// symmetric-tenant setup) share one simulation.
+	// Solo baselines never trace: the trace (and the metrics derived from
+	// it) describes the co-run timeline.
+	soloSpec := spec
+	soloSpec.Tracer = nil
 	solos := make([]des.Time, len(jobs))
 	soloCache := map[string]des.Time{}
 	for i := range jobs {
@@ -108,7 +112,7 @@ func Interference(spec system.Spec, jobs []InterferenceJob) (InterferenceResult,
 			solos[i] = t
 			continue
 		}
-		m, err := system.BuildMulti(spec, placements[i:i+1])
+		m, err := system.BuildMulti(soloSpec, placements[i:i+1])
 		if err != nil {
 			return InterferenceResult{}, nil, err
 		}

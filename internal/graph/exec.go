@@ -7,6 +7,7 @@ import (
 	"acesim/internal/des"
 	"acesim/internal/noc"
 	"acesim/internal/npu"
+	"acesim/internal/trace"
 )
 
 // Plans carries the topology-aware plans full-fabric collectives execute
@@ -102,6 +103,14 @@ type Run struct {
 	draining bool
 
 	groups map[string]*groupMatch
+
+	// Tracing state (nil/empty when the engine has no tracer): one track
+	// per rank, per-position span names ("name#ID") precomputed at Start
+	// so emission allocates nothing, and per-position dispatch times.
+	tracer    *trace.Tracer
+	opTracks  []trace.TrackID
+	opNames   []string
+	startedAt []des.Time
 }
 
 // rankState is the per-rank bookkeeping.
@@ -196,6 +205,19 @@ func (x *Executor) Start(g *Graph) (*Run, error) {
 			r.finished++
 		}
 	}
+	if tr := x.Eng.Tracer(); tr != nil {
+		r.tracer = tr
+		r.opTracks = make([]trace.TrackID, g.Ranks)
+		for rank := 0; rank < g.Ranks; rank++ {
+			r.opTracks[rank] = tr.RegisterTrack(r.tag(fmt.Sprintf("rank%d/ops", rank)), rank, trace.KindOther)
+		}
+		r.opNames = make([]string, len(r.order))
+		r.startedAt = make([]des.Time, len(r.order))
+		for p := range r.order {
+			op := r.opAt(p)
+			r.opNames[p] = fmt.Sprintf("%s#%d", op.Name, op.ID)
+		}
+	}
 	for p := range r.order {
 		if r.remaining[p] == 0 {
 			r.ready.push(p)
@@ -230,6 +252,9 @@ func (r *Run) pump() {
 
 // exec starts the op at the given schedule position.
 func (r *Run) exec(pos int) {
+	if r.tracer != nil {
+		r.startedAt[pos] = r.x.Eng.Now()
+	}
 	op := r.opAt(pos)
 	rs := &r.ranks[op.Rank]
 	switch op.Kind {
@@ -274,6 +299,23 @@ func (r *Run) opDone(pos int) {
 	}
 	r.done[pos] = true
 	op := r.opAt(pos)
+	if r.tracer != nil && op.Kind != OpMark {
+		// Spans cover dispatch -> completion, i.e. queueing included. Comm
+		// ops fold into the overlap accounting (issued-but-unfinished
+		// communication is exactly what can be exposed); main-stream
+		// compute ops do not — the npu kernel spans already carry the
+		// exact busy intervals, and double-counting queue time would
+		// inflate compute.
+		cat := trace.CatOp
+		switch {
+		case op.Kind == OpCollective || op.Kind == OpSend:
+			cat = trace.CatComm
+		case op.Kind == OpCompute && op.Side:
+			cat = trace.CatSide
+		}
+		r.tracer.Span(r.opTracks[op.Rank], cat, r.opNames[pos],
+			int64(r.startedAt[pos]), int64(r.x.Eng.Now()), op.Bytes)
+	}
 	rs := &r.ranks[op.Rank]
 	rs.opsLeft--
 	if !rs.finished && (op.Final || (!rs.hasFinal && rs.opsLeft == 0)) {

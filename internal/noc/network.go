@@ -6,6 +6,7 @@ import (
 	"acesim/internal/des"
 	"acesim/internal/resource"
 	"acesim/internal/stats"
+	"acesim/internal/trace"
 )
 
 // LinkClass describes one class of physical link (Table V).
@@ -124,12 +125,17 @@ func New(eng *des.Engine, cfg Config) (*Network, error) {
 					continue
 				}
 				to := t.Neighbor(id, d, dir)
+				name := fmt.Sprintf("link(%d,%s,%+d)", id, d, dir)
 				l := &Link{
 					From: id, To: to, Dim: d, Dir: dir,
-					srv: resource.NewServer(eng, fmt.Sprintf("link(%d,%s,%+d)", id, d, dir), cls.EffGBps()),
+					srv: resource.NewServer(eng, name, cls.EffGBps()),
 					lat: cls.Latency(),
 				}
 				l.srv.Trace = n.Trace
+				if tr := eng.Tracer(); tr != nil {
+					track := tr.RegisterTrack(name, int(id), trace.KindLink)
+					l.srv.Span = tr.NewEmitter(track, trace.CatLink, name)
+				}
 				n.links[linkKey{id, d, dir}] = l
 				n.numLinks++
 			}

@@ -17,6 +17,7 @@ import (
 	"acesim/internal/des"
 	"acesim/internal/resource"
 	"acesim/internal/stats"
+	"acesim/internal/trace"
 )
 
 // Params are the per-node hardware parameters (Table V defaults via
@@ -112,6 +113,16 @@ func NewNode(eng *des.Engine, id int, p Params, commSMCapped bool) (*Node, error
 		BusRX:   resource.NewServer(eng, fmt.Sprintf("npu%d.busrx", id), p.BusGBps),
 	}
 	n.compute = NewCompute(eng, p)
+	if tr := eng.Tracer(); tr != nil {
+		hbm := tr.RegisterTrack(fmt.Sprintf("npu%d/hbm", id), id, trace.KindHBM)
+		n.CommMem.Span = tr.NewEmitter(hbm, trace.CatHBM, "hbm.read")
+		tx := tr.RegisterTrack(fmt.Sprintf("npu%d/bus.tx", id), id, trace.KindDMA)
+		n.BusTX.Span = tr.NewEmitter(tx, trace.CatDMA, "bus.tx")
+		rx := tr.RegisterTrack(fmt.Sprintf("npu%d/bus.rx", id), id, trace.KindDMA)
+		n.BusRX.Span = tr.NewEmitter(rx, trace.CatDMA, "bus.rx")
+		n.compute.tracer = tr
+		n.compute.track = tr.RegisterTrack(fmt.Sprintf("npu%d/compute", id), id, trace.KindCompute)
+	}
 	return n, nil
 }
 
@@ -140,6 +151,9 @@ type Compute struct {
 	freeAt des.Time
 	// Trace records compute busy intervals for the Fig 10 timelines.
 	Trace *stats.Trace
+	// tracer/track emit one span per kernel when tracing is on.
+	tracer *trace.Tracer
+	track  trace.TrackID
 	// kernels executed
 	count int64
 }
@@ -200,11 +214,20 @@ func (c *Compute) Run(k Kernel, done func()) des.Time {
 	c.busy += d
 	c.count++
 	c.Trace.AddBusy(start, end, 1)
+	if c.tracer != nil {
+		c.tracer.Span(c.track, trace.CatCompute, k.Name, int64(start), int64(end), k.Bytes)
+	}
 	if done != nil {
 		c.eng.At(end, done)
 	}
 	return d
 }
+
+// TraceTrack exposes the compute stream's tracer and track (nil/0 when
+// tracing is off) so experiment drivers can add synthetic compute spans
+// — e.g. the Fig 4 microbenchmark, whose kernel is modeled as a rate
+// change rather than simulated on the stream.
+func (c *Compute) TraceTrack() (*trace.Tracer, trace.TrackID) { return c.tracer, c.track }
 
 // BusyTime returns cumulative kernel execution time.
 func (c *Compute) BusyTime() des.Time { return c.busy }

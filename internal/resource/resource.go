@@ -19,6 +19,7 @@ import (
 
 	"acesim/internal/des"
 	"acesim/internal/stats"
+	"acesim/internal/trace"
 )
 
 // Server is a FIFO rate server. Requests are served in order at Rate GB/s;
@@ -33,7 +34,8 @@ type Server struct {
 	freeAt des.Time
 	busy   des.Time
 	Meter  stats.Meter
-	Trace  *stats.Trace // optional: busy intervals with weight 1
+	Trace  *stats.Trace   // optional: busy intervals with weight 1
+	Span   *trace.Emitter // optional: per-request service spans
 }
 
 // NewServer returns a server with the given rate in GB/s.
@@ -83,6 +85,7 @@ func (s *Server) reserve(n int64) des.Time {
 		s.Meter.Add(n)
 	}
 	s.Trace.AddBusy(start, end, 1)
+	s.Span.Emit(int64(start), int64(end), n)
 	return end
 }
 

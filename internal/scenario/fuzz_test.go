@@ -31,6 +31,14 @@ func FuzzParseScenario(f *testing.F) {
 	f.Add(`{"name":"x","platform":{"toruses":["2x1x1"]},"jobs":[{"kind":"multijob","arbitration":"rr","jobs":[{"payload_bytes":1,"repeat":2},{"collective":"alltoall","payload_mb":0.5}]}]}`)
 	f.Add(`{"name":"x","jobs":[{"kind":"multijob","jobs":[{"placement":"@","payload_mb":-1}]}]}`)
 	f.Add(`{"name":"x","platform":{"toruses":["999999999x999999999x2"]},"jobs":[{"kind":"collective","payloads_mb":[1e30]}]}`)
+	// Trace-block edge cases: enabled with an assertion on a trace
+	// metric, disabled-but-present with an out path, a wrong-typed out,
+	// and a trace metric asserted without the block (must be rejected,
+	// not panic).
+	f.Add(`{"name":"x","platform":{"toruses":["2x1x1"]},"jobs":[{"kind":"collective","payloads_mb":[1]}],"trace":{"enabled":true,"out":"t.json"},"assertions":[{"metric":"overlap_frac","op":">=","value":0}]}`)
+	f.Add(`{"name":"x","jobs":[{"kind":"collective","payloads_mb":[1]}],"trace":{"enabled":false,"out":""}}`)
+	f.Add(`{"name":"x","jobs":[{"kind":"collective","payloads_mb":[1]}],"trace":{"enabled":true,"out":42}}`)
+	f.Add(`{"name":"x","jobs":[{"kind":"collective","payloads_mb":[1]}],"assertions":[{"metric":"trace_exposed_us","op":">","value":0}]}`)
 
 	f.Fuzz(func(t *testing.T, src string) {
 		sc, err := Parse(strings.NewReader(src))

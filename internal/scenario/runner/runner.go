@@ -21,6 +21,7 @@ import (
 	"acesim/internal/report"
 	"acesim/internal/scenario"
 	"acesim/internal/system"
+	"acesim/internal/trace"
 	"acesim/internal/training"
 	"acesim/internal/workload"
 )
@@ -29,12 +30,17 @@ import (
 type Options struct {
 	// Workers bounds the worker pool; <= 0 means GOMAXPROCS.
 	Workers int
+	// Trace forces the span collector on for every unit even when the
+	// scenario has no enabled "trace" block (`acesim trace` sets it).
+	Trace bool
 }
 
 // UnitResult couples one work unit with its measured metrics.
 type UnitResult struct {
 	Unit    scenario.Unit
 	Metrics map[string]float64
+	// Trace is the unit's span collector (nil when tracing was off).
+	Trace *trace.Tracer
 }
 
 // AssertionOutcome records how one assertion fared against the results.
@@ -77,6 +83,7 @@ func Run(sc *scenario.Scenario, opts Options) (*Results, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
+	traced := opts.Trace || sc.TraceEnabled()
 	results := make([]UnitResult, len(units))
 	errs := make([]error, len(units))
 	idx := make(chan int)
@@ -86,8 +93,18 @@ func Run(sc *scenario.Scenario, opts Options) (*Results, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				m, err := execUnit(units[i], alone)
-				results[i] = UnitResult{Unit: units[i], Metrics: m}
+				// One tracer per unit, owned by this worker until the
+				// run completes; results are merged in unit order, so
+				// the worker count never changes the output.
+				var tr *trace.Tracer
+				if traced {
+					tr = trace.New()
+				}
+				m, err := execUnit(units[i], alone, tr)
+				if err == nil && tr != nil {
+					addTraceMetrics(m, tr)
+				}
+				results[i] = UnitResult{Unit: units[i], Metrics: m, Trace: tr}
 				errs[i] = err
 			}
 		}()
@@ -207,13 +224,35 @@ func buildSpec(u scenario.Unit) system.Spec {
 	return spec
 }
 
+// addTraceMetrics folds the unit's trace into the assertable trace_* /
+// overlap_* metrics (scenario.TraceMetrics).
+func addTraceMetrics(m map[string]float64, tr *trace.Tracer) {
+	const psPerUs = 1e6
+	bd := tr.Breakdown()
+	m["trace_comm_us"] = float64(bd.CommTotal) / psPerUs
+	m["trace_exposed_us"] = float64(bd.CommExposed) / psPerUs
+	m["trace_overlapped_us"] = float64(bd.CommOverlapped) / psPerUs
+	m["trace_compute_us"] = float64(bd.ComputeBusy) / psPerUs
+	m["overlap_frac"] = bd.OverlapFrac
+	m["trace_link_util"] = bd.LinkUtil
+	m["trace_hbm_util"] = bd.HBMUtil
+	m["trace_spans"] = float64(bd.Spans)
+}
+
+// tracedSpec is buildSpec with the unit's span collector attached.
+func tracedSpec(u scenario.Unit, tr *trace.Tracer) system.Spec {
+	spec := buildSpec(u)
+	spec.Tracer = tr
+	return spec
+}
+
 // execUnit runs one work unit on a freshly built system. alone carries
 // the pre-measured microbench baselines keyed by payload (read-only
-// across workers).
-func execUnit(u scenario.Unit, alone map[int64]float64) (map[string]float64, error) {
+// across workers). tr, when non-nil, collects the unit's spans.
+func execUnit(u scenario.Unit, alone map[int64]float64, tr *trace.Tracer) (map[string]float64, error) {
 	switch u.Kind {
 	case scenario.KindCollective:
-		res, err := exper.RunCollective(buildSpec(u), u.Collective, u.Bytes)
+		res, err := exper.RunCollective(tracedSpec(u, tr), u.Collective, u.Bytes)
 		if err != nil {
 			return nil, err
 		}
@@ -234,7 +273,7 @@ func execUnit(u scenario.Unit, alone map[int64]float64) (map[string]float64, err
 			tc.Iterations = u.Iterations
 		}
 		tc.DLRMOptimized = u.DLRMOptimized
-		res, _, err := exper.RunTraining(buildSpec(u), m, tc)
+		res, _, err := exper.RunTraining(tracedSpec(u, tr), m, tc)
 		if err != nil {
 			return nil, err
 		}
@@ -260,7 +299,7 @@ func execUnit(u scenario.Unit, alone map[int64]float64) (map[string]float64, err
 		if !ok {
 			return nil, fmt.Errorf("no baseline measured for %gMB", payloadMB(u.Bytes))
 		}
-		over, err := exper.Fig4Measure(&k, u.Bytes)
+		over, _, err := exper.Fig4MeasureTrace(&k, u.Bytes, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -270,16 +309,16 @@ func execUnit(u scenario.Unit, alone map[int64]float64) (map[string]float64, err
 			"slowdown":   float64(over) / base,
 		}, nil
 	case scenario.KindMultiJob:
-		return execMultiJob(u)
+		return execMultiJob(u, tr)
 	case scenario.KindGraph:
-		return execGraph(u)
+		return execGraph(u, tr)
 	}
 	return nil, fmt.Errorf("unknown unit kind %q", u.Kind)
 }
 
 // execGraph resolves the unit's graph — a JSON file or a pipeline
 // synthesis — and runs it on a freshly built platform.
-func execGraph(u scenario.Unit) (map[string]float64, error) {
+func execGraph(u scenario.Unit, tr *trace.Tracer) (map[string]float64, error) {
 	var g *graph.Graph
 	var err error
 	if u.GraphFile != "" {
@@ -312,7 +351,7 @@ func execGraph(u scenario.Unit) (map[string]float64, error) {
 			return nil, err
 		}
 	}
-	res, err := exper.RunGraph(buildSpec(u), g)
+	res, err := exper.RunGraph(tracedSpec(u, tr), g)
 	if err != nil {
 		return nil, err
 	}
@@ -331,8 +370,8 @@ func execGraph(u scenario.Unit) (map[string]float64, error) {
 // execMultiJob co-runs the unit's sub-jobs via exper.Interference and
 // flattens the per-job outcomes into metrics: the assertable aggregates
 // plus "<name>_solo_us" / "<name>_co_us" / "<name>_slowdown" per sub-job.
-func execMultiJob(u scenario.Unit) (map[string]float64, error) {
-	spec := buildSpec(u)
+func execMultiJob(u scenario.Unit, tr *trace.Tracer) (map[string]float64, error) {
+	spec := tracedSpec(u, tr)
 	arb, err := collectives.ParseArbitration(u.Arbitration)
 	if err != nil {
 		return nil, err
@@ -495,6 +534,9 @@ func (r *Results) Tables() []*report.Table {
 				m["graph_span_us"], m["graph_compute_us"], m["graph_exposed_us"], m["graph_exposed_frac"])
 		}
 	}
+	if t := r.TraceTable(); t != nil {
+		tabs = append(tabs, t)
+	}
 	if len(r.Assertions) > 0 {
 		t := report.New(r.Name+": assertions", "assertion", "matched", "status")
 		for _, o := range r.Assertions {
@@ -586,4 +628,64 @@ func (r *Results) WriteText(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// Traced reports whether any unit carries a span collector.
+func (r *Results) Traced() bool {
+	for _, ur := range r.Units {
+		if ur.Trace != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// TraceTable summarizes the per-unit exposed-communication breakdown, or
+// nil when the run was untraced.
+func (r *Results) TraceTable() *report.Table {
+	if !r.Traced() {
+		return nil
+	}
+	t := report.New(r.Name+": trace (exposed-communication breakdown)",
+		"unit", "kind", "comm us", "exposed us", "overlapped us", "compute us",
+		"overlap frac", "link util", "hbm util", "spans")
+	for _, ur := range r.Units {
+		if ur.Trace == nil {
+			continue
+		}
+		m := ur.Metrics
+		t.Add(fmt.Sprintf("u%d %s", ur.Unit.Index, describe(ur.Unit)), string(ur.Unit.Kind),
+			m["trace_comm_us"], m["trace_exposed_us"], m["trace_overlapped_us"], m["trace_compute_us"],
+			m["overlap_frac"], m["trace_link_util"], m["trace_hbm_util"], int64(m["trace_spans"]))
+	}
+	return t
+}
+
+// WriteTraceCSV renders the trace summary table as CSV.
+func (r *Results) WriteTraceCSV(w io.Writer) error {
+	t := r.TraceTable()
+	if t == nil {
+		return fmt.Errorf("runner: results carry no trace (run with tracing enabled)")
+	}
+	return t.WriteCSV(w)
+}
+
+// WriteChromeTrace exports every traced unit's spans as one Chrome
+// trace-event JSON document (Perfetto-loadable). Units are emitted in
+// expansion order, so the output is byte-identical for any worker count.
+func (r *Results) WriteChromeTrace(w io.Writer) error {
+	var units []trace.Export
+	for _, ur := range r.Units {
+		if ur.Trace == nil {
+			continue
+		}
+		units = append(units, trace.Export{
+			Label: fmt.Sprintf("u%d %s", ur.Unit.Index, describe(ur.Unit)),
+			T:     ur.Trace,
+		})
+	}
+	if len(units) == 0 {
+		return fmt.Errorf("runner: results carry no trace (run with tracing enabled)")
+	}
+	return trace.WriteChrome(w, units)
 }

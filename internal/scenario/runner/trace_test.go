@@ -1,0 +1,174 @@
+package runner_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"acesim/internal/scenario"
+	"acesim/internal/scenario/runner"
+	"acesim/internal/trace"
+)
+
+// loadScenario parses an inline scenario body from a temp file so the
+// fixtures go through the exact Load/validate path the CLI uses.
+func loadScenario(t *testing.T, body string) *scenario.Scenario {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sc.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestTraceBlockEnablesTracing checks the scenario-level switch: a
+// "trace" block turns the collector on (trace metrics appear, spans are
+// recorded, the Chrome export validates), and without it nothing is
+// collected — UnitResult.Trace stays nil and no trace_* metrics leak
+// into the output.
+func TestTraceBlockEnablesTracing(t *testing.T) {
+	const base = `{
+	  "name": "t",
+	  "platform": {"toruses": ["4x2x2"], "presets": ["Ideal"]},
+	  "jobs": [{"kind": "collective", "payloads_mb": [1]}]%s
+	}`
+	traced := loadScenario(t, fmt.Sprintf(base, `, "trace": {"enabled": true}`))
+	res, err := runner.Run(traced, runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ur := res.Units[0]
+	if ur.Trace == nil || ur.Trace.NumSpans() == 0 {
+		t.Fatal("trace block did not enable span collection")
+	}
+	for _, metric := range []string{"trace_comm_us", "trace_exposed_us", "overlap_frac", "trace_spans", "trace_link_util"} {
+		if _, ok := ur.Metrics[metric]; !ok {
+			t.Errorf("traced unit missing metric %s", metric)
+		}
+	}
+	if got, want := ur.Metrics["trace_spans"], float64(ur.Trace.NumSpans()); got != want {
+		t.Errorf("trace_spans = %g, want %g", got, want)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := trace.ValidateChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Spans != ur.Trace.NumSpans() {
+		t.Errorf("exported %d spans, tracer recorded %d", st.Spans, ur.Trace.NumSpans())
+	}
+	if res.TraceTable() == nil {
+		t.Error("traced results have no trace table")
+	}
+
+	untraced := loadScenario(t, fmt.Sprintf(base, ""))
+	res, err = runner.Run(untraced, runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ur = res.Units[0]
+	if ur.Trace != nil {
+		t.Fatal("untraced run collected spans")
+	}
+	if _, ok := ur.Metrics["overlap_frac"]; ok {
+		t.Fatal("untraced run emitted trace metrics")
+	}
+	if err := res.WriteChromeTrace(&buf); err == nil {
+		t.Fatal("untraced results exported a chrome trace")
+	}
+	if res.TraceTable() != nil {
+		t.Fatal("untraced results built a trace table")
+	}
+}
+
+// TestTraceWorkerDeterminism pins the exported-trace determinism
+// contract on the bundled multijob scenario (partitioned jobs, shared
+// contention, per-job trace processes): the Chrome trace-event JSON
+// must be byte-identical at workers=1 and workers=8.
+func TestTraceWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multijob trace renders in -short mode")
+	}
+	sc, err := scenario.Load("../../../examples/scenarios/multijob.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int) []byte {
+		t.Helper()
+		res, err := runner.Run(sc, runner.Options{Workers: workers, Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("chrome trace differs between workers=1 (%d bytes) and workers=8 (%d bytes)",
+			len(serial), len(parallel))
+	}
+	if _, err := trace.ValidateChrome(bytes.NewReader(serial)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFig4TraceGolden pins the fig4 Chrome trace across refactors: the
+// full export is ~75 MB, so the golden stores its sha256 plus span and
+// track counts rather than the document itself. An intentional change of
+// the instrumentation (new spans, renamed tracks, different timings)
+// must re-record with -update and say why.
+func TestFig4TraceGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fig4 grid in -short mode")
+	}
+	sc, err := scenario.Load("../../../examples/scenarios/fig4.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.TraceEnabled() {
+		t.Fatal("bundled fig4.json no longer enables tracing")
+	}
+	res, err := runner.Run(sc, runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	if err := res.WriteChromeTrace(h); err != nil {
+		t.Fatal(err)
+	}
+	spans, tracks := 0, 0
+	for _, ur := range res.Units {
+		spans += ur.Trace.NumSpans()
+		tracks += len(ur.Trace.Tracks())
+	}
+	digest := fmt.Sprintf("sha256 %x\nunits %d\nspans %d\ntracks %d\n",
+		h.Sum(nil), len(res.Units), spans, tracks)
+	golden := filepath.Join("testdata", "golden", "fig4_trace.digest")
+	if *update {
+		if err := os.WriteFile(golden, []byte(digest), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to record): %v", err)
+	}
+	if digest != string(want) {
+		t.Errorf("fig4 chrome trace drifted from golden.\ngot:\n%s\nwant:\n%s", digest, want)
+	}
+}

@@ -34,6 +34,10 @@ type Scenario struct {
 	Platform   *Platform   `json:"platform,omitempty"`
 	Jobs       []Job       `json:"jobs"`
 	Assertions []Assertion `json:"assertions,omitempty"`
+	// Trace, when enabled, runs every unit with the span collector and
+	// adds the trace_* / overlap_* metrics to each unit's results; the
+	// whole timeline can then be exported via `acesim trace`.
+	Trace *TraceSpec `json:"trace,omitempty"`
 
 	// dir is the scenario file's directory (set by Load); relative graph
 	// paths resolve against it. Scenarios parsed from a reader resolve
@@ -292,6 +296,31 @@ func (a Assertion) String() string {
 		where = " [" + strings.Join(filters, " ") + "]"
 	}
 	return fmt.Sprintf("%s %s %g%s", a.Metric, a.Op, a.Value, where)
+}
+
+// TraceSpec is the scenario "trace" block.
+type TraceSpec struct {
+	// Enabled turns the span collector on for every unit of the run.
+	Enabled bool `json:"enabled"`
+	// Out optionally names the default Chrome trace-event output path
+	// for `acesim trace` (its -out flag takes precedence).
+	Out string `json:"out,omitempty"`
+}
+
+// TraceEnabled reports whether the scenario asks for tracing.
+func (s *Scenario) TraceEnabled() bool { return s.Trace != nil && s.Trace.Enabled }
+
+// TraceMetrics lists the metrics the tracing layer adds to every traced
+// unit, regardless of job kind (so they carry no kind in Metrics).
+var TraceMetrics = map[string]bool{
+	"overlap_frac":        true,
+	"trace_comm_us":       true,
+	"trace_exposed_us":    true,
+	"trace_overlapped_us": true,
+	"trace_compute_us":    true,
+	"trace_link_util":     true,
+	"trace_hbm_util":      true,
+	"trace_spans":         true,
 }
 
 // Metrics maps every assertable metric to the job kind that produces it.
@@ -732,13 +761,21 @@ func (j Job) payloads() ([]int64, error) {
 
 func (s *Scenario) validateAssertions() error {
 	for i, a := range s.Assertions {
-		kind, ok := Metrics[a.Metric]
-		if !ok {
-			return fmt.Errorf("assertion %d: unknown metric %q", i, a.Metric)
-		}
-		if a.Kind != "" && a.Kind != kind {
-			return fmt.Errorf("assertion %d: metric %q belongs to %s jobs, not %s",
-				i, a.Metric, kind, a.Kind)
+		if TraceMetrics[a.Metric] {
+			// Trace metrics exist on every traced unit, whatever its
+			// kind — but only when the scenario enables tracing.
+			if !s.TraceEnabled() {
+				return fmt.Errorf("assertion %d: metric %q requires \"trace\": {\"enabled\": true}", i, a.Metric)
+			}
+		} else {
+			kind, ok := Metrics[a.Metric]
+			if !ok {
+				return fmt.Errorf("assertion %d: unknown metric %q", i, a.Metric)
+			}
+			if a.Kind != "" && a.Kind != kind {
+				return fmt.Errorf("assertion %d: metric %q belongs to %s jobs, not %s",
+					i, a.Metric, kind, a.Kind)
+			}
 		}
 		switch a.Op {
 		case ">=", "<=", ">", "<", "==", "!=":

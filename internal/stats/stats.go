@@ -58,8 +58,8 @@ func (t *Trace) AddBusy(start, end des.Time, weight float64) {
 	}
 	first := int(start / t.Bucket)
 	last := int((end - 1) / t.Bucket)
-	for len(t.vals) <= last {
-		t.vals = append(t.vals, 0)
+	if len(t.vals) <= last {
+		t.vals = append(t.vals, make([]float64, last+1-len(t.vals))...)
 	}
 	for b := first; b <= last; b++ {
 		lo := des.Time(b) * t.Bucket

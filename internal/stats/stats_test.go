@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"math"
+	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -119,5 +121,47 @@ func TestTraceCSV(t *testing.T) {
 	}
 	if !strings.Contains(out, "0.000,1.0000") {
 		t.Fatalf("missing row: %q", out)
+	}
+}
+
+// TestTraceAddBusyProperty pins AddBusy and Utilization against a
+// brute-force per-picosecond reference over randomized interval sets.
+// This guards the bucket-growth and partial-overlap arithmetic (the
+// growth loop once reallocated per bucket; see git history).
+func TestTraceAddBusyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const bucket = des.Time(7) // deliberately not a divisor of anything
+	for trial := 0; trial < 200; trial++ {
+		tr := NewTrace(bucket)
+		ref := make(map[int]float64)
+		n := rng.Intn(8) + 1
+		for i := 0; i < n; i++ {
+			start := des.Time(rng.Intn(200))
+			end := start + des.Time(rng.Intn(60)-5) // sometimes empty/negative
+			weight := float64(rng.Intn(4)) + rng.Float64()
+			tr.AddBusy(start, end, weight)
+			for p := start; p < end; p++ {
+				ref[int(p/bucket)] += weight
+			}
+		}
+		maxB := -1
+		for b := range ref {
+			if b > maxB {
+				maxB = b
+			}
+		}
+		if got := tr.Len(); maxB >= 0 && got != maxB+1 {
+			t.Fatalf("trial %d: Len = %d, want %d", trial, got, maxB+1)
+		}
+		for b := 0; b <= maxB; b++ {
+			want := ref[b]
+			if got := tr.Busy(b); math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("trial %d: Busy(%d) = %g, want %g", trial, b, got, want)
+			}
+			cap := float64(rng.Intn(3) + 1)
+			if got, want := tr.Utilization(b, cap), ref[b]/(cap*float64(bucket)); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: Utilization(%d, %g) = %g, want %g", trial, b, cap, got, want)
+			}
+		}
 	}
 }

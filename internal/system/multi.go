@@ -117,14 +117,19 @@ func BuildMulti(spec Spec, jobs []JobPlacement) (*Multi, error) {
 	}
 	// Isolation mode: one private sub-fabric per job on the common
 	// engine. Construction order is job order, so the build (and thus
-	// the timeline) is deterministic.
+	// the timeline) is deterministic. Each job's tracks are registered
+	// under its own trace process so identically named per-node lanes of
+	// different partitions stay distinct.
 	for i, j := range jobs {
+		spec.Tracer.SetProc(names[i])
 		sys, err := BuildOn(m.Eng, Respec(spec, j.Part.Shape))
 		if err != nil {
+			spec.Tracer.SetProc("")
 			return nil, fmt.Errorf("system: job %q: %w", names[i], err)
 		}
 		m.Jobs = append(m.Jobs, &JobSystem{Name: names[i], Part: *j.Part, Sys: sys})
 	}
+	spec.Tracer.SetProc("")
 	return m, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"acesim/internal/noc"
 	"acesim/internal/npu"
 	"acesim/internal/stats"
+	"acesim/internal/trace"
 	"acesim/internal/training"
 )
 
@@ -71,6 +72,11 @@ type Spec struct {
 	Coll   collectives.Config
 	// TraceBucket > 0 enables utilization traces (Fig 10).
 	TraceBucket des.Time
+	// Tracer, when non-nil, attaches the span collector to the engine
+	// before any component is built: every layer then emits per-op spans
+	// onto named tracks (see internal/trace). Nil disables tracing with
+	// zero overhead.
+	Tracer *trace.Tracer
 }
 
 // DefaultLinkClasses returns the Table V link parameters.
@@ -145,6 +151,11 @@ func Build(spec Spec) (*System, error) {
 // sub-fabrics (one per partitioned job) can co-simulate in one timeline.
 // Passing a fresh engine is exactly Build.
 func BuildOn(eng *des.Engine, spec Spec) (*System, error) {
+	if spec.Tracer != nil {
+		// Must precede every component build: tracks and emitters are
+		// wired at construction time off eng.Tracer().
+		eng.SetTracer(spec.Tracer)
+	}
 	net, err := noc.New(eng, noc.Config{
 		Topo:        spec.Topo,
 		Intra:       spec.Intra,
@@ -188,6 +199,10 @@ func BuildOn(eng *des.Engine, spec Spec) (*System, error) {
 			}
 			if spec.TraceBucket > 0 {
 				ace.BusyTrace = newTrace(spec.TraceBucket)
+			}
+			if tr := eng.Tracer(); tr != nil {
+				track := tr.RegisterTrack(fmt.Sprintf("npu%d/ace", i), i, trace.KindACE)
+				ace.Span = tr.NewEmitter(track, trace.CatACE, "ace.active")
 			}
 			s.ACEs = append(s.ACEs, ace)
 			ep = ace

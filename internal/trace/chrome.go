@@ -1,0 +1,257 @@
+// Chrome trace-event JSON export. The output is the "JSON object
+// format" ({"traceEvents": [...]}) with complete ("X") duration events,
+// counter ("C") events and process/thread metadata ("M") events —
+// loadable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+//
+// The writer is canonical: events are emitted in a total order derived
+// only from the recorded data (tracks in registration order, spans
+// sorted by start/track/end/name with emission order as the final
+// tie-break), and all numbers are formatted deterministically, so the
+// same simulation always exports byte-identical JSON.
+
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Export pairs a tracer with a label for multi-unit documents (one
+// scenario unit each). Labels prefix the exported process names.
+type Export struct {
+	Label string
+	T     *Tracer
+}
+
+// WriteChrome writes one tracer as a Chrome trace-event JSON document.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	return WriteChrome(w, []Export{{T: t}})
+}
+
+// WriteChrome writes several tracers (e.g. one per scenario unit) into a
+// single Chrome trace-event JSON document. Each (unit, proc) pair
+// becomes one Chrome process; each track one thread. Nil tracers are
+// skipped.
+func WriteChrome(w io.Writer, units []Export) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line string) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := bw.WriteString(line)
+		return err
+	}
+
+	pid := 0
+	for _, u := range units {
+		t := u.T
+		if t == nil {
+			continue
+		}
+		// One Chrome pid per distinct proc label, in track registration
+		// order; tid is the track's index within its proc.
+		pidOf := make(map[string]int, 4)
+		tidOf := make([]int, len(t.tracks))
+		nextTID := make(map[string]int, 4)
+		procs := make([]string, 0, 4)
+		for i, tk := range t.tracks {
+			if _, ok := pidOf[tk.Proc]; !ok {
+				pid++
+				pidOf[tk.Proc] = pid
+				procs = append(procs, tk.Proc)
+			}
+			tidOf[i] = nextTID[tk.Proc]
+			nextTID[tk.Proc]++
+		}
+		for _, proc := range procs {
+			name := proc
+			if name == "" {
+				name = "sim"
+			}
+			if u.Label != "" {
+				name = u.Label + "/" + name
+			}
+			if err := emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%s}}`,
+				pidOf[proc], jsonStr(name))); err != nil {
+				return err
+			}
+		}
+		for i, tk := range t.tracks {
+			if err := emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+				pidOf[tk.Proc], tidOf[i], jsonStr(tk.Name))); err != nil {
+				return err
+			}
+			if err := emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`,
+				pidOf[tk.Proc], tidOf[i], i)); err != nil {
+				return err
+			}
+		}
+
+		order := sortedSpanOrder(t.spans)
+		for _, si := range order {
+			s := t.spans[si]
+			tk := t.track(s.Track)
+			if err := emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"name":%s,"cat":%s,"ts":%s,"dur":%s,"args":{"bytes":%d}}`,
+				pidOf[tk.Proc], tidOf[s.Track], jsonStr(s.Name), jsonStr(s.Cat),
+				micros(s.Start), micros(s.End-s.Start), s.Arg)); err != nil {
+				return err
+			}
+		}
+		for _, c := range t.counters {
+			tk := t.track(c.Track)
+			if err := emit(fmt.Sprintf(`{"ph":"C","pid":%d,"tid":%d,"name":%s,"ts":%s,"args":{"value":%s}}`,
+				pidOf[tk.Proc], tidOf[c.Track], jsonStr(tk.Name+"."+c.Name), micros(c.At),
+				strconv.FormatFloat(c.Value, 'g', -1, 64))); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// sortedSpanOrder returns span indices ordered by (start, track, end,
+// name), with emission order breaking the remaining ties — a pure
+// function of the recorded spans.
+func sortedSpanOrder(spans []Span) []int {
+	order := make([]int, len(spans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := spans[order[a]], spans[order[b]]
+		if sa.Start != sb.Start {
+			return sa.Start < sb.Start
+		}
+		if sa.Track != sb.Track {
+			return sa.Track < sb.Track
+		}
+		if sa.End != sb.End {
+			return sa.End < sb.End
+		}
+		return sa.Name < sb.Name
+	})
+	return order
+}
+
+// micros renders a picosecond timestamp as a microsecond decimal with a
+// fixed 6-digit fraction — exact (1 ps = 1e-6 µs) and deterministic.
+func micros(ps int64) string {
+	neg := ""
+	if ps < 0 {
+		neg, ps = "-", -ps
+	}
+	return fmt.Sprintf("%s%d.%06d", neg, ps/1e6, ps%1e6)
+}
+
+// jsonStr renders s as a JSON string literal.
+func jsonStr(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for string input
+		return `"?"`
+	}
+	return string(b)
+}
+
+// chromeDoc mirrors the subset of the trace-event format the validator
+// checks.
+type chromeDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+type chromeEvent struct {
+	Ph   string   `json:"ph"`
+	Pid  *int     `json:"pid"`
+	Tid  *int     `json:"tid"`
+	Name string   `json:"name"`
+	Cat  string   `json:"cat"`
+	Ts   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+	Args map[string]any
+}
+
+// ChromeStats summarizes a validated trace-event document.
+type ChromeStats struct {
+	Spans    int // "X" events
+	Counters int // "C" events
+	Meta     int // "M" events
+	Procs    int // distinct pids
+}
+
+// ValidateChrome parses a Chrome trace-event JSON document and checks
+// the schema invariants the exporter guarantees: every event is X, C or
+// M with pid/tid; X events carry a name and a non-negative ts and dur;
+// M events are process_name / thread_name / thread_sort_index records.
+func ValidateChrome(r io.Reader) (ChromeStats, error) {
+	var doc chromeDoc
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var raw struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}
+	if err := dec.Decode(&raw); err != nil {
+		return ChromeStats{}, fmt.Errorf("trace: invalid chrome JSON: %w", err)
+	}
+	doc.TraceEvents = raw.TraceEvents
+	var st ChromeStats
+	pids := make(map[int]bool)
+	for i, ev := range doc.TraceEvents {
+		if ev.Pid == nil || ev.Tid == nil {
+			return st, fmt.Errorf("trace: event %d: missing pid/tid", i)
+		}
+		pids[*ev.Pid] = true
+		switch ev.Ph {
+		case "X":
+			st.Spans++
+			if ev.Name == "" {
+				return st, fmt.Errorf("trace: event %d: X event without name", i)
+			}
+			if ev.Ts == nil || *ev.Ts < 0 {
+				return st, fmt.Errorf("trace: event %d: X event with missing or negative ts", i)
+			}
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return st, fmt.Errorf("trace: event %d: X event with missing or negative dur", i)
+			}
+		case "C":
+			st.Counters++
+			if ev.Name == "" || ev.Ts == nil {
+				return st, fmt.Errorf("trace: event %d: C event without name/ts", i)
+			}
+		case "M":
+			st.Meta++
+			switch ev.Name {
+			case "process_name", "thread_name":
+				if _, ok := ev.Args["name"].(string); !ok {
+					return st, fmt.Errorf("trace: event %d: %s without args.name", i, ev.Name)
+				}
+			case "thread_sort_index":
+				if _, ok := ev.Args["sort_index"].(float64); !ok {
+					return st, fmt.Errorf("trace: event %d: thread_sort_index without args.sort_index", i)
+				}
+			default:
+				return st, fmt.Errorf("trace: event %d: unexpected metadata %q", i, ev.Name)
+			}
+		default:
+			return st, fmt.Errorf("trace: event %d: unexpected phase %q", i, ev.Ph)
+		}
+	}
+	if st.Spans == 0 {
+		return st, fmt.Errorf("trace: document has no span events")
+	}
+	st.Procs = len(pids)
+	return st, nil
+}

@@ -21,6 +21,7 @@ import (
 	"acesim/internal/des"
 	"acesim/internal/graph"
 	"acesim/internal/npu"
+	"acesim/internal/trace"
 	"acesim/internal/workload"
 )
 
@@ -110,6 +111,13 @@ type Runner struct {
 // engine to completion once, then collect each Result.
 type Launch struct {
 	run *graph.Run
+
+	// tracer/track emit node 0's fwd/bwd step windows as spans when the
+	// run is traced; emitted guards against double emission when Result
+	// is read more than once.
+	tracer  *trace.Tracer
+	track   trace.TrackID
+	emitted bool
 }
 
 // Start lowers the model onto the graph executor and launches it without
@@ -142,7 +150,16 @@ func (r *Runner) Start(m *workload.Model) (*Launch, error) {
 	if err != nil {
 		return nil, fmt.Errorf("training: %w", err)
 	}
-	return &Launch{run: run}, nil
+	l := &Launch{run: run}
+	if tr := r.Eng.Tracer(); tr != nil {
+		name := "steps"
+		if r.Job != "" {
+			name = r.Job + "/steps"
+		}
+		l.tracer = tr
+		l.track = tr.RegisterTrack(name, -1, trace.KindOther)
+	}
+	return l, nil
 }
 
 // Done reports whether every node's program has finished.
@@ -183,6 +200,15 @@ func (l *Launch) Result() (Result, error) {
 	res.ExposedComm = res.IterTime - res.TotalCompute
 	if res.ExposedComm < 0 {
 		res.ExposedComm = 0
+	}
+	if l.tracer != nil && !l.emitted {
+		l.emitted = true
+		for i, w := range res.FwdWindows {
+			l.tracer.Span(l.track, trace.CatStep, fmt.Sprintf("fwd.%d", i), int64(w.Start), int64(w.End), 0)
+		}
+		for i, w := range res.BwdWindows {
+			l.tracer.Span(l.track, trace.CatStep, fmt.Sprintf("bwd.%d", i), int64(w.Start), int64(w.End), 0)
+		}
 	}
 	return res, nil
 }
