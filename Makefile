@@ -5,7 +5,7 @@ GO ?= go
 # grows, never lower it without explanation.
 COVER_MIN ?= 75.0
 
-.PHONY: build test test-short test-race bench lint vet fuzz-smoke fmt cover cover-check trace-smoke overhead-guard
+.PHONY: build test test-short test-race bench lint vet fuzz-smoke fmt cover cover-check trace-smoke overhead-guard chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,14 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseGraph -fuzztime=10s ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzParseScenario -fuzztime=10s ./internal/scenario
 	$(GO) test -run='^$$' -fuzz=FuzzParseTopology -fuzztime=10s ./internal/noc
+
+# Chaos smoke: the randomized link-failure property suite (24 random
+# topologies, mid-flight down/up schedules, recovery + data-correctness
+# replay) under the race detector, then the bundled link-failure
+# scenario with its slowdown/recovery/tenant-isolation assertions.
+chaos-smoke:
+	$(GO) test -race -run 'TestChaos' ./internal/collectives
+	$(GO) run ./cmd/acesim scenario run examples/scenarios/link_failure.json
 
 # Per-package coverage summary plus the total (short mode: the full
 # grids add minutes without covering new statements).

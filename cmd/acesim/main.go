@@ -199,8 +199,12 @@ func runScenario(args []string) error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%s: ok (%s, %d units, %d assertions)\n",
-				path, sc.Name, len(units), len(sc.Assertions))
+			extra := ""
+			if n := len(sc.Events); n > 0 {
+				extra = fmt.Sprintf(", %d fault events", n)
+			}
+			fmt.Printf("%s: ok (%s, %d units, %d assertions%s)\n",
+				path, sc.Name, len(units), len(sc.Assertions), extra)
 		}
 		return nil
 	case "list":
@@ -225,6 +229,9 @@ func runScenario(args []string) error {
 				if n := kinds[k]; n > 0 {
 					fmt.Printf("  %d %s units\n", n, k)
 				}
+			}
+			if n := len(sc.Events); n > 0 {
+				fmt.Printf("  %d fault events\n", n)
 			}
 		}
 		return nil

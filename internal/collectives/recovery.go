@@ -1,0 +1,166 @@
+package collectives
+
+import (
+	"math"
+
+	"acesim/internal/des"
+	"acesim/internal/noc"
+)
+
+// RecoveryPolicy tunes the abort-and-reissue recovery path for transfers
+// lost to link failures. A dropped transfer is reissued after
+// Timeout x Backoff^(attempts-1); once MaxRetries timed reissues are
+// exhausted while the killing link is still down, the transfer parks until
+// any link restore wakes it. Parking is what makes a wedged phase degrade
+// gracefully: with no timer churn left, the engine simply drains and the
+// incomplete collective is reported by the caller's completion check
+// ("finished on x/y nodes") instead of live-looping or deadlocking.
+type RecoveryPolicy struct {
+	// Timeout is the delay before the first reissue of a dropped transfer.
+	Timeout des.Time
+	// Backoff multiplies the reissue delay on every further attempt (>= 1).
+	Backoff float64
+	// MaxRetries bounds the timed reissues per transfer before it parks.
+	MaxRetries int
+}
+
+// DefaultRecoveryPolicy returns the default retry policy: 50 us initial
+// timeout, doubling per attempt, parking after 10 retries.
+func DefaultRecoveryPolicy() RecoveryPolicy {
+	return RecoveryPolicy{Timeout: 50 * des.Microsecond, Backoff: 2, MaxRetries: 10}
+}
+
+func (p RecoveryPolicy) withDefaults() RecoveryPolicy {
+	d := DefaultRecoveryPolicy()
+	if p.Timeout <= 0 {
+		p.Timeout = d.Timeout
+	}
+	if p.Backoff < 1 {
+		p.Backoff = d.Backoff
+	}
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = d.MaxRetries
+	}
+	return p
+}
+
+// RecoveryStats aggregates what the recovery path did during a run.
+type RecoveryStats struct {
+	// Drops counts transfer losses (a transfer dropped k times counts k).
+	Drops int
+	// Retries counts timed reissues scheduled by the backoff policy.
+	Retries int
+	// Parked counts transfers that exhausted MaxRetries and waited for a
+	// link restore.
+	Parked int
+	// Woken counts parked transfers released by a restore.
+	Woken int
+	// Recovered counts transfers that were dropped at least once and
+	// eventually delivered.
+	Recovered int
+	// FirstDropAt / LastRecoverAt bracket the fault-affected interval.
+	FirstDropAt   des.Time
+	LastRecoverAt des.Time
+}
+
+// RecoveryTime returns the span from the first drop to the last recovered
+// delivery — the run's observable recovery window. Zero when the run saw
+// no drops (or nothing recovered).
+func (s RecoveryStats) RecoveryTime() des.Time {
+	if s.Drops == 0 || s.Recovered == 0 || s.LastRecoverAt < s.FirstDropAt {
+		return 0
+	}
+	return s.LastRecoverAt - s.FirstDropAt
+}
+
+// Merge folds another fabric's stats into s (partitioned multi-job runs
+// aggregate across per-tenant runtimes).
+func (s RecoveryStats) Merge(o RecoveryStats) RecoveryStats {
+	if o.Drops > 0 && (s.Drops == 0 || o.FirstDropAt < s.FirstDropAt) {
+		s.FirstDropAt = o.FirstDropAt
+	}
+	if o.LastRecoverAt > s.LastRecoverAt {
+		s.LastRecoverAt = o.LastRecoverAt
+	}
+	s.Drops += o.Drops
+	s.Retries += o.Retries
+	s.Parked += o.Parked
+	s.Woken += o.Woken
+	s.Recovered += o.Recovered
+	return s
+}
+
+// recovery owns the runtime's reaction to the network's fault hooks.
+type recovery struct {
+	eng    *des.Engine
+	pol    RecoveryPolicy
+	stats  RecoveryStats
+	parked []func()
+}
+
+// installRecovery enables the fabric's fault-aware paths and wires the
+// policy to its hooks.
+func installRecovery(eng *des.Engine, net *noc.Network, pol RecoveryPolicy) *recovery {
+	rec := &recovery{eng: eng, pol: pol.withDefaults()}
+	net.EnableFaults()
+	net.OnDrop = rec.onDrop
+	net.OnRestore = rec.onRestore
+	net.OnRecover = rec.onRecover
+	return rec
+}
+
+func (rec *recovery) onDrop(d noc.Drop) {
+	if rec.stats.Drops == 0 {
+		rec.stats.FirstDropAt = rec.eng.Now()
+	}
+	rec.stats.Drops++
+	// Park only transfers whose killing link is still down: those are the
+	// ones a future restore can save. A transfer dropped by a link that
+	// already came back (transient epoch mismatch) always takes a timed
+	// retry, regardless of attempts — parking it could strand it forever,
+	// since the restore it would wait for has already happened.
+	if d.Attempts > rec.pol.MaxRetries && d.Down {
+		rec.stats.Parked++
+		rec.parked = append(rec.parked, d.Retry)
+		return
+	}
+	delay := des.Time(float64(rec.pol.Timeout) * math.Pow(rec.pol.Backoff, float64(d.Attempts-1)))
+	rec.stats.Retries++
+	rec.eng.After(delay, d.Retry)
+}
+
+func (rec *recovery) onRestore() {
+	if len(rec.parked) == 0 {
+		return
+	}
+	woken := rec.parked
+	rec.parked = nil
+	rec.stats.Woken += len(woken)
+	for _, retry := range woken {
+		rec.eng.After(0, retry)
+	}
+}
+
+func (rec *recovery) onRecover(int) {
+	rec.stats.Recovered++
+	rec.stats.LastRecoverAt = rec.eng.Now()
+}
+
+// Recovery returns the run's recovery statistics (zero-valued when no
+// policy is configured).
+func (rt *Runtime) Recovery() RecoveryStats {
+	if rt.rec == nil {
+		return RecoveryStats{}
+	}
+	return rt.rec.stats
+}
+
+// ParkedTransfers returns how many transfers are currently parked awaiting
+// a link restore — nonzero after the engine drains means the run wedged on
+// a link that never came back.
+func (rt *Runtime) ParkedTransfers() int {
+	if rt.rec == nil {
+		return 0
+	}
+	return len(rt.rec.parked)
+}

@@ -74,6 +74,11 @@ type Config struct {
 	Streams int
 	// Arb selects how endpoint admission is shared across streams.
 	Arb Arbitration
+	// Recovery, when non-nil, enables the fabric's fault-aware send paths
+	// and installs the drop-retry/park policy (see recovery.go). Required
+	// for runs whose event track downs links; nil keeps the runtime on the
+	// zero-overhead fault-free paths.
+	Recovery *RecoveryPolicy
 }
 
 // DefaultConfig returns the paper's granularity defaults.
@@ -130,6 +135,9 @@ type Runtime struct {
 	// when the engine carries a span collector; nil otherwise.
 	tracer     *trace.Tracer
 	collTracks []trace.TrackID
+
+	// rec drives fault recovery; nil unless Config.Recovery is set.
+	rec *recovery
 }
 
 // NewRuntime wires the runtime to a fabric and per-node endpoints, and
@@ -164,6 +172,9 @@ func NewRuntime(eng *des.Engine, net *noc.Network, eps []core.Endpoint, cfg Conf
 	}
 	net.Forward = func(node noc.NodeID, bytes int64, next func()) {
 		rt.eps[node].Forward(bytes, next)
+	}
+	if cfg.Recovery != nil {
+		rt.rec = installRecovery(eng, net, *cfg.Recovery)
 	}
 	if tr := eng.Tracer(); tr != nil {
 		rt.tracer = tr
@@ -801,6 +812,11 @@ func (e *chunkExec) phaseDone() {
 // for deadlock diagnosis.
 func (rt *Runtime) DebugState() string {
 	var sb []byte
+	if rt.rec != nil {
+		s := rt.rec.stats
+		sb = append(sb, fmt.Sprintf("recovery: drops=%d retries=%d parked-now=%d woken=%d recovered=%d\n",
+			s.Drops, s.Retries, len(rt.rec.parked), s.Woken, s.Recovered)...)
+	}
 	for _, c := range rt.colls {
 		stuck := false
 		for n := range c.nodeLeft {

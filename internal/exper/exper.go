@@ -30,6 +30,9 @@ type CollectiveResult struct {
 	// run — the simulator-cost denominator used by the bench harness
 	// (events/sec), not a paper metric.
 	Events uint64
+	// Recovery reports what the fault-recovery path did (zero-valued on
+	// fault-free runs).
+	Recovery collectives.RecoveryStats
 }
 
 // RunCollective executes one collective of the given kind and payload on
@@ -60,7 +63,11 @@ func RunCollective(spec system.Spec, kind collectives.Kind, bytes int64) (Collec
 	}
 	s.Eng.Run()
 	if done != s.RT.Nodes() {
-		return CollectiveResult{}, fmt.Errorf("exper: collective finished on %d/%d nodes", done, s.RT.Nodes())
+		// Wedged runs (a link that never came back) drain gracefully: the
+		// incomplete collective is reported here, with the recovery state
+		// in the diagnosis.
+		return CollectiveResult{}, fmt.Errorf("exper: collective finished on %d/%d nodes (%d transfers parked)",
+			done, s.RT.Nodes(), s.RT.ParkedTransfers())
 	}
 	var last des.Time
 	for i, coll := range colls {
@@ -81,6 +88,7 @@ func RunCollective(spec system.Spec, kind collectives.Kind, bytes int64) (Collec
 		WireBytes:    s.Net.TotalWireBytes(),
 		InjectedNode: injectedNode,
 		Events:       s.Eng.Steps(),
+		Recovery:     s.RT.Recovery(),
 	}, nil
 }
 
@@ -90,16 +98,26 @@ type TrainResult struct {
 	Topo     noc.Topology
 	Workload string
 	training.Result
+	// Recovery reports what the fault-recovery path did (zero-valued on
+	// fault-free runs).
+	Recovery collectives.RecoveryStats
 }
 
 // RunTraining executes the paper's two-iteration training measurement for
-// one workload on one system configuration.
+// one workload on one system configuration. The launch registers for
+// job-departure events, so an event track can cancel the run mid-flight.
 func RunTraining(spec system.Spec, m *workload.Model, tc training.Config) (TrainResult, *system.System, error) {
 	s, err := system.Build(spec)
 	if err != nil {
 		return TrainResult{}, nil, err
 	}
-	res, err := s.Runner(tc).Run(m)
+	l, err := s.Runner(tc).Start(m)
+	if err != nil {
+		return TrainResult{}, nil, err
+	}
+	s.OnDepart(l.Cancel)
+	s.Eng.Run()
+	res, err := l.Result()
 	if err != nil {
 		return TrainResult{}, nil, err
 	}
@@ -108,6 +126,7 @@ func RunTraining(spec system.Spec, m *workload.Model, tc training.Config) (Train
 		Topo:     spec.Topo,
 		Workload: m.Name,
 		Result:   res,
+		Recovery: s.RT.Recovery(),
 	}, s, nil
 }
 

@@ -3,6 +3,7 @@ package exper
 import (
 	"fmt"
 
+	"acesim/internal/collectives"
 	"acesim/internal/des"
 	"acesim/internal/graph"
 	"acesim/internal/noc"
@@ -28,6 +29,9 @@ type GraphResult struct {
 	// Events is the number of discrete events the engine executed (the
 	// bench harness's simulator-cost denominator, not a paper metric).
 	Events uint64
+	// Recovery reports what the fault-recovery path did (zero-valued on
+	// fault-free runs).
+	Recovery collectives.RecoveryStats
 }
 
 // RunGraph executes a workload graph on a freshly built platform and
@@ -56,6 +60,7 @@ func RunGraph(spec system.Spec, g *graph.Graph) (res GraphResult, err error) {
 	if err != nil {
 		return GraphResult{}, err
 	}
+	s.OnDepart(run.Cancel)
 	s.Eng.Run()
 	gres, err := run.Result()
 	if err != nil {
@@ -73,5 +78,6 @@ func RunGraph(spec system.Spec, g *graph.Graph) (res GraphResult, err error) {
 		Collectives: st.Collectives,
 		Sends:       st.Sends,
 		Events:      s.Eng.Steps(),
+		Recovery:    s.RT.Recovery(),
 	}, nil
 }

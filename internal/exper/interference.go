@@ -33,6 +33,11 @@ type InterferenceJob struct {
 	Model  *workload.Model
 	Train  training.Config
 	Stream StreamSpec
+	// StartAt delays the job's launch (mid-run arrival); 0 starts it with
+	// the run. Completion times are measured from the job's own start, so
+	// a late arrival is not charged for the time before it existed. Solo
+	// baselines ignore it (the job alone, from t=0).
+	StartAt des.Time
 }
 
 // InterferenceJobResult reports one job's co-run outcome against its solo
@@ -51,6 +56,9 @@ type InterferenceJobResult struct {
 // InterferenceResult is the outcome of one multi-job experiment.
 type InterferenceResult struct {
 	Jobs []InterferenceJobResult
+	// Recovery aggregates the co-run's fault-recovery stats across every
+	// fabric (the shared substrate, or all tenant sub-fabrics).
+	Recovery collectives.RecoveryStats
 }
 
 // MaxSlowdown returns the worst per-job slowdown.
@@ -101,9 +109,13 @@ func Interference(spec system.Spec, jobs []InterferenceJob) (InterferenceResult,
 	// its private sub-fabric, so jobs identical up to origin (the common
 	// symmetric-tenant setup) share one simulation.
 	// Solo baselines never trace: the trace (and the metrics derived from
-	// it) describes the co-run timeline.
+	// it) describes the co-run timeline. They also never see the event
+	// track or a delayed arrival — the baseline is the pristine job alone
+	// from t=0, which is what makes the co-run's fault/contention slowdown
+	// attributable.
 	soloSpec := spec
 	soloSpec.Tracer = nil
+	soloSpec.Faults = nil
 	solos := make([]des.Time, len(jobs))
 	soloCache := map[string]des.Time{}
 	for i := range jobs {
@@ -116,7 +128,9 @@ func Interference(spec system.Spec, jobs []InterferenceJob) (InterferenceResult,
 		if err != nil {
 			return InterferenceResult{}, nil, err
 		}
-		runs, err := startJobs(m, jobs[i:i+1])
+		sj := jobs[i]
+		sj.StartAt = 0
+		runs, err := startJobs(m, []InterferenceJob{sj})
 		if err != nil {
 			return InterferenceResult{}, nil, err
 		}
@@ -140,7 +154,7 @@ func Interference(spec system.Spec, jobs []InterferenceJob) (InterferenceResult,
 	}
 	m.Eng.Run()
 
-	res := InterferenceResult{}
+	res := InterferenceResult{Recovery: multiRecovery(m)}
 	tab := report.New(fmt.Sprintf("interference: %d jobs on %s %s", len(jobs), spec.Topo, spec.Preset),
 		"job", "placement", "kind", "solo us", "co-run us", "slowdown")
 	for i, run := range runs {
@@ -180,40 +194,89 @@ func soloKey(j InterferenceJob, p system.JobPlacement) string {
 	return fmt.Sprintf("stream|%s|%d|%d|%d", shape, j.Stream.Kind, j.Stream.Bytes, j.Stream.Count)
 }
 
-// jobRun is one started job awaiting engine completion.
+// multiRecovery folds every distinct runtime's recovery stats together.
+func multiRecovery(m *system.Multi) collectives.RecoveryStats {
+	if m.Shared != nil {
+		return m.Shared.RT.Recovery()
+	}
+	var agg collectives.RecoveryStats
+	for _, js := range m.Jobs {
+		agg = agg.Merge(js.Sys.RT.Recovery())
+	}
+	return agg
+}
+
+// jobRun is one started (or scheduled) job awaiting engine completion.
 type jobRun struct {
 	launch *training.Launch
 	stream *streamRun
+	// startAt is when the job actually launched; completion times are
+	// measured from it.
+	startAt des.Time
+	// cancelled is set by a job_depart event; a job departing before its
+	// scheduled arrival never starts.
+	cancelled bool
+	// err holds a launch failure from a delayed start (engine callbacks
+	// cannot return errors); surfaced by finish.
+	err        error
+	isTraining bool
 }
 
-func (r jobRun) kind() string {
+// cancel handles a job_depart event at whatever state the job is in.
+func (r *jobRun) cancel() {
+	r.cancelled = true
 	if r.launch != nil {
+		r.launch.Cancel()
+	}
+	if r.stream != nil {
+		r.stream.cancel()
+	}
+}
+
+func (r *jobRun) kind() string {
+	if r.isTraining {
 		return "training"
 	}
 	return "stream"
 }
 
-// finish collects the job's completion time after the engine drained.
-func (r jobRun) finish() (des.Time, *training.Result, error) {
+// finish collects the job's completion time (from its own start) after the
+// engine drained.
+func (r *jobRun) finish() (des.Time, *training.Result, error) {
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	if r.launch == nil && r.stream == nil {
+		return 0, nil, fmt.Errorf("job departed before its arrival")
+	}
 	if r.launch != nil {
 		tres, err := r.launch.Result()
 		if err != nil {
 			return 0, nil, err
 		}
-		return tres.IterTime, &tres, nil
+		return tres.IterTime - r.startAt, &tres, nil
 	}
 	if r.stream.doneNodes != r.stream.nodes {
 		return 0, nil, fmt.Errorf("stream finished on %d/%d nodes (deadlock)", r.stream.doneNodes, r.stream.nodes)
 	}
-	return r.stream.finishAt, nil, nil
+	return r.stream.finishAt - r.startAt, nil, nil
 }
 
-// startJobs launches every job of the Multi without running the engine.
-func startJobs(m *system.Multi, jobs []InterferenceJob) ([]jobRun, error) {
-	runs := make([]jobRun, len(jobs))
+// startJobs launches (or schedules, for delayed arrivals) every job of the
+// Multi without running the engine, and registers each with the Multi's
+// departure registry so a job_depart event cancels the right run.
+func startJobs(m *system.Multi, jobs []InterferenceJob) ([]*jobRun, error) {
+	runs := make([]*jobRun, len(jobs))
+	for i := range jobs {
+		runs[i] = &jobRun{}
+	}
 	for i, j := range jobs {
 		js := m.Jobs[i]
+		run := runs[i]
+		m.OnDepart(js.Name, run.cancel)
+		var start func() error
 		if j.Model != nil {
+			run.isTraining = true
 			// Default only the unset fields: a caller's Schedule /
 			// DLRMOptimized choices must survive an omitted iteration
 			// count.
@@ -225,20 +288,44 @@ func startJobs(m *system.Multi, jobs []InterferenceJob) ([]jobRun, error) {
 			if tc.SideMemGBps <= 0 {
 				tc.SideMemGBps = def.SideMemGBps
 			}
-			l, err := js.Runner(tc).Start(j.Model)
-			if err != nil {
-				return nil, fmt.Errorf("exper: job %s: %w", js.Name, err)
+			model := j.Model
+			start = func() error {
+				l, err := js.Runner(tc).Start(model)
+				if err != nil {
+					return fmt.Errorf("exper: job %s: %w", js.Name, err)
+				}
+				run.launch = l
+				run.startAt = m.Eng.Now()
+				return nil
 			}
-			runs[i] = jobRun{launch: l}
+		} else {
+			if j.Stream.Bytes <= 0 {
+				return nil, fmt.Errorf("exper: job %s: stream with non-positive payload %d", js.Name, j.Stream.Bytes)
+			}
+			if j.Stream.Kind != collectives.AllReduce && j.Stream.Kind != collectives.AllToAll {
+				return nil, fmt.Errorf("exper: job %s: stream kind %s not supported (want all-reduce or all-to-all)", js.Name, j.Stream.Kind)
+			}
+			stream := j.Stream
+			start = func() error {
+				run.stream = startStream(js, stream)
+				run.startAt = m.Eng.Now()
+				return nil
+			}
+		}
+		if j.StartAt > 0 {
+			m.Eng.At(j.StartAt, func() {
+				if run.cancelled {
+					return
+				}
+				if err := start(); err != nil {
+					run.err = err
+				}
+			})
 			continue
 		}
-		if j.Stream.Bytes <= 0 {
-			return nil, fmt.Errorf("exper: job %s: stream with non-positive payload %d", js.Name, j.Stream.Bytes)
+		if err := start(); err != nil {
+			return nil, err
 		}
-		if j.Stream.Kind != collectives.AllReduce && j.Stream.Kind != collectives.AllToAll {
-			return nil, fmt.Errorf("exper: job %s: stream kind %s not supported (want all-reduce or all-to-all)", js.Name, j.Stream.Kind)
-		}
-		runs[i] = jobRun{stream: startStream(js, j.Stream)}
 	}
 	return runs, nil
 }
@@ -251,7 +338,19 @@ type streamRun struct {
 	nodes     int
 	doneNodes int
 	finishAt  des.Time
+	// Departure state. The runtime's SPMD contract needs every node of the
+	// stream to issue the same collective sequence, but a cancel fires
+	// while nodes sit at different chain depths — so cancellation freezes
+	// maxIssued (the deepest index any node has issued) and every node
+	// keeps issuing up to exactly that index before stopping. All nodes
+	// then agree on the final sequence and the in-flight tail flushes
+	// instead of wedging the admission window.
+	cancelled bool
+	maxIssued int
 }
+
+// cancel stops the stream after the currently deepest-issued collective.
+func (s *streamRun) cancel() { s.cancelled = true }
 
 func startStream(js *system.JobSystem, spec StreamSpec) *streamRun {
 	if spec.Count <= 0 {
@@ -269,8 +368,12 @@ func startStream(js *system.JobSystem, spec StreamSpec) *streamRun {
 }
 
 // issue launches the i-th collective at node; its completion chains the
-// next one, keeping the stream standing for the whole run.
+// next one, keeping the stream standing for the whole run (or until a
+// departure truncates it at the agreed index).
 func (s *streamRun) issue(node noc.NodeID, i int) {
+	if i > s.maxIssued {
+		s.maxIssued = i
+	}
 	cs := collectives.Spec{
 		Kind:  s.spec.Kind,
 		Bytes: s.spec.Bytes,
@@ -278,7 +381,11 @@ func (s *streamRun) issue(node noc.NodeID, i int) {
 		Name:  fmt.Sprintf("%s/stream.%d", s.js.Name, i),
 	}
 	s.js.Sys.RT.IssueOn(s.js.Stream, node, cs, func() {
-		if i+1 < s.spec.Count {
+		proceed := i+1 < s.spec.Count
+		if s.cancelled {
+			proceed = i < s.maxIssued
+		}
+		if proceed {
 			s.issue(node, i+1)
 			return
 		}

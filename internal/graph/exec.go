@@ -101,6 +101,8 @@ type Run struct {
 
 	ready    idHeap // same-instant worklist, ordered by schedule position
 	draining bool
+	// cancelled (job departure): see Cancel.
+	cancelled bool
 
 	groups map[string]*groupMatch
 
@@ -229,6 +231,17 @@ func (x *Executor) Start(g *Graph) (*Run, error) {
 
 func (r *Run) opAt(pos int) *Op { return &r.g.Ops[r.order[pos]] }
 
+// Cancel aborts the run's remaining compute, modeling a job departing the
+// platform mid-run: ops dispatched after the cancel complete in zero time,
+// so the graph unwinds without occupying the engine — while collective ops
+// still issue and pay their full communication cost. Flushing outstanding
+// communication is deliberate: the runtime's SPMD contract needs every
+// rank's issue sequence to complete, and draining admitted chunks keeps a
+// shared admission window from wedging co-running jobs ("abort compute,
+// flush outstanding communication"). Ops already in flight keep their
+// original completion time.
+func (r *Run) Cancel() { r.cancelled = true }
+
 // tag applies the executor's job namespace to a collective name.
 func (r *Run) tag(name string) string {
 	if r.x.Job == "" {
@@ -259,6 +272,13 @@ func (r *Run) exec(pos int) {
 	rs := &r.ranks[op.Rank]
 	switch op.Kind {
 	case OpCompute:
+		if r.cancelled {
+			// Departed job: remaining compute is abandoned and completes in
+			// zero time (the Mark fast path), unwinding the graph without
+			// occupying the engine.
+			r.opDone(pos)
+			return
+		}
 		if op.Side {
 			r.x.Eng.After(des.ByteDur(op.Bytes, r.x.SideGBps), func() { r.opDone(pos) })
 			return
@@ -281,6 +301,10 @@ func (r *Run) exec(pos int) {
 		}
 		r.groupIssue(pos, op)
 	case OpSend:
+		if r.cancelled {
+			r.opDone(pos)
+			return
+		}
 		r.x.RT.SendP2P(noc.NodeID(op.Rank), noc.NodeID(op.Dst), op.Bytes, func() { r.opDone(pos) })
 	case OpMark:
 		if rs.marks == nil {

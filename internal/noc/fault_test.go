@@ -1,0 +1,241 @@
+package noc
+
+import (
+	"testing"
+
+	"acesim/internal/des"
+)
+
+// faultNet builds a fault-enabled network whose drops are collected for
+// inspection (OnDrop must be non-nil once faults are on).
+func faultNet(t *testing.T, eng *des.Engine, topo Topology) (*Network, *[]Drop) {
+	t.Helper()
+	n, err := New(eng, testConfig(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.EnableFaults()
+	var drops []Drop
+	n.OnDrop = func(d Drop) { drops = append(drops, d) }
+	return n, &drops
+}
+
+func TestSetLinkUpRequiresEnableFaults(t *testing.T) {
+	n, _ := New(des.NewEngine(), testConfig(Torus3(4, 1, 1)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetLinkUp without EnableFaults should panic")
+		}
+	}()
+	n.SetLinkUp(0, DimLocal, +1, false)
+}
+
+func TestDegradeLinkTiming(t *testing.T) {
+	// Degradation halves the rate for future requests; it needs no
+	// EnableFaults because it never drops traffic.
+	eng := des.NewEngine()
+	n, _ := New(eng, testConfig(Torus3(4, 1, 1)))
+	n.DegradeLink(0, DimLocal, +1, 0.5)
+	var t1 des.Time
+	n.SendNeighbor(0, DimLocal, +1, 1e6, func() { t1 = eng.Now() })
+	eng.Run()
+	want := des.ByteDur(1e6, 200*0.94*0.5) + des.Cycles(90, 1.245)
+	if t1 != want {
+		t.Fatalf("degraded hop = %v, want %v", t1, want)
+	}
+	// Factor 1 restores the healthy rate.
+	n.DegradeLink(0, DimLocal, +1, 1)
+	var t2, t3 des.Time
+	t2 = eng.Now()
+	n.SendNeighbor(0, DimLocal, +1, 1e6, func() { t3 = eng.Now() })
+	eng.Run()
+	if t3-t2 != des.ByteDur(1e6, 200*0.94)+des.Cycles(90, 1.245) {
+		t.Fatalf("restored hop = %v", t3-t2)
+	}
+}
+
+func TestDegradeLinkBadFactor(t *testing.T) {
+	n, _ := New(des.NewEngine(), testConfig(Torus3(4, 1, 1)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("factor <= 0 should panic")
+		}
+	}()
+	n.DegradeLink(0, DimLocal, +1, 0)
+}
+
+func TestDeadLinkDetoursReverseRing(t *testing.T) {
+	// On a 4-ring, the dead (0,+1) link detours 3 hops the other way.
+	eng := des.NewEngine()
+	n, drops := faultNet(t, eng, Torus3(4, 1, 1))
+	n.SetLinkUp(0, DimLocal, +1, false)
+	var arrive des.Time
+	n.SendNeighbor(0, DimLocal, +1, 1e6, func() { arrive = eng.Now() })
+	eng.Run()
+	hop := des.ByteDur(1e6, 200*0.94) + des.Cycles(90, 1.245)
+	if arrive != 3*hop {
+		t.Fatalf("detour arrived at %v, want 3 hops = %v", arrive, 3*hop)
+	}
+	if n.Reroutes() != 1 || n.Drops() != 0 || len(*drops) != 0 {
+		t.Fatalf("reroutes=%d drops=%d, want 1 reroute and no drops", n.Reroutes(), n.Drops())
+	}
+	if n.InjectedBytes() != 1e6 {
+		t.Fatalf("injected = %d, want one injection despite the detour", n.InjectedBytes())
+	}
+}
+
+func TestDeadLinkDogleg(t *testing.T) {
+	// Down every dim-0 reverse link so the ring walk is unavailable; the
+	// detour doglegs through dim 1: src -> side -> across -> back (3 hops).
+	eng := des.NewEngine()
+	topo := Torus3(4, 2, 1)
+	n, _ := faultNet(t, eng, topo)
+	n.SetLinkUp(topo.ID(0, 0, 0), 0, +1, false)
+	for x := 0; x < 4; x++ {
+		n.SetLinkUp(topo.ID(x, 0, 0), 0, -1, false)
+	}
+	delivered := false
+	n.SendNeighbor(topo.ID(0, 0, 0), 0, +1, 1e3, func() { delivered = true })
+	eng.Run()
+	if !delivered {
+		t.Fatal("dogleg detour did not deliver")
+	}
+	if n.Reroutes() != 1 {
+		t.Fatalf("reroutes = %d, want 1", n.Reroutes())
+	}
+	if n.TotalWireBytes() != 3e3 {
+		t.Fatalf("wire bytes = %d, want 3 hops' worth", n.TotalWireBytes())
+	}
+}
+
+func TestDeadLinkDropsWithoutDetour(t *testing.T) {
+	// A 2-ring with both directions down has no healthy alternative: the
+	// send drops, and the OnDrop retry succeeds after the link restores.
+	eng := des.NewEngine()
+	topo := Torus3(2, 1, 1)
+	n, drops := faultNet(t, eng, topo)
+	recovered := 0
+	n.OnRecover = func(attempts int) { recovered = attempts }
+	n.SetLinkUp(0, DimLocal, +1, false)
+	n.SetLinkUp(0, DimLocal, -1, false)
+	delivered := false
+	n.SendNeighbor(0, DimLocal, +1, 1e3, func() { delivered = true })
+	if len(*drops) != 1 || delivered {
+		t.Fatalf("want immediate drop, got drops=%d delivered=%v", len(*drops), delivered)
+	}
+	d := (*drops)[0]
+	if d.Attempts != 1 || !d.Down || d.Bytes != 1e3 {
+		t.Fatalf("drop = %+v", d)
+	}
+	// Restore and retry: the transfer completes and reports recovery.
+	n.SetLinkUp(0, DimLocal, +1, true)
+	d.Retry()
+	eng.Run()
+	if !delivered || recovered != 1 {
+		t.Fatalf("delivered=%v recovered=%d after restore", delivered, recovered)
+	}
+}
+
+func TestInFlightDropOnEpochBump(t *testing.T) {
+	// A message already serializing when its link fails is dropped at its
+	// would-be delivery time, not delivered for free.
+	eng := des.NewEngine()
+	n, drops := faultNet(t, eng, Torus3(4, 1, 1))
+	delivered := false
+	n.SendNeighbor(0, DimLocal, +1, 1e6, func() { delivered = true })
+	eng.After(des.Nanosecond, func() { n.SetLinkUp(0, DimLocal, +1, false) })
+	eng.Run()
+	if delivered {
+		t.Fatal("in-flight message delivered across a dead link")
+	}
+	if len(*drops) != 1 {
+		t.Fatalf("drops = %d, want 1", len(*drops))
+	}
+	if !(*drops)[0].Down {
+		t.Fatal("link is still down; Drop.Down should be true")
+	}
+}
+
+func TestInFlightDropTransient(t *testing.T) {
+	// Down-then-up underneath an in-flight message: the delivery-time epoch
+	// check still drops it, but Drop.Down reports false — the failure was
+	// transient and a plain timed retry will succeed (parking such a
+	// transfer would strand it, since its restore already happened).
+	eng := des.NewEngine()
+	n, drops := faultNet(t, eng, Torus3(4, 1, 1))
+	delivered := false
+	n.SendNeighbor(0, DimLocal, +1, 1e6, func() { delivered = true })
+	eng.After(des.Nanosecond, func() {
+		n.SetLinkUp(0, DimLocal, +1, false)
+		n.SetLinkUp(0, DimLocal, +1, true)
+	})
+	eng.Run()
+	if delivered || len(*drops) != 1 {
+		t.Fatalf("delivered=%v drops=%d, want dropped once", delivered, len(*drops))
+	}
+	d := (*drops)[0]
+	if d.Down {
+		t.Fatal("link restored before delivery; Drop.Down should be false")
+	}
+	d.Retry()
+	eng.Run()
+	if !delivered {
+		t.Fatal("retry on the healed link did not deliver")
+	}
+}
+
+func TestRoutedTrafficDropsNoDetour(t *testing.T) {
+	// XYZ-routed traffic is not detoured: a dead link on the path drops
+	// the transfer, and the retry succeeds once the path heals.
+	eng := des.NewEngine()
+	n, drops := faultNet(t, eng, Torus3(4, 1, 1))
+	n.SetLinkUp(1, DimLocal, +1, false)
+	delivered := false
+	n.SendRouted(0, 2, 1e3, func() { delivered = true }) // 0 -> 1 -> 2
+	eng.Run()
+	if delivered || len(*drops) != 1 || n.Reroutes() != 0 {
+		t.Fatalf("delivered=%v drops=%d reroutes=%d, want one drop and no reroute",
+			delivered, len(*drops), n.Reroutes())
+	}
+	n.SetLinkUp(1, DimLocal, +1, true)
+	(*drops)[0].Retry()
+	eng.Run()
+	if !delivered {
+		t.Fatal("routed retry did not deliver after restore")
+	}
+}
+
+func TestMeshBoundaryHopLiveness(t *testing.T) {
+	// The mesh boundary closure's reverse walk checks liveness per hop: a
+	// dead interior link drops the boundary transfer.
+	eng := des.NewEngine()
+	topo := Topology{Dims: []DimSpec{{Size: 4}}}
+	n, drops := faultNet(t, eng, topo)
+	n.SetLinkUp(2, 0, -1, false) // second hop of 3 -> 2 -> 1 -> 0... walk from 3
+	delivered := false
+	n.SendNeighbor(3, 0, +1, 1e3, func() { delivered = true }) // boundary: walks 3->2->1->0
+	eng.Run()
+	if delivered || len(*drops) != 1 {
+		t.Fatalf("delivered=%v drops=%d, want boundary walk dropped on dead hop", delivered, len(*drops))
+	}
+}
+
+func TestSetLinkUpIdempotent(t *testing.T) {
+	// Re-downing a down link must not bump the epoch again (and
+	// re-restoring must not re-fire OnRestore).
+	eng := des.NewEngine()
+	n, _ := faultNet(t, eng, Torus3(4, 1, 1))
+	restores := 0
+	n.OnRestore = func() { restores++ }
+	n.SetLinkUp(0, DimLocal, +1, false)
+	e := n.mustLink(0, DimLocal, +1).epoch
+	n.SetLinkUp(0, DimLocal, +1, false)
+	if n.mustLink(0, DimLocal, +1).epoch != e {
+		t.Fatal("re-downing bumped the epoch")
+	}
+	n.SetLinkUp(0, DimLocal, +1, true)
+	n.SetLinkUp(0, DimLocal, +1, true)
+	if restores != 1 {
+		t.Fatalf("restores = %d, want 1", restores)
+	}
+}

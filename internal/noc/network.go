@@ -36,6 +36,18 @@ type Link struct {
 	Dir      int
 	srv      *resource.Server
 	lat      des.Time
+
+	// Fault state (only consulted on the fault-aware send paths; see
+	// Network.EnableFaults). baseGBps remembers the healthy rate so a
+	// degrade factor composes multiplicatively instead of compounding.
+	up       bool
+	factor   float64
+	baseGBps float64
+	// epoch increments every time the link goes down. A transfer snapshots
+	// the epoch at serialization start and re-checks it at delivery: a
+	// mismatch means the link failed underneath the in-flight message,
+	// which is then dropped and reported to the OnDrop hook.
+	epoch uint64
 }
 
 // BusyTime returns the cumulative serialization time on the link.
@@ -91,6 +103,24 @@ type Network struct {
 	Trace    *stats.Trace
 	numLinks int
 	injected stats.Meter // bytes entering the fabric at source endpoints
+
+	// Fault machinery. faultsOn switches SendNeighbor/SendRouted onto the
+	// fault-aware paths; when off (the default) the zero-overhead paths
+	// above run unchanged. The hooks mirror the Forward hook pattern: the
+	// network reports what happened, the owner (the collective runtime's
+	// recovery policy) decides when to retry.
+	faultsOn bool
+	// OnDrop runs when an in-flight transfer is lost: the destination link
+	// was down at send time with no healthy detour, or it went down under
+	// the message. The handler owns the retry (call d.Retry, now or later).
+	OnDrop func(Drop)
+	// OnRestore runs every time a link comes back up (wake parked retries).
+	OnRestore func()
+	// OnRecover runs when a transfer that was dropped at least once finally
+	// delivers; attempts counts its drops.
+	OnRecover func(attempts int)
+	drops     int64
+	reroutes  int64
 }
 
 type linkKey struct {
@@ -130,6 +160,7 @@ func New(eng *des.Engine, cfg Config) (*Network, error) {
 					From: id, To: to, Dim: d, Dir: dir,
 					srv: resource.NewServer(eng, name, cls.EffGBps()),
 					lat: cls.Latency(),
+					up:  true, factor: 1, baseGBps: cls.EffGBps(),
 				}
 				l.srv.Trace = n.Trace
 				if tr := eng.Tracer(); tr != nil {
@@ -190,6 +221,10 @@ func (n *Network) TotalWireBytes() int64 {
 func (n *Network) SendNeighbor(src NodeID, d Dim, dir int, bytes int64, deliver func()) {
 	t := n.cfg.Topo
 	n.injected.Add(bytes)
+	if n.faultsOn {
+		n.sendNeighborF(src, d, dir, bytes, deliver, nil)
+		return
+	}
 	if t.HasLink(src, d, dir) {
 		n.sendOnLink(n.links[linkKey{src, d, dir}], bytes, deliver)
 		return
@@ -277,9 +312,288 @@ func (n *Network) SendRouted(src, dst NodeID, bytes int64, deliver func()) {
 		n.eng.After(0, deliver)
 		return
 	}
+	if n.faultsOn {
+		n.sendRoutedF(src, dst, bytes, deliver, nil)
+		return
+	}
 	x := &routedXfer{net: n, path: path, cur: src, bytes: bytes, deliver: deliver}
 	x.fwdDone = x.advance
 	x.send()
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: mutable link state with in-flight drop detection.
+//
+// The fabric stays fault-free (and on the allocation-free fast paths) until
+// EnableFaults is called. After that every SendNeighbor/SendRouted transfer
+// carries an fxfer record: links are checked for liveness at send time, and
+// the per-link epoch is re-checked at delivery time so a link failing under
+// an in-flight message drops it instead of delivering it for free. A dropped
+// transfer is handed to the OnDrop hook, whose Retry closure reissues the
+// whole logical transfer from the source — partially-routed work is wasted
+// on purpose; that waste is the modeled cost of the failure.
+// ---------------------------------------------------------------------------
+
+// EnableFaults switches the fabric onto the fault-aware send paths.
+// Irreversible for the run; call before issuing traffic.
+func (n *Network) EnableFaults() { n.faultsOn = true }
+
+// FaultsEnabled reports whether the fault-aware paths are active.
+func (n *Network) FaultsEnabled() bool { return n.faultsOn }
+
+// Drops returns the number of transfer drops so far (a transfer dropped k
+// times counts k).
+func (n *Network) Drops() int64 { return n.drops }
+
+// Reroutes returns how many transfers detoured around a dead link.
+func (n *Network) Reroutes() int64 { return n.reroutes }
+
+// LinkUp reports the liveness of the link leaving from along d/dir.
+func (n *Network) LinkUp(from NodeID, d Dim, dir int) bool {
+	return n.mustLink(from, d, dir).up
+}
+
+// SetLinkUp fails (up=false) or restores (up=true) a link. Requires
+// EnableFaults: without the fault-aware send paths a dead link would still
+// carry traffic silently. Downing a link bumps its epoch, dropping every
+// message currently serializing on it at the moment it would have
+// delivered; restoring fires OnRestore so parked retries can wake.
+func (n *Network) SetLinkUp(from NodeID, d Dim, dir int, up bool) {
+	if !n.faultsOn {
+		panic("noc: SetLinkUp without EnableFaults")
+	}
+	l := n.mustLink(from, d, dir)
+	if l.up == up {
+		return
+	}
+	l.up = up
+	if !up {
+		l.epoch++
+		return
+	}
+	if n.OnRestore != nil {
+		n.OnRestore()
+	}
+}
+
+// DegradeLink scales the link's effective bandwidth to factor x the healthy
+// rate (factor 1 restores it). Per resource.Server semantics the new rate
+// applies to requests issued after the change; transfers already
+// serializing keep their old finish time. Degradation never drops traffic,
+// so it does not require EnableFaults.
+func (n *Network) DegradeLink(from NodeID, d Dim, dir int, factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("noc: DegradeLink factor %g", factor))
+	}
+	l := n.mustLink(from, d, dir)
+	l.factor = factor
+	l.srv.SetRate(l.baseGBps * factor)
+}
+
+func (n *Network) mustLink(from NodeID, d Dim, dir int) *Link {
+	l := n.links[linkKey{from, d, dir}]
+	if l == nil {
+		panic(fmt.Sprintf("noc: no link from %d along %s dir %+d", from, d, dir))
+	}
+	return l
+}
+
+// Drop describes one lost transfer, as reported to OnDrop.
+type Drop struct {
+	// Attempts counts how many times this transfer has now been dropped.
+	Attempts int
+	// Bytes is the logical transfer size.
+	Bytes int64
+	// Down reports whether the link that killed the transfer is still down.
+	// False means the failure was transient (the link already came back up
+	// underneath an in-flight message): a plain timed retry will succeed,
+	// and the handler must NOT park such a transfer waiting for a restore
+	// that will never come.
+	Down bool
+	// Retry reissues the whole logical transfer from its source,
+	// re-evaluating link state (and detours) at that time.
+	Retry func()
+}
+
+// fxfer is the retry identity of one logical fault-aware transfer. It is
+// allocated once at first issue and survives drops: attempts accumulate
+// across reissues so backoff policies can escalate.
+type fxfer struct {
+	net      *Network
+	bytes    int64
+	deliver  func()
+	retry    func()
+	attempts int
+}
+
+// dropped loses the transfer on link l and reports it to OnDrop.
+func (n *Network) dropped(fx *fxfer, l *Link) {
+	fx.attempts++
+	n.drops++
+	if n.OnDrop == nil {
+		panic("noc: transfer dropped with faults enabled but no OnDrop handler")
+	}
+	n.OnDrop(Drop{Attempts: fx.attempts, Bytes: fx.bytes, Down: !l.up, Retry: fx.retry})
+}
+
+// delivered completes the transfer, reporting recovery if it ever dropped.
+func (n *Network) delivered(fx *fxfer) {
+	if fx.attempts > 0 && n.OnRecover != nil {
+		n.OnRecover(fx.attempts)
+	}
+	fx.deliver()
+}
+
+// sendOnLinkF serializes the transfer on l, snapshotting the link epoch; if
+// the link went down while the message was in flight the delivery-time
+// epoch check drops it instead of running done.
+func (n *Network) sendOnLinkF(l *Link, fx *fxfer, done func()) {
+	epoch := l.epoch
+	l.srv.RequestAfter(fx.bytes, l.lat, func() {
+		if l.epoch != epoch {
+			n.dropped(fx, l)
+			return
+		}
+		done()
+	})
+}
+
+// sendNeighborF is the fault-aware SendNeighbor. fx is nil on first issue
+// and carried through retries.
+func (n *Network) sendNeighborF(src NodeID, d Dim, dir int, bytes int64, deliver func(), fx *fxfer) {
+	if fx == nil {
+		fx = &fxfer{net: n, bytes: bytes, deliver: deliver}
+		fx.retry = func() { n.sendNeighborF(src, d, dir, bytes, deliver, fx) }
+	}
+	t := n.cfg.Topo
+	if t.HasLink(src, d, dir) {
+		l := n.links[linkKey{src, d, dir}]
+		if l.up {
+			n.sendOnLinkF(l, fx, func() { n.delivered(fx) })
+			return
+		}
+		// Dead direct link: detour around it if the router finds a fully
+		// healthy alternative, else drop and let the recovery policy retry.
+		if path := n.detour(src, d, dir); path != nil {
+			n.reroutes++
+			n.routeF(src, path, fx)
+			return
+		}
+		n.dropped(fx, l)
+		return
+	}
+	if t.Size(d) == 1 || t.Wrap(d) {
+		panic(fmt.Sprintf("noc: no link from %d along %s dir %+d", src, d, dir))
+	}
+	// Mesh boundary closure: same reverse line walk as the fault-free
+	// path, hop liveness checked per hop by routeF.
+	steps := t.Size(d) - 1
+	path := make([]NodeID, steps)
+	cur := src
+	for i := 0; i < steps; i++ {
+		cur = t.Neighbor(cur, d, -dir)
+		path[i] = cur
+	}
+	n.routeF(src, path, fx)
+}
+
+// sendRoutedF is the fault-aware SendRouted. XYZ paths are not detoured:
+// a transfer crossing a dead link drops and retries until the
+// dimension-order path heals (or the retry policy parks it).
+func (n *Network) sendRoutedF(src, dst NodeID, bytes int64, deliver func(), fx *fxfer) {
+	if fx == nil {
+		fx = &fxfer{net: n, bytes: bytes, deliver: deliver}
+		fx.retry = func() { n.sendRoutedF(src, dst, bytes, deliver, fx) }
+	}
+	path := n.cfg.Topo.RouteXYZ(src, dst)
+	if len(path) == 0 {
+		n.eng.After(0, func() { n.delivered(fx) })
+		return
+	}
+	n.routeF(src, path, fx)
+}
+
+// routeF walks the transfer hop by hop along path, checking link liveness
+// at each send and the link epoch at each delivery, paying the Forward
+// hook at intermediate endpoints. Any hop failure drops the whole
+// transfer; the retry restarts from the source.
+func (n *Network) routeF(src NodeID, path []NodeID, fx *fxfer) {
+	cur := src
+	i := 0
+	var step func()
+	step = func() {
+		l := n.linkTo(cur, path[i])
+		if !l.up {
+			n.dropped(fx, l)
+			return
+		}
+		cur = path[i]
+		n.sendOnLinkF(l, fx, func() {
+			if i == len(path)-1 {
+				n.delivered(fx)
+				return
+			}
+			advance := func() { i++; step() }
+			if n.Forward != nil {
+				n.Forward(cur, fx.bytes, advance)
+				return
+			}
+			advance()
+		})
+	}
+	step()
+}
+
+// detour plans a neighbor path around the dead (src, d, dir) link:
+//
+//  1. On a wraparound dimension, the reverse ring walk — size-1 hops the
+//     other way around the ring — if every hop is up.
+//  2. Otherwise an orthogonal dogleg: sidestep along a healthy orthogonal
+//     dimension, cross d there on the parallel link, and step back.
+//
+// Returns nil when no fully healthy alternative exists (the caller drops).
+func (n *Network) detour(src NodeID, d Dim, dir int) []NodeID {
+	t := n.cfg.Topo
+	dst := t.Neighbor(src, d, dir)
+	if t.Wrap(d) && t.Size(d) >= 2 {
+		path := make([]NodeID, 0, t.Size(d)-1)
+		cur, ok := src, true
+		for i := 0; i < t.Size(d)-1; i++ {
+			if !t.HasLink(cur, d, -dir) || !n.links[linkKey{cur, d, -dir}].up {
+				ok = false
+				break
+			}
+			cur = t.Neighbor(cur, d, -dir)
+			path = append(path, cur)
+		}
+		if ok {
+			return path
+		}
+	}
+	for e := Dim(0); int(e) < t.NumDims(); e++ {
+		if e == d || t.Size(e) == 1 {
+			continue
+		}
+		for _, ed := range []int{+1, -1} {
+			if !t.HasLink(src, e, ed) {
+				continue
+			}
+			a := t.Neighbor(src, e, ed)
+			if !t.HasLink(a, d, dir) {
+				continue
+			}
+			b := t.Neighbor(a, d, dir)
+			if !t.HasLink(b, e, -ed) || t.Neighbor(b, e, -ed) != dst {
+				continue
+			}
+			if n.links[linkKey{src, e, ed}].up &&
+				n.links[linkKey{a, d, dir}].up &&
+				n.links[linkKey{b, e, -ed}].up {
+				return []NodeID{a, b, dst}
+			}
+		}
+	}
+	return nil
 }
 
 // linkTo finds the physical link from a to its neighbor b.

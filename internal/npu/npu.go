@@ -156,6 +156,9 @@ type Compute struct {
 	track  trace.TrackID
 	// kernels executed
 	count int64
+	// slow is the straggler factor: kernel durations scale by it when > 0
+	// (0 means nominal speed; see SetSlowFactor).
+	slow float64
 }
 
 // NewCompute returns a compute engine for the given parameters.
@@ -197,7 +200,32 @@ func (c *Compute) KernelTime(k Kernel) des.Time {
 	if tm > d {
 		d = tm
 	}
-	return d + c.p.LaunchOvh
+	d += c.p.LaunchOvh
+	if c.slow > 0 {
+		d = des.Time(float64(d) * c.slow)
+	}
+	return d
+}
+
+// SetSlowFactor makes the compute engine a straggler: every kernel issued
+// from now on takes factor x its nominal duration (launch overhead
+// included — a slow node is slow at everything). Factor 1 restores nominal
+// speed; kernels already running keep their original finish time.
+func (c *Compute) SetSlowFactor(factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("npu: slow factor %g", factor))
+	}
+	c.slow = factor
+}
+
+// Stall pushes the compute stream's next free slot d into the future,
+// modeling a checkpoint/restart pause: kernels issued after the stall wait
+// for it, kernels already running are unaffected.
+func (c *Compute) Stall(d des.Time) {
+	if now := c.eng.Now(); c.freeAt < now {
+		c.freeAt = now
+	}
+	c.freeAt += d
 }
 
 // Run executes kernel k and calls done when it completes, returning the

@@ -1,0 +1,186 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// parseExpand parses a scenario from src and expands it, returning the
+// expansion error (nil when valid).
+func parseExpand(t *testing.T, src string) error {
+	t.Helper()
+	sc, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = sc.Expand()
+	return err
+}
+
+func TestEventTrackValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		bad  string // substring of the expected error; "" means valid
+	}{
+		{
+			"single-job events valid",
+			`{"name": "s", "platform": {"toruses": ["4"]},
+			  "jobs": [{"kind": "collective", "payloads_mb": [1]}],
+			  "events": [{"at_us": 10, "action": "link_down", "link": {"node": 0, "dim": 0, "dir": 1}}]}`,
+			"",
+		},
+		{
+			"microbench rejects events",
+			`{"name": "s", "jobs": [{"kind": "microbench", "payloads_mb": [1], "kernels": [{"gemm_n": 1024}]}],
+			  "events": [{"at_us": 10, "action": "checkpoint", "cost_us": 5}]}`,
+			"microbench",
+		},
+		{
+			"job scope on single-job unit",
+			`{"name": "s", "platform": {"toruses": ["4"]},
+			  "jobs": [{"kind": "collective", "payloads_mb": [1]}],
+			  "events": [{"at_us": 10, "action": "link_down", "job": "x", "link": {"node": 0, "dim": 0, "dir": 1}}]}`,
+			"only multijob sub-jobs are named",
+		},
+		{
+			"coordinates out of range for grid",
+			`{"name": "s", "platform": {"toruses": ["4"]},
+			  "jobs": [{"kind": "collective", "payloads_mb": [1]}],
+			  "events": [{"at_us": 10, "action": "link_down", "link": {"node": 7, "dim": 0, "dir": 1}}]}`,
+			"out of range",
+		},
+		{
+			"partitioned multijob needs job scope",
+			`{"name": "s", "platform": {"toruses": ["4x2x2"]},
+			  "jobs": [{"kind": "multijob", "jobs": [
+			    {"name": "a", "payload_mb": 1, "placement": "4x1x2@0,0,0"},
+			    {"name": "b", "payload_mb": 1, "placement": "4x1x2@0,1,0"}]}],
+			  "events": [{"at_us": 10, "action": "link_down", "link": {"node": 0, "dim": 0, "dir": 1}}]}`,
+			"needs a job scope",
+		},
+		{
+			"partitioned job-scoped event valid",
+			`{"name": "s", "platform": {"toruses": ["4x2x2"]},
+			  "jobs": [{"kind": "multijob", "jobs": [
+			    {"name": "a", "payload_mb": 1, "placement": "4x1x2@0,0,0"},
+			    {"name": "b", "payload_mb": 1, "placement": "4x1x2@0,1,0"}]}],
+			  "events": [{"at_us": 10, "action": "link_down", "job": "a", "link": {"node": 0, "dim": 0, "dir": 1}}]}`,
+			"",
+		},
+		{
+			"job-scoped coordinates checked against the partition shape",
+			`{"name": "s", "platform": {"toruses": ["4x2x2"]},
+			  "jobs": [{"kind": "multijob", "jobs": [
+			    {"name": "a", "payload_mb": 1, "placement": "4x1x2@0,0,0"},
+			    {"name": "b", "payload_mb": 1, "placement": "4x1x2@0,1,0"}]}],
+			  "events": [{"at_us": 10, "action": "link_down", "job": "a", "link": {"node": 0, "dim": 1, "dir": 1}}]}`,
+			"degenerate",
+		},
+		{
+			"unknown sub-job name",
+			`{"name": "s", "platform": {"toruses": ["4x2x2"]},
+			  "jobs": [{"kind": "multijob", "jobs": [
+			    {"name": "a", "payload_mb": 1, "placement": "4x1x2@0,0,0"},
+			    {"name": "b", "payload_mb": 1, "placement": "4x1x2@0,1,0"}]}],
+			  "events": [{"at_us": 10, "action": "job_depart", "job": "ghost"}]}`,
+			"no sub-job named",
+		},
+		{
+			"shared multijob rejects job-scoped fabric event",
+			`{"name": "s", "platform": {"toruses": ["4x2x2"]},
+			  "jobs": [{"kind": "multijob", "jobs": [
+			    {"name": "a", "payload_mb": 1}, {"name": "b", "payload_mb": 1}]}],
+			  "events": [{"at_us": 10, "action": "link_down", "job": "a", "link": {"node": 0, "dim": 0, "dir": 1}}]}`,
+			"not job-scoped",
+		},
+		{
+			"shared multijob job_depart valid",
+			`{"name": "s", "platform": {"toruses": ["4x2x2"]},
+			  "jobs": [{"kind": "multijob", "jobs": [
+			    {"name": "a", "payload_mb": 1}, {"name": "b", "payload_mb": 1}]}],
+			  "events": [{"at_us": 10, "action": "job_depart", "job": "a"}]}`,
+			"",
+		},
+		{
+			"multijob job_depart needs a name",
+			`{"name": "s", "platform": {"toruses": ["4x2x2"]},
+			  "jobs": [{"kind": "multijob", "jobs": [
+			    {"name": "a", "payload_mb": 1}, {"name": "b", "payload_mb": 1}]}],
+			  "events": [{"at_us": 10, "action": "job_depart"}]}`,
+			"needs a job name",
+		},
+		{
+			"bad recovery",
+			`{"name": "s", "platform": {"toruses": ["4"]},
+			  "jobs": [{"kind": "collective", "payloads_mb": [1]}],
+			  "recovery": {"backoff": 0.5},
+			  "events": [{"at_us": 10, "action": "checkpoint", "cost_us": 5}]}`,
+			"backoff",
+		},
+		{
+			"negative start_at_us",
+			`{"name": "s", "platform": {"toruses": ["4x2x2"]},
+			  "jobs": [{"kind": "multijob", "jobs": [
+			    {"name": "a", "payload_mb": 1, "start_at_us": -5}, {"name": "b", "payload_mb": 1}]}]}`,
+			"start_at_us",
+		},
+		{
+			"fault metric without events",
+			`{"name": "s", "platform": {"toruses": ["4"]},
+			  "jobs": [{"kind": "collective", "payloads_mb": [1]}],
+			  "assertions": [{"metric": "fault_drops", "op": ">=", "value": 1}]}`,
+			"requires an events track",
+		},
+		{
+			"per-sub-job metric assertable",
+			`{"name": "s", "platform": {"toruses": ["4x2x2"]},
+			  "jobs": [{"kind": "multijob", "jobs": [
+			    {"name": "a", "payload_mb": 1}, {"name": "b", "payload_mb": 1}]}],
+			  "assertions": [{"metric": "a_slowdown", "op": ">=", "value": 1}]}`,
+			"",
+		},
+		{
+			"unknown per-sub-job metric still rejected",
+			`{"name": "s", "platform": {"toruses": ["4x2x2"]},
+			  "jobs": [{"kind": "multijob", "jobs": [
+			    {"name": "a", "payload_mb": 1}, {"name": "b", "payload_mb": 1}]}],
+			  "assertions": [{"metric": "ghost_slowdown", "op": ">=", "value": 1}]}`,
+			"unknown metric",
+		},
+	}
+	for _, c := range cases {
+		err := parseExpand(t, c.src)
+		if c.bad == "" && err != nil {
+			t.Errorf("%s: unexpected error: %v", c.name, err)
+		}
+		if c.bad != "" && (err == nil || !strings.Contains(err.Error(), c.bad)) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.bad)
+		}
+	}
+}
+
+// TestEventsStampedOnUnits checks that expansion hands every unit the
+// scenario's full track (events replay per unit on its own clock).
+func TestEventsStampedOnUnits(t *testing.T) {
+	src := `{"name": "s", "platform": {"toruses": ["4", "8"]},
+	  "jobs": [{"kind": "collective", "payloads_mb": [1, 2]}],
+	  "recovery": {"timeout_us": 5},
+	  "events": [{"at_us": 10, "action": "straggler", "factor": 2}]}`
+	sc, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := sc.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) < 4 {
+		t.Fatalf("units = %d, want at least 2 toruses x 2 payloads", len(units))
+	}
+	for _, u := range units {
+		if len(u.Events) != 1 || u.Recovery == nil || u.Recovery.TimeoutUs != 5 {
+			t.Fatalf("unit %d missing the fault track: events=%d recovery=%+v", u.Index, len(u.Events), u.Recovery)
+		}
+	}
+}

@@ -39,6 +39,19 @@ func FuzzParseScenario(f *testing.F) {
 	f.Add(`{"name":"x","jobs":[{"kind":"collective","payloads_mb":[1]}],"trace":{"enabled":false,"out":""}}`)
 	f.Add(`{"name":"x","jobs":[{"kind":"collective","payloads_mb":[1]}],"trace":{"enabled":true,"out":42}}`)
 	f.Add(`{"name":"x","jobs":[{"kind":"collective","payloads_mb":[1]}],"assertions":[{"metric":"trace_exposed_us","op":">","value":0}]}`)
+	// Event-track edge cases: bad at_us, unknown actions, out-of-range
+	// link/node targets, wrong scope, malformed recovery blocks, and fault
+	// metrics asserted without an events track — all must reject cleanly.
+	f.Add(`{"name":"x","platform":{"toruses":["4"]},"jobs":[{"kind":"collective","payloads_mb":[1]}],"events":[{"at_us":-5,"action":"link_down","link":{"node":0,"dim":0,"dir":1}}]}`)
+	f.Add(`{"name":"x","platform":{"toruses":["4"]},"jobs":[{"kind":"collective","payloads_mb":[1]}],"events":[{"at_us":10,"action":"explode"}]}`)
+	f.Add(`{"name":"x","platform":{"toruses":["4"]},"jobs":[{"kind":"collective","payloads_mb":[1]}],"events":[{"at_us":10,"action":"link_down","link":{"node":99,"dim":7,"dir":3}}]}`)
+	f.Add(`{"name":"x","platform":{"toruses":["4"]},"jobs":[{"kind":"collective","payloads_mb":[1]}],"events":[{"at_us":10,"action":"straggler","node":-1,"factor":0}]}`)
+	f.Add(`{"name":"x","platform":{"toruses":["4"]},"jobs":[{"kind":"collective","payloads_mb":[1]}],"events":[{"at_us":10,"action":"job_depart","job":"ghost"}]}`)
+	f.Add(`{"name":"x","platform":{"toruses":["4"]},"jobs":[{"kind":"collective","payloads_mb":[1]}],"recovery":{"timeout_us":-1,"backoff":0.5,"max_retries":-2},"events":[{"at_us":1,"action":"checkpoint","cost_us":1}]}`)
+	f.Add(`{"name":"x","platform":{"toruses":["4x2x2"]},"jobs":[{"kind":"multijob","jobs":[{"name":"a","payload_mb":1,"placement":"4x1x2@0,0,0","start_at_us":-3},{"name":"b","payload_mb":1,"placement":"4x1x2@0,1,0"}]}],"events":[{"at_us":10,"action":"link_down","link":{"node":0,"dim":0,"dir":1}}]}`)
+	f.Add(`{"name":"x","jobs":[{"kind":"microbench","payloads_mb":[1],"kernels":[{"gemm_n":64}]}],"events":[{"at_us":1,"action":"checkpoint","cost_us":1}]}`)
+	f.Add(`{"name":"x","platform":{"toruses":["4"]},"jobs":[{"kind":"collective","payloads_mb":[1]}],"assertions":[{"metric":"fault_drops","op":">=","value":1}]}`)
+	f.Add(`{"name":"x","platform":{"toruses":["4"]},"jobs":[{"kind":"collective","payloads_mb":[1]}],"events":[{"at_us":1e308,"action":"link_degrade","link":{"node":0,"dim":0,"dir":-1},"factor":-0.1}]}`)
 
 	f.Fuzz(func(t *testing.T, src string) {
 		sc, err := Parse(strings.NewReader(src))

@@ -1,0 +1,123 @@
+package runner
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"acesim/internal/scenario"
+)
+
+// TestLinkFailureWorkerDeterminism pins the event track's determinism
+// guarantee end to end: the bundled link_failure.json (partitioned
+// multi-tenant fabric, mid-run cable cut with recovery) must produce
+// byte-identical scenario JSON AND a byte-identical Chrome trace export
+// at workers=1 and workers=8 — faults are ordinary engine events, so a
+// faulted run stays a pure function of its inputs.
+func TestLinkFailureWorkerDeterminism(t *testing.T) {
+	sc, err := scenario.Load("../../../examples/scenarios/link_failure.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int) ([]byte, []byte) {
+		t.Helper()
+		res, err := Run(sc, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fails := res.Failures(); len(fails) > 0 {
+			t.Fatalf("bundled link_failure scenario failed its assertions: %v", fails)
+		}
+		var js, tr bytes.Buffer
+		if err := res.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteChromeTrace(&tr); err != nil {
+			t.Fatal(err)
+		}
+		return js.Bytes(), tr.Bytes()
+	}
+	js1, tr1 := render(1)
+	js8, tr8 := render(8)
+	if !bytes.Equal(js1, js8) {
+		t.Fatalf("workers=1 and workers=8 JSON disagree:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", js1, js8)
+	}
+	if !bytes.Equal(tr1, tr8) {
+		t.Fatal("workers=1 and workers=8 Chrome traces disagree")
+	}
+	// The failure must be visible as spans on the tenant's fault track.
+	if !bytes.Contains(tr1, []byte("tenant-a/faults")) {
+		t.Fatal("Chrome trace carries no tenant-a/faults track")
+	}
+	if !bytes.Contains(tr1, []byte("link_down")) {
+		t.Fatal("Chrome trace carries no link_down window span")
+	}
+}
+
+// TestFaultMetricsSingleJob checks the fault_* metric layer on a plain
+// collective unit: a mid-run cable cut on a 4-ring shows up in the
+// recovery counters, and fault_slowdown compares against the fault-free
+// twin of the same unit.
+func TestFaultMetricsSingleJob(t *testing.T) {
+	src := `{
+		"name": "fault-metrics",
+		"platform": {"toruses": ["4"], "presets": ["BaselineCommOpt"]},
+		"jobs": [{"kind": "collective", "payloads_mb": [4]}],
+		"recovery": {"timeout_us": 10, "backoff": 2, "max_retries": 8},
+		"events": [
+			{"at_us": 20, "action": "link_down", "link": {"node": 0, "dim": 0, "dir": 1}},
+			{"at_us": 20, "action": "link_down", "link": {"node": 0, "dim": 0, "dir": -1}},
+			{"at_us": 120, "action": "link_up", "link": {"node": 0, "dim": 0, "dir": 1}},
+			{"at_us": 120, "action": "link_up", "link": {"node": 0, "dim": 0, "dir": -1}}
+		]
+	}`
+	sc, err := scenario.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sc, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Units[0].Metrics
+	if m["fault_events"] != 4 {
+		t.Fatalf("fault_events = %g, want 4", m["fault_events"])
+	}
+	if m["fault_drops"] < 1 || m["fault_retries"] < 1 {
+		t.Fatalf("cable cut unnoticed: drops=%g retries=%g", m["fault_drops"], m["fault_retries"])
+	}
+	if m["fault_recovery_us"] <= 0 {
+		t.Fatalf("fault_recovery_us = %g, want > 0", m["fault_recovery_us"])
+	}
+	sd, ok := m["fault_slowdown"]
+	if !ok || sd <= 1 {
+		t.Fatalf("fault_slowdown = %g (ok=%v), want > 1 vs the fault-free twin", sd, ok)
+	}
+	if m["duration_us"] <= 0 {
+		t.Fatal("kind metrics missing from faulted unit")
+	}
+}
+
+// TestNoEventsNoFaultMetrics guards the zero-behavior-change property at
+// the metric level: a scenario without an event track must not grow any
+// fault_* keys (bundled goldens depend on this).
+func TestNoEventsNoFaultMetrics(t *testing.T) {
+	src := `{
+		"name": "no-events",
+		"platform": {"toruses": ["4"], "presets": ["BaselineCommOpt"]},
+		"jobs": [{"kind": "collective", "payloads_mb": [1]}]
+	}`
+	sc, err := scenario.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sc, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range res.Units[0].Metrics {
+		if strings.HasPrefix(k, "fault_") {
+			t.Fatalf("event-free unit grew metric %q", k)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"acesim/internal/collectives"
 	"acesim/internal/des"
 	"acesim/internal/exper"
+	"acesim/internal/fault"
 	"acesim/internal/graph"
 	"acesim/internal/noc"
 	"acesim/internal/report"
@@ -100,7 +101,7 @@ func Run(sc *scenario.Scenario, opts Options) (*Results, error) {
 				if traced {
 					tr = trace.New()
 				}
-				m, err := execUnit(units[i], alone, tr)
+				m, err := runUnit(units[i], alone, tr)
 				if err == nil && tr != nil {
 					addTraceMetrics(m, tr)
 				}
@@ -221,6 +222,9 @@ func buildSpec(u scenario.Unit) system.Spec {
 	if u.FastGranularity {
 		exper.FastGranularity(&spec)
 	}
+	if len(u.Events) > 0 {
+		spec.Faults = &fault.Track{Events: u.Events, Recovery: u.Recovery}
+	}
 	return spec
 }
 
@@ -246,15 +250,53 @@ func tracedSpec(u scenario.Unit, tr *trace.Tracer) system.Spec {
 	return spec
 }
 
+// runUnit executes one work unit and, when the unit carries an event
+// track, layers the fault_* metrics on top of the kind metrics: the
+// recovery counters from the faulted run, plus fault_slowdown measured
+// against a fault-free twin of the same unit (multijob units skip the
+// twin — their per-job "<name>_slowdown" baselines already strip the
+// track).
+func runUnit(u scenario.Unit, alone map[int64]float64, tr *trace.Tracer) (map[string]float64, error) {
+	m, rec, err := execUnit(u, alone, tr)
+	if err != nil || len(u.Events) == 0 {
+		return m, err
+	}
+	m["fault_events"] = float64(len(u.Events))
+	m["fault_drops"] = float64(rec.Drops)
+	m["fault_retries"] = float64(rec.Retries)
+	m["fault_parked"] = float64(rec.Parked)
+	m["fault_recovery_us"] = rec.RecoveryTime().Micros()
+	primary := map[scenario.JobKind]string{
+		scenario.KindCollective: "duration_us",
+		scenario.KindTraining:   "iter_time_us",
+		scenario.KindGraph:      "graph_span_us",
+	}[u.Kind]
+	if primary == "" {
+		return m, nil
+	}
+	clean := u
+	clean.Events, clean.Recovery = nil, nil
+	cm, _, err := execUnit(clean, alone, nil)
+	if err != nil {
+		return nil, fmt.Errorf("fault-free twin: %w", err)
+	}
+	if cm[primary] > 0 {
+		m["fault_slowdown"] = m[primary] / cm[primary]
+	}
+	return m, nil
+}
+
 // execUnit runs one work unit on a freshly built system. alone carries
 // the pre-measured microbench baselines keyed by payload (read-only
-// across workers). tr, when non-nil, collects the unit's spans.
-func execUnit(u scenario.Unit, alone map[int64]float64, tr *trace.Tracer) (map[string]float64, error) {
+// across workers). tr, when non-nil, collects the unit's spans. The
+// returned recovery stats are zero-valued on fault-free runs.
+func execUnit(u scenario.Unit, alone map[int64]float64, tr *trace.Tracer) (map[string]float64, collectives.RecoveryStats, error) {
+	var none collectives.RecoveryStats
 	switch u.Kind {
 	case scenario.KindCollective:
 		res, err := exper.RunCollective(tracedSpec(u, tr), u.Collective, u.Bytes)
 		if err != nil {
-			return nil, err
+			return nil, none, err
 		}
 		return map[string]float64{
 			"duration_us":   res.Duration.Micros(),
@@ -262,11 +304,11 @@ func execUnit(u scenario.Unit, alone map[int64]float64, tr *trace.Tracer) (map[s
 			"reads_node":    float64(res.ReadsNode),
 			"writes_node":   float64(res.WritesNode),
 			"wire_bytes":    float64(res.WireBytes),
-		}, nil
+		}, res.Recovery, nil
 	case scenario.KindTraining:
 		m, err := workload.ByName(u.Workload)
 		if err != nil {
-			return nil, err
+			return nil, none, err
 		}
 		tc := training.DefaultConfig()
 		if u.Iterations > 0 {
@@ -275,7 +317,7 @@ func execUnit(u scenario.Unit, alone map[int64]float64, tr *trace.Tracer) (map[s
 		tc.DLRMOptimized = u.DLRMOptimized
 		res, _, err := exper.RunTraining(tracedSpec(u, tr), m, tc)
 		if err != nil {
-			return nil, err
+			return nil, none, err
 		}
 		frac := 0.0
 		if res.IterTime > 0 {
@@ -287,7 +329,7 @@ func execUnit(u scenario.Unit, alone map[int64]float64, tr *trace.Tracer) (map[s
 			"exposed_us":        res.ExposedComm.Micros(),
 			"exposed_comm_frac": frac,
 			"collectives":       float64(res.Collectives),
-		}, nil
+		}, res.Recovery, nil
 	case scenario.KindMicrobench:
 		var k exper.Fig4Kernel
 		if u.Kernel.GEMMN > 0 {
@@ -297,47 +339,48 @@ func execUnit(u scenario.Unit, alone map[int64]float64, tr *trace.Tracer) (map[s
 		}
 		base, ok := alone[u.Bytes]
 		if !ok {
-			return nil, fmt.Errorf("no baseline measured for %gMB", payloadMB(u.Bytes))
+			return nil, none, fmt.Errorf("no baseline measured for %gMB", payloadMB(u.Bytes))
 		}
 		over, _, err := exper.Fig4MeasureTrace(&k, u.Bytes, tr)
 		if err != nil {
-			return nil, err
+			return nil, none, err
 		}
 		return map[string]float64{
 			"alone_us":   des.Time(base).Micros(),
 			"overlap_us": over.Micros(),
 			"slowdown":   float64(over) / base,
-		}, nil
+		}, none, nil
 	case scenario.KindMultiJob:
 		return execMultiJob(u, tr)
 	case scenario.KindGraph:
 		return execGraph(u, tr)
 	}
-	return nil, fmt.Errorf("unknown unit kind %q", u.Kind)
+	return nil, none, fmt.Errorf("unknown unit kind %q", u.Kind)
 }
 
 // execGraph resolves the unit's graph — a JSON file or a pipeline
 // synthesis — and runs it on a freshly built platform.
-func execGraph(u scenario.Unit, tr *trace.Tracer) (map[string]float64, error) {
+func execGraph(u scenario.Unit, tr *trace.Tracer) (map[string]float64, collectives.RecoveryStats, error) {
+	var none collectives.RecoveryStats
 	var g *graph.Graph
 	var err error
 	if u.GraphFile != "" {
 		g, err = graph.Load(u.GraphFile)
 		if err != nil {
-			return nil, err
+			return nil, none, err
 		}
 		if g.Ranks != u.Topo.N() {
-			return nil, fmt.Errorf("graph %s targets %d ranks, torus %s has %d", u.GraphFile, g.Ranks, u.Topo, u.Topo.N())
+			return nil, none, fmt.Errorf("graph %s targets %d ranks, torus %s has %d", u.GraphFile, g.Ranks, u.Topo, u.Topo.N())
 		}
 	} else {
 		p := u.Pipeline
 		m, err := workload.ByName(p.Workload)
 		if err != nil {
-			return nil, err
+			return nil, none, err
 		}
 		sched, err := graph.ParsePipeSchedule(p.Schedule)
 		if err != nil {
-			return nil, err
+			return nil, none, err
 		}
 		g, err = graph.Pipeline(graph.PipelineConfig{
 			Model:        m,
@@ -348,12 +391,12 @@ func execGraph(u scenario.Unit, tr *trace.Tracer) (map[string]float64, error) {
 			Iterations:   p.Iterations,
 		})
 		if err != nil {
-			return nil, err
+			return nil, none, err
 		}
 	}
 	res, err := exper.RunGraph(tracedSpec(u, tr), g)
 	if err != nil {
-		return nil, err
+		return nil, none, err
 	}
 	frac := 0.0
 	if res.Span > 0 {
@@ -364,33 +407,34 @@ func execGraph(u scenario.Unit, tr *trace.Tracer) (map[string]float64, error) {
 		"graph_compute_us":   res.Compute.Micros(),
 		"graph_exposed_us":   res.Exposed.Micros(),
 		"graph_exposed_frac": frac,
-	}, nil
+	}, res.Recovery, nil
 }
 
 // execMultiJob co-runs the unit's sub-jobs via exper.Interference and
 // flattens the per-job outcomes into metrics: the assertable aggregates
 // plus "<name>_solo_us" / "<name>_co_us" / "<name>_slowdown" per sub-job.
-func execMultiJob(u scenario.Unit, tr *trace.Tracer) (map[string]float64, error) {
+func execMultiJob(u scenario.Unit, tr *trace.Tracer) (map[string]float64, collectives.RecoveryStats, error) {
+	var none collectives.RecoveryStats
 	spec := tracedSpec(u, tr)
 	arb, err := collectives.ParseArbitration(u.Arbitration)
 	if err != nil {
-		return nil, err
+		return nil, none, err
 	}
 	spec.Coll.Arb = arb
 	jobs := make([]exper.InterferenceJob, len(u.SubJobs))
 	for i, sj := range u.SubJobs {
-		job := exper.InterferenceJob{Name: sj.Name}
+		job := exper.InterferenceJob{Name: sj.Name, StartAt: des.Micros(sj.StartAtUs)}
 		if sj.Placement != "" && sj.Placement != "shared" {
 			part, err := noc.ParsePartition(u.Topo, sj.Placement)
 			if err != nil {
-				return nil, fmt.Errorf("sub-job %s: %w", sj.Name, err)
+				return nil, none, fmt.Errorf("sub-job %s: %w", sj.Name, err)
 			}
 			job.Part = &part
 		}
 		if sj.IsTraining() {
 			m, err := workload.ByName(sj.Workload)
 			if err != nil {
-				return nil, fmt.Errorf("sub-job %s: %w", sj.Name, err)
+				return nil, none, fmt.Errorf("sub-job %s: %w", sj.Name, err)
 			}
 			job.Model = m
 			// Only the explicit override; exper defaults the rest.
@@ -398,7 +442,7 @@ func execMultiJob(u scenario.Unit, tr *trace.Tracer) (map[string]float64, error)
 		} else {
 			kind, err := scenario.ParseCollective(sj.Collective)
 			if err != nil {
-				return nil, fmt.Errorf("sub-job %s: %w", sj.Name, err)
+				return nil, none, fmt.Errorf("sub-job %s: %w", sj.Name, err)
 			}
 			job.Stream = exper.StreamSpec{Kind: kind, Bytes: sj.StreamBytes(), Count: sj.Repeat}
 		}
@@ -406,7 +450,7 @@ func execMultiJob(u scenario.Unit, tr *trace.Tracer) (map[string]float64, error)
 	}
 	res, _, err := exper.Interference(spec, jobs)
 	if err != nil {
-		return nil, err
+		return nil, none, err
 	}
 	out := map[string]float64{
 		"job_slowdown_max": res.MaxSlowdown(),
@@ -417,7 +461,7 @@ func execMultiJob(u scenario.Unit, tr *trace.Tracer) (map[string]float64, error)
 		out[j.Name+"_co_us"] = j.Co.Micros()
 		out[j.Name+"_slowdown"] = j.Slowdown
 	}
-	return out, nil
+	return out, res.Recovery, nil
 }
 
 // check evaluates one assertion against all matching units.

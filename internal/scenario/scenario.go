@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"acesim/internal/collectives"
+	"acesim/internal/fault"
 	"acesim/internal/graph"
 	"acesim/internal/noc"
 	"acesim/internal/system"
@@ -38,6 +39,14 @@ type Scenario struct {
 	// adds the trace_* / overlap_* metrics to each unit's results; the
 	// whole timeline can then be exported via `acesim trace`.
 	Trace *TraceSpec `json:"trace,omitempty"`
+	// Events is the timed fault/dynamics track applied to every unit of
+	// the scenario: link failure/restore/degradation, NPU stragglers,
+	// checkpoint stalls and job departures, each at a fixed simulation
+	// time. A scenario with events adds the fault_* metrics to each unit.
+	Events []fault.Event `json:"events,omitempty"`
+	// Recovery tunes the retry/backoff/park policy link faults are
+	// recovered under; nil takes the collectives defaults.
+	Recovery *fault.Recovery `json:"recovery,omitempty"`
 
 	// dir is the scenario file's directory (set by Load); relative graph
 	// paths resolve against it. Scenarios parsed from a reader resolve
@@ -176,6 +185,11 @@ type SubJob struct {
 	PayloadMB    float64 `json:"payload_mb,omitempty"`
 	PayloadBytes int64   `json:"payload_bytes,omitempty"`
 	Repeat       int     `json:"repeat,omitempty"`
+	// StartAtUs delays the sub-job's arrival to the given simulation time
+	// (microseconds); its completion is then measured from its own start.
+	// The solo baseline ignores it — solo jobs run alone from t=0, which
+	// is what keeps "<name>_slowdown" attributable to contention.
+	StartAtUs float64 `json:"start_at_us,omitempty"`
 }
 
 // IsTraining reports whether the sub-job is a training workload (vs a
@@ -212,6 +226,9 @@ func (sj SubJob) validate(toruses []noc.Topology) error {
 		if _, err := ParseCollective(sj.Collective); err != nil {
 			return err
 		}
+	}
+	if sj.StartAtUs < 0 {
+		return errors.New("negative start_at_us")
 	}
 	if sj.Placement != "" && sj.Placement != "shared" {
 		for _, t := range toruses {
@@ -323,6 +340,20 @@ var TraceMetrics = map[string]bool{
 	"trace_spans":         true,
 }
 
+// FaultMetrics lists the metrics the event track adds to every unit of a
+// scenario with events, regardless of job kind (so they carry no kind in
+// Metrics). fault_slowdown is the exception: multijob units report the
+// per-job "<name>_slowdown" values instead, measured against solo
+// baselines that strip the event track.
+var FaultMetrics = map[string]bool{
+	"fault_events":      true,
+	"fault_drops":       true,
+	"fault_retries":     true,
+	"fault_parked":      true,
+	"fault_recovery_us": true,
+	"fault_slowdown":    true,
+}
+
 // Metrics maps every assertable metric to the job kind that produces it.
 var Metrics = map[string]JobKind{
 	// collective metrics
@@ -391,6 +422,13 @@ type Unit struct {
 	// Graph unit: a resolved graph-file path, or a pipeline synthesis.
 	GraphFile string
 	Pipeline  *PipelineSpec
+
+	// Fault track: every unit of a scenario carries the scenario's full
+	// timed event list and recovery policy (events are times on the
+	// unit's own simulation clock, so they replay identically on each
+	// independent unit).
+	Events   []fault.Event
+	Recovery *fault.Recovery
 }
 
 // Load reads and parses a scenario file. Call Validate (or Expand) to
@@ -694,10 +732,101 @@ func (s *Scenario) Expand() ([]Unit, error) {
 			return fail("unknown kind (want collective, training, microbench, multijob or graph)")
 		}
 	}
+	if err := s.validateEvents(units); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if len(s.Events) > 0 {
+		for i := range units {
+			units[i].Events = s.Events
+			units[i].Recovery = s.Recovery
+		}
+	}
 	if err := s.validateAssertions(); err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
 	return units, nil
+}
+
+// validateEvents checks the timed event track against the expanded units
+// (after expansion, so sub-job names are defaulted and placements parsed).
+// Coordinates of an unscoped event must be valid on every grid topology;
+// a job-scoped event's coordinates must be valid on the named sub-job's
+// partition shape.
+func (s *Scenario) validateEvents(units []Unit) error {
+	if err := s.Recovery.Validate(); err != nil {
+		return fmt.Errorf("events: %w", err)
+	}
+	if len(s.Events) == 0 {
+		return nil
+	}
+	multi, single := 0, 0
+	for _, u := range units {
+		switch u.Kind {
+		case KindMicrobench:
+			return fmt.Errorf("events: job %d: the microbench runs its own fixed interference schedule and takes no event track", u.Job)
+		case KindMultiJob:
+			multi++
+		default:
+			single++
+		}
+	}
+	if multi > 0 && single > 0 {
+		return errors.New("events: cannot mix multijob and single-job kinds in one faulted scenario (job-scoped and unscoped coordinates would be ambiguous); split the scenario")
+	}
+	for ei, e := range s.Events {
+		efail := func(format string, args ...any) error {
+			return fmt.Errorf("event %d (%s at %gus): %s", ei, e.Action, e.AtUs, fmt.Sprintf(format, args...))
+		}
+		for _, u := range units {
+			if u.Kind != KindMultiJob {
+				if e.Job != "" {
+					return efail("job %q: only multijob sub-jobs are named; single-job units take unscoped events", e.Job)
+				}
+				if err := e.Validate(u.Topo); err != nil {
+					return efail("on %s: %v", u.Topo, err)
+				}
+				continue
+			}
+			partitioned := u.SubJobs[0].Placement != "" && u.SubJobs[0].Placement != "shared"
+			if e.Job == "" {
+				if e.Action == fault.JobDepart {
+					return efail("job_depart needs a job name in a multijob scenario")
+				}
+				if partitioned {
+					return efail("needs a job scope: job %d's sub-jobs are partitioned, so link/node coordinates are partition-local", u.Job)
+				}
+				if err := e.Validate(u.Topo); err != nil {
+					return efail("on %s: %v", u.Topo, err)
+				}
+				continue
+			}
+			var sub *SubJob
+			for si := range u.SubJobs {
+				if u.SubJobs[si].Name == e.Job {
+					sub = &u.SubJobs[si]
+					break
+				}
+			}
+			if sub == nil {
+				return efail("job %d has no sub-job named %q", u.Job, e.Job)
+			}
+			if !partitioned && e.Action != fault.JobDepart {
+				return efail("the shared fabric is not job-scoped; drop the job field")
+			}
+			shape := u.Topo
+			if partitioned {
+				p, err := noc.ParsePartition(u.Topo, sub.Placement)
+				if err != nil {
+					return efail("job %q: %v", e.Job, err)
+				}
+				shape = p.Shape
+			}
+			if err := e.Validate(shape); err != nil {
+				return efail("job %q on %s: %v", e.Job, shape, err)
+			}
+		}
+	}
+	return nil
 }
 
 // platformGrid resolves the topology and preset lists: the legacy
@@ -767,6 +896,22 @@ func (s *Scenario) validateAssertions() error {
 			if !s.TraceEnabled() {
 				return fmt.Errorf("assertion %d: metric %q requires \"trace\": {\"enabled\": true}", i, a.Metric)
 			}
+		} else if FaultMetrics[a.Metric] {
+			// Fault metrics exist on every unit of a scenario that
+			// declares an event track.
+			if len(s.Events) == 0 {
+				return fmt.Errorf("assertion %d: metric %q requires an events track", i, a.Metric)
+			}
+			if a.Metric == "fault_slowdown" && a.Kind == KindMultiJob {
+				return fmt.Errorf("assertion %d: multijob units report per-job \"<name>_slowdown\" values instead of fault_slowdown", i)
+			}
+		} else if s.isSubJobMetric(a.Metric) {
+			// Per-sub-job multijob metrics ("<name>_slowdown" etc.) are
+			// named after the scenario's own sub-jobs.
+			if a.Kind != "" && a.Kind != KindMultiJob {
+				return fmt.Errorf("assertion %d: metric %q belongs to %s jobs, not %s",
+					i, a.Metric, KindMultiJob, a.Kind)
+			}
 		} else {
 			kind, ok := Metrics[a.Metric]
 			if !ok {
@@ -802,6 +947,28 @@ func (s *Scenario) validateAssertions() error {
 		}
 	}
 	return nil
+}
+
+// isSubJobMetric reports whether the metric names a per-sub-job multijob
+// value — "<name>_solo_us", "<name>_co_us" or "<name>_slowdown" for a
+// sub-job of one of the scenario's multijob groups (names defaulted the
+// same way expansion defaults them).
+func (s *Scenario) isSubJobMetric(metric string) bool {
+	for _, j := range s.Jobs {
+		if j.Kind != KindMultiJob {
+			continue
+		}
+		for si, sj := range j.Jobs {
+			name := sj.Name
+			if name == "" {
+				name = fmt.Sprintf("job%d", si)
+			}
+			if metric == name+"_solo_us" || metric == name+"_co_us" || metric == name+"_slowdown" {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // KernelName formats the kernel the way the Fig 4 harness names it.

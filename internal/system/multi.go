@@ -5,6 +5,7 @@ import (
 
 	"acesim/internal/collectives"
 	"acesim/internal/des"
+	"acesim/internal/fault"
 	"acesim/internal/noc"
 	"acesim/internal/training"
 )
@@ -48,6 +49,47 @@ type Multi struct {
 	// Shared is the common substrate in interference mode (nil when the
 	// jobs are partitioned).
 	Shared *System
+
+	// Job-departure registry for job-scoped job_depart events.
+	departFns map[string]func()
+	departed  map[string]bool
+}
+
+// OnDepart registers the callback run when the named job departs. If the
+// departure already fired (the job was scheduled to arrive after its own
+// departure), the callback runs immediately.
+func (m *Multi) OnDepart(job string, fn func()) {
+	if m.departed[job] {
+		fn()
+		return
+	}
+	if m.departFns == nil {
+		m.departFns = make(map[string]func())
+	}
+	m.departFns[job] = fn
+}
+
+// Departed reports whether the named job has departed.
+func (m *Multi) Departed(job string) bool { return m.departed[job] }
+
+func (m *Multi) depart(job string) {
+	if m.departed == nil {
+		m.departed = make(map[string]bool)
+	}
+	m.departed[job] = true
+	if fn := m.departFns[job]; fn != nil {
+		fn()
+	}
+}
+
+// job finds a job system by name (nil if unknown).
+func (m *Multi) job(name string) *JobSystem {
+	for _, js := range m.Jobs {
+		if js.Name == name {
+			return js
+		}
+	}
+	return nil
 }
 
 // BuildMulti constructs a platform for the given concurrent jobs. All
@@ -97,6 +139,8 @@ func BuildMulti(spec Spec, jobs []JobPlacement) (*Multi, error) {
 	m := &Multi{Spec: spec, Eng: des.NewEngine()}
 	if shared > 0 {
 		// Interference mode: one substrate, one collective stream per job.
+		// Fabric-scoped fault events are scheduled by the substrate build;
+		// job-scoped ones (departures) are handled below against the Multi.
 		ss := spec
 		ss.Coll.Streams = len(jobs)
 		sys, err := BuildOn(m.Eng, ss)
@@ -113,13 +157,25 @@ func BuildMulti(spec Spec, jobs []JobPlacement) (*Multi, error) {
 				Stream: collectives.StreamID(i),
 			})
 		}
+		if err := m.scheduleFaults(spec.Faults); err != nil {
+			return nil, err
+		}
 		return m, nil
 	}
 	// Isolation mode: one private sub-fabric per job on the common
 	// engine. Construction order is job order, so the build (and thus
 	// the timeline) is deterministic. Each job's tracks are registered
 	// under its own trace process so identically named per-node lanes of
-	// different partitions stay distinct.
+	// different partitions stay distinct. The event track is stripped
+	// from the sub-builds (its coordinates are not partition-local and
+	// would be double-scheduled); job-scoped events are applied below,
+	// against each job's private fabric. The recovery policy still flows
+	// down so each tenant runtime installs its drop handlers.
+	faults := spec.Faults
+	if faults.NeedsRecovery() && spec.Coll.Recovery == nil {
+		spec.Coll.Recovery = faults.Recovery.Policy()
+	}
+	spec.Faults = nil
 	for i, j := range jobs {
 		spec.Tracer.SetProc(names[i])
 		sys, err := BuildOn(m.Eng, Respec(spec, j.Part.Shape))
@@ -130,7 +186,51 @@ func BuildMulti(spec Spec, jobs []JobPlacement) (*Multi, error) {
 		m.Jobs = append(m.Jobs, &JobSystem{Name: names[i], Part: *j.Part, Sys: sys})
 	}
 	spec.Tracer.SetProc("")
+	if err := m.scheduleFaults(faults); err != nil {
+		return nil, err
+	}
 	return m, nil
+}
+
+// scheduleFaults applies the job-scoped slice of the event track. In
+// partitioned mode a job-scoped link/NPU event addresses the job's private
+// sub-fabric in partition-local coordinates; in shared mode fabric events
+// are global (scheduled by the substrate build) and only departures carry
+// a job scope.
+func (m *Multi) scheduleFaults(tk *fault.Track) error {
+	if tk == nil {
+		return nil
+	}
+	scheds := make(map[string]*fault.Scheduler)
+	for _, e := range tk.Events {
+		if e.Job == "" {
+			if m.Shared == nil && e.Action != fault.JobDepart {
+				return fmt.Errorf("system: %s event needs a job scope in partitioned mode", e.Action)
+			}
+			// Shared mode: already scheduled by the substrate BuildOn.
+			continue
+		}
+		js := m.job(e.Job)
+		if js == nil {
+			return fmt.Errorf("system: fault event targets unknown job %q", e.Job)
+		}
+		sch, ok := scheds[e.Job]
+		if !ok {
+			label := ""
+			if !js.Shared {
+				label = js.Name
+			}
+			sch = fault.NewScheduler(m.Eng, fault.Target{
+				Net:      js.Sys.Net,
+				Computes: js.Sys.Computes,
+				Depart:   m.depart,
+				Label:    label,
+			})
+			scheds[e.Job] = sch
+		}
+		sch.Add(e)
+	}
+	return nil
 }
 
 // Respec retargets a platform spec at a different fabric shape, re-deriving

@@ -9,6 +9,7 @@ import (
 	"acesim/internal/collectives"
 	"acesim/internal/core"
 	"acesim/internal/des"
+	"acesim/internal/fault"
 	"acesim/internal/graph"
 	"acesim/internal/noc"
 	"acesim/internal/npu"
@@ -77,6 +78,12 @@ type Spec struct {
 	// onto named tracks (see internal/trace). Nil disables tracing with
 	// zero overhead.
 	Tracer *trace.Tracer
+	// Faults, when non-nil, schedules the timed event track on the engine
+	// at build time. Events without a job scope target this fabric; tracks
+	// that down links force a collectives recovery policy (Coll.Recovery,
+	// defaulted from Faults.Recovery when unset). Job-scoped events are
+	// only meaningful under BuildMulti, which handles them itself.
+	Faults *fault.Track
 }
 
 // DefaultLinkClasses returns the Table V link parameters.
@@ -140,6 +147,29 @@ type System struct {
 	ACEs     []*core.ACE // non-nil entries only for Preset == ACE
 	RT       *collectives.Runtime
 	Computes []*npu.Compute
+
+	// departFns run when a job_depart event fires on this system.
+	departFns []func()
+	departed  bool
+}
+
+// OnDepart registers a callback for job_depart events (typically the
+// launch's Cancel). Registering after a departure already fired runs the
+// callback immediately — the job is already gone.
+func (s *System) OnDepart(fn func()) {
+	if s.departed {
+		fn()
+		return
+	}
+	s.departFns = append(s.departFns, fn)
+}
+
+func (s *System) depart() {
+	s.departed = true
+	for _, fn := range s.departFns {
+		fn()
+	}
+	s.departFns = nil
 }
 
 // Build constructs the platform on a fresh engine.
@@ -213,7 +243,28 @@ func BuildOn(eng *des.Engine, spec Spec) (*System, error) {
 		}
 		s.Eps = append(s.Eps, ep)
 	}
+	if spec.Faults.NeedsRecovery() && spec.Coll.Recovery == nil {
+		spec.Coll.Recovery = spec.Faults.Recovery.Policy()
+		s.Spec = spec
+	}
 	s.RT = collectives.NewRuntime(eng, net, s.Eps, spec.Coll)
+	if spec.Faults != nil {
+		// Only fabric-scoped events: job-scoped ones carry partition-local
+		// coordinates and are scheduled by BuildMulti against the right
+		// sub-system. (Exception: a scope-less job_depart targets this
+		// system's single job.)
+		var own []fault.Event
+		for _, e := range spec.Faults.Events {
+			if e.Job == "" {
+				own = append(own, e)
+			}
+		}
+		fault.Schedule(eng, own, fault.Target{
+			Net:      net,
+			Computes: s.Computes,
+			Depart:   func(string) { s.depart() },
+		})
+	}
 	return s, nil
 }
 

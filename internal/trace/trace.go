@@ -69,6 +69,10 @@ const (
 	CatSide    = "side"
 	CatStep    = "step"
 	CatOp      = "op"
+	// CatFault marks injected-fault windows (link outages, stragglers,
+	// checkpoint stalls). Rendered only: the overlap breakdown ignores it,
+	// so exposed-communication accounting is unchanged by fault spans.
+	CatFault = "fault"
 )
 
 // TrackID identifies one registered track.

@@ -165,6 +165,10 @@ func (r *Runner) Start(m *workload.Model) (*Launch, error) {
 // Done reports whether every node's program has finished.
 func (l *Launch) Done() bool { return l.run.Finished() }
 
+// Cancel aborts the launch's remaining compute (job departure); see
+// graph.Run.Cancel for the abort-compute / flush-communication semantics.
+func (l *Launch) Cancel() { l.run.Cancel() }
+
 // windows pairs a rank's start/end marks into half-open intervals.
 func windows(marks map[string][]des.Time, start, end string) []Window {
 	starts, ends := marks[start], marks[end]
