@@ -5,7 +5,7 @@ GO ?= go
 # grows, never lower it without explanation.
 COVER_MIN ?= 75.0
 
-.PHONY: build test test-short test-race bench lint vet fuzz-smoke fmt cover cover-check trace-smoke overhead-guard chaos-smoke
+.PHONY: build test test-short test-race bench lint vet fuzz-smoke fmt cover cover-check trace-smoke overhead-guard chaos-smoke hybrid-smoke
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,14 @@ fuzz-smoke:
 chaos-smoke:
 	$(GO) test -race -run 'TestChaos' ./internal/collectives
 	$(GO) run ./cmd/acesim scenario run examples/scenarios/link_failure.json
+
+# Hybrid-engine smoke: the fast path's golden-equality gates (hybrid ==
+# DES to the picosecond on collectives, Fig 4, training and the p2p
+# pipeline graph, plus the refusal/fallback matrix and the randomized
+# topology sweep), then the bundled hybrid scenario end to end.
+hybrid-smoke:
+	$(GO) test -run 'TestHybrid|TestAnalytic|TestAnalyzeOn' ./internal/exper
+	$(GO) run ./cmd/acesim scenario run examples/scenarios/hybrid_fastpath.json
 
 # Per-package coverage summary plus the total (short mode: the full
 # grids add minutes without covering new statements).

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"acesim/internal/collectives"
 	"acesim/internal/exper"
 	"acesim/internal/graph"
 	"acesim/internal/report"
@@ -42,6 +43,7 @@ func runGraphCmd(args []string) error {
 	stages := fs.Int("stages", 0, "pipeline stages; > 0 synthesizes a pipeline instead of the training loop")
 	microbatches := fs.Int("microbatches", 4, "microbatches per iteration (pipeline synthesis)")
 	schedule := fs.String("schedule", "gpipe", "pipeline schedule: gpipe or 1f1b")
+	engineStr := fs.String("engine", "des", "execution engine for graph run: des, hybrid or analytic")
 	out := fs.String("out", "-", `convert output path ("-" for stdout)`)
 	if err := parseFlags(fs, args[1:]); err != nil {
 		return err
@@ -73,18 +75,28 @@ func runGraphCmd(args []string) error {
 		if err != nil {
 			return err
 		}
-		// Every run collects a trace: the overlap fraction column comes
-		// from the span timeline, not the executor's own accounting.
-		tab := report.New(fmt.Sprintf("graphs on %s %s", size, p),
+		engine, err := collectives.ParseEngine(*engineStr)
+		if err != nil {
+			return err
+		}
+		// A DES run collects a trace: the overlap fraction column comes
+		// from the span timeline, not the executor's own accounting. The
+		// fast engines skip the collector (tracing forces full DES — the
+		// span timeline needs every event), so those columns read zero.
+		tab := report.New(fmt.Sprintf("graphs on %s %s (%s engine)", size, p, engine),
 			"graph", "ranks", "span us", "compute us", "exposed us", "exposed frac", "overlap frac", "link util")
 		for _, path := range fs.Args() {
 			g, err := graph.Load(path)
 			if err != nil {
 				return err
 			}
-			tr := trace.New()
 			spec := system.NewSpec(size, p)
-			spec.Tracer = tr
+			spec.Engine = engine
+			var tr *trace.Tracer
+			if engine == collectives.EngineDES {
+				tr = trace.New()
+				spec.Tracer = tr
+			}
 			res, err := exper.RunGraph(spec, g)
 			if err != nil {
 				return err
@@ -93,7 +105,10 @@ func runGraphCmd(args []string) error {
 			if res.Span > 0 {
 				frac = float64(res.Exposed) / float64(res.Span)
 			}
-			bd := tr.Breakdown()
+			var bd trace.Breakdown
+			if tr != nil {
+				bd = tr.Breakdown()
+			}
 			tab.Add(g.Name, g.Ranks, res.Span.Micros(), res.Compute.Micros(), res.Exposed.Micros(), frac,
 				bd.OverlapFrac, bd.LinkUtil)
 		}

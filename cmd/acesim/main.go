@@ -155,7 +155,7 @@ func run(args []string) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: acesim <experiment> [-size SHAPE] [-quick] [-csv dir]
        acesim scenario run|validate|list [-workers N] [-format text|json|csv] <file>...
-       acesim graph run|convert|validate [-size SHAPE] [-preset P] [convert flags] <file>...
+       acesim graph run|convert|validate [-size SHAPE] [-preset P] [-engine des|hybrid|analytic] [convert flags] <file>...
        acesim trace [-out trace.json] [-csv path] [-workers N] [-size SHAPE] [-preset P] <scenario.json|graph.json>
        acesim bench [-short] [-runs N] [-out path]
 experiments: fig4 fig5 fig6 fig9a fig9b fig10 fig11 fig12

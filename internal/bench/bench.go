@@ -31,9 +31,11 @@ import (
 )
 
 // Schema identifies the report format; bump on incompatible change.
-// v2 added the graph-executor family ("graph/..."), so v1 and v2 reports
-// are not comparable unit-for-unit.
-const Schema = "acesim-bench/v2"
+// v2 added the graph-executor family ("graph/..."); v3 added the
+// hybrid-engine variants ("*-hybrid"), whose Events field carries the
+// paired DES unit's event count (see suite), so earlier reports are not
+// comparable unit-for-unit.
+const Schema = "acesim-bench/v3"
 
 // Unit is the measured cost of one suite entry.
 type Unit struct {
@@ -131,11 +133,14 @@ func suite(short bool) []spec {
 	// Collective payload sweep: ring all-reduce on ACE (the paper's
 	// engine) across payloads, plus the software baseline and an
 	// all-to-all for the routed/forwarding path.
-	coll := func(name string, preset system.Preset, kind collectives.Kind, bytes int64) spec {
+	coll := func(name string, preset system.Preset, kind collectives.Kind, bytes int64, desEvents *uint64) spec {
 		return spec{name: name, run: func() (stats, error) {
 			res, err := exper.RunCollective(system.NewSpec(torus16, preset), kind, bytes)
 			if err != nil {
 				return stats{}, err
+			}
+			if desEvents != nil {
+				*desEvents = res.Events
 			}
 			return stats{events: res.Events, metrics: map[string]float64{
 				"duration_us":   res.Duration.Micros(),
@@ -143,18 +148,44 @@ func suite(short bool) []spec {
 			}}, nil
 		}}
 	}
-	specs = append(specs, coll("allreduce/ace-16npu-8MB", system.ACE, collectives.AllReduce, 8<<20))
+	var arDES uint64
+	specs = append(specs, coll("allreduce/ace-16npu-8MB", system.ACE, collectives.AllReduce, 8<<20, &arDES))
 	if !short {
 		specs = append(specs,
-			coll("allreduce/ace-16npu-1MB", system.ACE, collectives.AllReduce, 1<<20),
-			coll("allreduce/ace-16npu-64MB", system.ACE, collectives.AllReduce, 64<<20),
-			coll("allreduce/base-16npu-8MB", system.BaselineCommOpt, collectives.AllReduce, 8<<20),
-			coll("alltoall/ace-16npu-4MB", system.ACE, collectives.AllToAll, 4<<20),
+			coll("allreduce/ace-16npu-1MB", system.ACE, collectives.AllReduce, 1<<20, nil),
+			coll("allreduce/ace-16npu-64MB", system.ACE, collectives.AllReduce, 64<<20, nil),
+			coll("allreduce/base-16npu-8MB", system.BaselineCommOpt, collectives.AllReduce, 8<<20, nil),
+			coll("alltoall/ace-16npu-4MB", system.ACE, collectives.AllToAll, 4<<20, nil),
 		)
 	}
 
+	// Hybrid fast-path variant of the 8MB all-reduce (schema v3). A
+	// hybrid unit reports its paired DES unit's event count, so the
+	// EventsPerSec ratio between the pair reads as simulated-work
+	// throughput — i.e. the wall-clock speedup of the fast path on
+	// identical work. The events the engines actually executed are in
+	// metrics.engine_events, and the simulated-result metrics must equal
+	// the paired unit's exactly (the fast path's drift canaries).
+	specs = append(specs, spec{name: "allreduce/ace-16npu-8MB-hybrid", run: func() (stats, error) {
+		sysSpec := system.NewSpec(torus16, system.ACE)
+		sysSpec.Engine = collectives.EngineHybrid
+		res, err := exper.RunCollective(sysSpec, collectives.AllReduce, 8<<20)
+		if err != nil {
+			return stats{}, err
+		}
+		if !res.Hybrid.Engaged {
+			return stats{}, fmt.Errorf("hybrid fast path did not engage: %+v", res.Hybrid.Blocked)
+		}
+		return stats{events: arDES, metrics: map[string]float64{
+			"duration_us":   res.Duration.Micros(),
+			"eff_gbps_node": res.EffGBpsNode,
+			"engine_events": float64(res.Events),
+		}}, nil
+	}})
+
 	// Scaled training run: the full stack (compute stream + LIFO
 	// collective scheduling + cross-iteration dependency) on ResNet-50.
+	var trainDES uint64
 	specs = append(specs, spec{name: "training/resnet50-ace-16npu", run: func() (stats, error) {
 		sysSpec := system.NewSpec(torus16, system.ACE)
 		exper.FastGranularity(&sysSpec)
@@ -163,15 +194,35 @@ func suite(short bool) []spec {
 		if err != nil {
 			return stats{}, err
 		}
-		return stats{events: s.Eng.Steps(), metrics: map[string]float64{
+		trainDES = s.Eng.Steps()
+		return stats{events: trainDES, metrics: map[string]float64{
 			"iter_time_us": res.IterTime.Micros(),
 			"exposed_us":   res.ExposedComm.Micros(),
+		}}, nil
+	}})
+	specs = append(specs, spec{name: "training/resnet50-ace-16npu-hybrid", run: func() (stats, error) {
+		sysSpec := system.NewSpec(torus16, system.ACE)
+		sysSpec.Engine = collectives.EngineHybrid
+		exper.FastGranularity(&sysSpec)
+		m := workload.ResNet50(workload.ResNet50Batch)
+		res, s, err := exper.RunTraining(sysSpec, m, training.DefaultConfig())
+		if err != nil {
+			return stats{}, err
+		}
+		if !res.Hybrid.Engaged {
+			return stats{}, fmt.Errorf("hybrid fast path did not engage: %+v", res.Hybrid.Blocked)
+		}
+		return stats{events: trainDES, metrics: map[string]float64{
+			"iter_time_us":  res.IterTime.Micros(),
+			"exposed_us":    res.ExposedComm.Micros(),
+			"engine_events": float64(s.Eng.Steps() + s.RT.HybridStats().ShadowSteps),
 		}}, nil
 	}})
 
 	// Graph executor on a lowered GNMT training graph: the dependency
 	// scheduler, per-op bookkeeping and collective matching on the
 	// heaviest bundled workload (~7M events).
+	var gnmtDES uint64
 	specs = append(specs, spec{name: "graph/gnmt-lowered-ace-16npu", run: func() (stats, error) {
 		sysSpec := system.NewSpec(torus16, system.ACE)
 		exper.FastGranularity(&sysSpec)
@@ -184,9 +235,34 @@ func suite(short bool) []spec {
 		if err != nil {
 			return stats{}, err
 		}
-		return stats{events: res.Events, metrics: map[string]float64{
+		gnmtDES = res.Events
+		return stats{events: gnmtDES, metrics: map[string]float64{
 			"span_us":    res.Span.Micros(),
 			"exposed_us": res.Exposed.Micros(),
+		}}, nil
+	}})
+	// The ISSUE's headline unit: the same lowered GNMT graph under the
+	// hybrid engine, targeted at >= 10x events/sec over its DES pair.
+	specs = append(specs, spec{name: "graph/gnmt-lowered-ace-16npu-hybrid", run: func() (stats, error) {
+		sysSpec := system.NewSpec(torus16, system.ACE)
+		sysSpec.Engine = collectives.EngineHybrid
+		exper.FastGranularity(&sysSpec)
+		m := workload.GNMT(workload.GNMTBatch)
+		g, err := graph.FromModel(m, graph.ModelConfig{Iterations: 2, Overlap: true}, torus16.N())
+		if err != nil {
+			return stats{}, err
+		}
+		res, err := exper.RunGraph(sysSpec, g)
+		if err != nil {
+			return stats{}, err
+		}
+		if !res.Hybrid.Engaged {
+			return stats{}, fmt.Errorf("hybrid fast path did not engage: %+v", res.Hybrid.Blocked)
+		}
+		return stats{events: gnmtDES, metrics: map[string]float64{
+			"span_us":       res.Span.Micros(),
+			"exposed_us":    res.Exposed.Micros(),
+			"engine_events": float64(res.Events),
 		}}, nil
 	}})
 	if !short {

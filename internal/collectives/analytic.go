@@ -1,6 +1,12 @@
 package collectives
 
-import "acesim/internal/core"
+import (
+	"fmt"
+
+	"acesim/internal/core"
+	"acesim/internal/des"
+	"acesim/internal/noc"
+)
 
 // Analytic byte accounting (Section VI-A of the paper). These formulas are
 // derived from the exact same Shapes geometry the executor runs, so the
@@ -25,54 +31,206 @@ type Traffic struct {
 	Received int64
 }
 
-// Analyze computes per-node traffic for one chunk of the plan.
+// Analyze computes per-node traffic for one chunk of the plan on the
+// given topology. It errors on degenerate plans (the same condition
+// RunCollective reports via Plan.Validate) and on ring phases over mesh
+// dimensions: a mesh charges the logical-ring boundary hop as a routed
+// multi-hop back across the line, so per-node traffic depends on the
+// node's position — use AnalyzeOn for exact fabric-wide totals instead.
 // All-to-all forwarding traffic (reads at intermediate hops) depends on
 // the topology and is not included in BaselineReads here.
-func Analyze(plan Plan, chunk int64) Traffic {
-	var t Traffic
+func Analyze(t noc.Topology, plan Plan, chunk int64) (Traffic, error) {
+	var tr Traffic
+	if err := plan.Validate(); err != nil {
+		return tr, err
+	}
 	shapes := Shapes(plan, chunk)
+	if len(shapes) == 0 {
+		return tr, fmt.Errorf("collectives: empty plan")
+	}
 	for _, s := range shapes {
 		if s.Kind == core.PhaseAllToAll {
 			sent := int64(s.Steps) * s.DirSeg[0]
-			t.Injected += sent
-			t.Received += sent
-			t.BaselineReads += sent
-			t.BaselineWrites += sent
+			tr.Injected += sent
+			tr.Received += sent
+			tr.BaselineReads += sent
+			tr.BaselineWrites += sent
 			continue
+		}
+		if s.Ring > 1 && !t.Wrap(s.Dim) {
+			return Traffic{}, fmt.Errorf(
+				"collectives: ring phase on mesh dimension %d of %s: per-node traffic is position-dependent; use AnalyzeOn",
+				s.Dim, t)
 		}
 		for d := 0; d < 2; d++ {
 			if s.DirIn[d] == 0 {
 				continue
 			}
 			sent := int64(s.Steps) * s.DirSeg[d]
-			t.Injected += sent
-			t.Received += sent
-			t.BaselineReads += sent + int64(s.Reduces())*s.DirSeg[d]
-			t.BaselineWrites += sent
+			tr.Injected += sent
+			tr.Received += sent
+			tr.BaselineReads += sent + int64(s.Reduces())*s.DirSeg[d]
+			tr.BaselineWrites += sent
 		}
 	}
-	t.ACEReads = chunk
+	tr.ACEReads = chunk
 	last := shapes[len(shapes)-1]
-	t.ACEWrites = last.Out
+	tr.ACEWrites = last.Out
 	if last.Kind == core.PhaseAllToAll {
-		t.ACEWrites = last.In
+		tr.ACEWrites = last.In
 	}
-	return t
+	return tr, nil
+}
+
+// FabricTraffic is the exact fabric-wide byte accounting for one chunk of
+// a plan: totals over every node and link, valid on wrap and mesh
+// dimensions alike. The invariant Wire == Injected + Forward holds by
+// construction and is what ties it to the network's link meters.
+type FabricTraffic struct {
+	// Wire is the total bytes serialized over links (Network.TotalWireBytes).
+	Wire int64
+	// Injected is the total bytes sourced by endpoints (Network.InjectedBytes).
+	Injected int64
+	// Forward is the total bytes relayed through intermediate endpoints.
+	Forward int64
+}
+
+// AnalyzeOn computes the exact fabric-wide traffic for one chunk of the
+// plan on the topology. Ring phases on wrap dimensions use one link per
+// send; on mesh dimensions the boundary hop of each logical ring is a
+// routed walk back across the line (one wire hop per link, one Forward
+// per intermediate endpoint), exactly as Network.SendNeighbor charges it.
+// All-to-all phases follow Network.SendRouted over RouteXYZ paths.
+func AnalyzeOn(t noc.Topology, plan Plan, chunk int64) (FabricTraffic, error) {
+	var ft FabricTraffic
+	if err := plan.Validate(); err != nil {
+		return ft, err
+	}
+	shapes := Shapes(plan, chunk)
+	if len(shapes) == 0 {
+		return ft, fmt.Errorf("collectives: empty plan")
+	}
+	n := int64(t.N())
+	for _, s := range shapes {
+		if s.Kind == core.PhaseAllToAll {
+			seg := s.DirSeg[0]
+			for src := 0; src < t.N(); src++ {
+				for dst := 0; dst < t.N(); dst++ {
+					if src == dst {
+						continue
+					}
+					hops := int64(len(t.RouteXYZ(noc.NodeID(src), noc.NodeID(dst))))
+					ft.Wire += hops * seg
+					ft.Injected += seg
+					ft.Forward += (hops - 1) * seg
+				}
+			}
+			continue
+		}
+		size := int64(s.Ring)
+		rings := n / size
+		for d := 0; d < 2; d++ {
+			if s.DirIn[d] == 0 {
+				continue
+			}
+			sent := int64(s.Steps) * s.DirSeg[d]
+			// Per ring, per step, each member sends one segment.
+			ft.Injected += rings * size * sent
+			if t.Wrap(s.Dim) {
+				ft.Wire += rings * size * sent
+			} else {
+				// size-1 one-hop sends plus the boundary send walking
+				// size-1 reverse links through size-2 intermediates.
+				ft.Wire += rings * 2 * (size - 1) * sent
+				ft.Forward += rings * (size - 2) * sent
+			}
+		}
+	}
+	return ft, nil
 }
 
 // InjectedPerNode returns the per-node injected bytes for a full payload
 // executed as one chunk (the ratio is size-independent up to rounding).
-func InjectedPerNode(plan Plan, payload int64) int64 {
-	return Analyze(plan, payload).Injected
+func InjectedPerNode(t noc.Topology, plan Plan, payload int64) (int64, error) {
+	tr, err := Analyze(t, plan, payload)
+	return tr.Injected, err
 }
 
 // MemBWReduction returns the paper's headline ratio: baseline HBM read
 // traffic over ACE HBM read traffic for the same payload (Section VI-A;
 // about 3.4x for the 4x4x4 hierarchical all-reduce).
-func MemBWReduction(plan Plan, payload int64) float64 {
-	t := Analyze(plan, payload)
-	if t.ACEReads == 0 {
+func MemBWReduction(t noc.Topology, plan Plan, payload int64) (float64, error) {
+	tr, err := Analyze(t, plan, payload)
+	if err != nil {
+		return 0, err
+	}
+	if tr.ACEReads == 0 {
+		return 0, nil
+	}
+	return float64(tr.BaselineReads) / float64(tr.ACEReads), nil
+}
+
+// AnalyticCosts carries the per-dimension link costs the closed-form
+// duration model prices transfers with: effective bandwidth (GB/s, after
+// link efficiency) and per-message latency. system.BuildOn derives them
+// from the same link classes the network builds its links from.
+type AnalyticCosts struct {
+	DimRateGBps []float64
+	DimLatency  []des.Time
+}
+
+// EstimateDuration is the closed-form analytic time model for one
+// collective: per phase, a ring step costs the slowest direction's
+// serialization plus link latency, a phase costs Steps such steps, and a
+// chunk costs the sum over phases. Chunks pipeline through the phase
+// cascade, so the total is one full chunk traversal plus the remaining
+// chunks behind the bottleneck phase.
+//
+// This is a documented approximation — it prices links only (no endpoint
+// serialization, DMA, SRAM or window admission costs and no contention),
+// which is what makes the analytic engine mode fast and *approximate*,
+// in contrast to the hybrid engine's exact shadow timeline.
+func EstimateDuration(c AnalyticCosts, t noc.Topology, plan Plan, sizes []int64) des.Time {
+	if len(sizes) == 0 {
 		return 0
 	}
-	return float64(t.BaselineReads) / float64(t.ACEReads)
+	chunkTime := func(chunk int64) (des.Time, des.Time) {
+		var total, bottleneck des.Time
+		for _, s := range Shapes(plan, chunk) {
+			var rate float64
+			var lat des.Time
+			if int(s.Dim) < len(c.DimRateGBps) {
+				rate = c.DimRateGBps[s.Dim]
+				lat = c.DimLatency[s.Dim]
+			}
+			var step des.Time
+			if s.Kind == core.PhaseAllToAll {
+				step = des.ByteDur(s.DirSeg[0], rate) + lat
+			} else {
+				for d := 0; d < 2; d++ {
+					if s.DirIn[d] == 0 {
+						continue
+					}
+					if st := des.ByteDur(s.DirSeg[d], rate) + lat; st > step {
+						step = st
+					}
+				}
+			}
+			phase := des.Time(s.Steps) * step
+			total += phase
+			if phase > bottleneck {
+				bottleneck = phase
+			}
+		}
+		return total, bottleneck
+	}
+	// Chunk sizes differ only in the tail remainder; price the first chunk
+	// through the whole cascade and queue every later chunk behind the
+	// bottleneck phase.
+	total, _ := chunkTime(sizes[0])
+	for _, sz := range sizes[1:] {
+		_, b := chunkTime(sz)
+		total += b
+	}
+	return total
 }

@@ -224,8 +224,13 @@ func Shapes(plan Plan, chunk int64) []PhaseShape {
 }
 
 // ResidentBytes returns the endpoint residency vector for a chunk:
-// one entry per phase plus the terminal partition.
+// one entry per phase plus the terminal partition. An empty shape list
+// (fully degenerate plan) yields nil rather than panicking; callers
+// validate plans before executing them.
 func ResidentBytes(shapes []PhaseShape) []int64 {
+	if len(shapes) == 0 {
+		return nil
+	}
 	r := make([]int64, 0, len(shapes)+1)
 	for _, s := range shapes {
 		r = append(r, s.Resident)

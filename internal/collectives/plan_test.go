@@ -58,6 +58,27 @@ func TestPlanValidate(t *testing.T) {
 	}
 }
 
+// TestAnalyzeDegeneratePlan is the crash regression: a degenerate plan
+// (no phases — e.g. hierarchical all-reduce on a 1x1x1 fabric) must
+// come back from every analytic entry point as an error, the same
+// condition RunCollective reports, not a slice-bounds panic.
+func TestAnalyzeDegeneratePlan(t *testing.T) {
+	topo := noc.Torus3(1, 1, 1)
+	bad := HierarchicalAllReduce(topo)
+	if _, err := Analyze(topo, bad, 1<<20); err == nil {
+		t.Fatal("Analyze accepted a degenerate plan")
+	}
+	if _, err := AnalyzeOn(topo, bad, 1<<20); err == nil {
+		t.Fatal("AnalyzeOn accepted a degenerate plan")
+	}
+	if r := ResidentBytes(Shapes(bad, 1<<20)); r != nil {
+		t.Fatalf("ResidentBytes on empty shapes = %v, want nil", r)
+	}
+	if _, err := MemBWReduction(topo, bad, 1<<20); err == nil {
+		t.Fatal("MemBWReduction accepted a degenerate plan")
+	}
+}
+
 func TestShapesSingleRingAllReduce(t *testing.T) {
 	// Unidirectional ring AR of 64 MiB over 4 nodes: seg 16 MiB,
 	// 6 steps, out = in.
@@ -184,9 +205,13 @@ func TestKindString(t *testing.T) {
 func TestAnalyzeMatchesPaper444(t *testing.T) {
 	// Section VI-A: for every N bytes cached, 2.25N is sent on a 4x4x4;
 	// baseline reads 1.5 bytes per byte sent; ACE reads N once.
-	plan := HierarchicalAllReduce(noc.Torus3(4, 4, 4))
+	torus := noc.Torus3(4, 4, 4)
+	plan := HierarchicalAllReduce(torus)
 	const C = 4 << 20
-	tr := Analyze(plan, C)
+	tr, err := Analyze(torus, plan, C)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got, want := tr.Injected, int64(2.25*C); got != want {
 		t.Fatalf("injected = %d, want %d (2.25N)", got, want)
 	}
@@ -197,17 +222,22 @@ func TestAnalyzeMatchesPaper444(t *testing.T) {
 		t.Fatalf("ACE DMA traffic = %d/%d, want %d/%d", tr.ACEReads, tr.ACEWrites, C, C)
 	}
 	// Headline memory-BW reduction ~ 3.4x.
-	if r := MemBWReduction(plan, C); r < 3.3 || r > 3.5 {
-		t.Fatalf("mem BW reduction = %v, want ~3.375", r)
+	if r, err := MemBWReduction(torus, plan, C); err != nil || r < 3.3 || r > 3.5 {
+		t.Fatalf("mem BW reduction = %v (err %v), want ~3.375", r, err)
 	}
 }
 
 func TestAnalyze422(t *testing.T) {
 	// 16 NPUs (4x2x2): 0.75C + 0.25C + 0.25C + 0.75C = 2C injected.
-	plan := HierarchicalAllReduce(noc.Torus3(4, 2, 2))
+	torus := noc.Torus3(4, 2, 2)
+	plan := HierarchicalAllReduce(torus)
 	const C = 4 << 20
-	if got := Analyze(plan, C).Injected; got != 2*C {
-		t.Fatalf("injected = %d, want 2C", got)
+	tr, err := Analyze(torus, plan, C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Injected != 2*C {
+		t.Fatalf("injected = %d, want 2C", tr.Injected)
 	}
 }
 
@@ -215,7 +245,10 @@ func TestAnalyzeSingleRing(t *testing.T) {
 	// Flat ring AR: 2(n-1)/n injected, 1.5x reads exactly.
 	plan := RingAllReduce(8, noc.DimLocal)
 	const C = 8 << 20
-	tr := Analyze(plan, C)
+	tr, err := Analyze(noc.Torus3(8, 1, 1), plan, C)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if want := int64(2 * 7 * (C / 8)); tr.Injected != want {
 		t.Fatalf("injected = %d, want %d", tr.Injected, want)
 	}
@@ -227,16 +260,26 @@ func TestAnalyzeSingleRing(t *testing.T) {
 func TestAnalyzeAllToAll(t *testing.T) {
 	plan := DirectAllToAll(8)
 	const C = 8 << 10
-	tr := Analyze(plan, C)
+	tr, err := Analyze(noc.Torus3(8, 1, 1), plan, C)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if want := int64(7 * (C / 8)); tr.Injected != want || tr.Received != want {
 		t.Fatalf("a2a injected/received = %d/%d, want %d", tr.Injected, tr.Received, want)
 	}
 }
 
 func TestInjectedScalesLinearly(t *testing.T) {
-	plan := HierarchicalAllReduce(noc.Torus3(4, 4, 4))
-	a := InjectedPerNode(plan, 1<<20)
-	b := InjectedPerNode(plan, 4<<20)
+	torus := noc.Torus3(4, 4, 4)
+	plan := HierarchicalAllReduce(torus)
+	a, err := InjectedPerNode(torus, plan, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := InjectedPerNode(torus, plan, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if 4*a != b {
 		t.Fatalf("injection not linear: %d vs %d", a, b)
 	}

@@ -138,6 +138,14 @@ type Runtime struct {
 
 	// rec drives fault recovery; nil unless Config.Recovery is set.
 	rec *recovery
+
+	// Hybrid fast path (see hybrid.go). hyb is nil unless EnableHybrid
+	// armed it; mirror is set on *shadow* runtimes whose ring deliveries
+	// loop back to the sending node.
+	hyb        *hybridState
+	hybMode    Engine
+	hybBlocked map[string]int
+	mirror     bool
 }
 
 // NewRuntime wires the runtime to a fabric and per-node endpoints, and
@@ -272,6 +280,9 @@ func (rt *Runtime) IssueOn(stream StreamID, node noc.NodeID, spec Spec, onDone f
 	default:
 		panic("collectives: issue sequence out of order")
 	}
+	if rt.hyb != nil && rt.hyb.take(coll, node, onDone) {
+		return coll
+	}
 	coll.attach(node, onDone)
 	return coll
 }
@@ -292,6 +303,9 @@ func (rt *Runtime) SendP2P(src, dst noc.NodeID, bytes int64, onDelivered func())
 	}
 	if src == dst {
 		rt.eng.After(0, onDelivered)
+		return
+	}
+	if rt.hyb != nil && rt.hyb.takeP2P(src, dst, bytes, onDelivered) {
 		return
 	}
 	rt.eps[src].Forward(bytes, func() {
@@ -544,6 +558,13 @@ func (rr *ringRun) initCallbacks() {
 	bytes := s.DirSeg[rr.dirIdx]
 	dir := dirVal(rr.dirIdx)
 	dst := rt.net.Topo().Neighbor(e.node, s.Dim, dir)
+	if rt.mirror {
+		// Mirrored shadow: the fabric carries only this node's traffic,
+		// and by rotation symmetry a message sent to the downstream
+		// neighbor arrives exactly when the upstream neighbor's copy
+		// would arrive here — so deliver to self on the real link.
+		dst = e.node
+	}
 	m := inMsg{chunk: e.idx, phase: phase, dirIdx: rr.dirIdx, bytes: bytes}
 	rr.deliverFn = func() { e.coll.deliver(dst, m) }
 	rr.onSourced = func() {
@@ -711,6 +732,12 @@ func (rr *ringRun) maybeFinish() {
 }
 
 func (e *chunkExec) startA2A(s *PhaseShape) {
+	if e.rt().mirror {
+		// Routed all-to-all traffic crosses other nodes' links, so the
+		// mirror symmetry argument does not hold; the hybrid fast path
+		// downgrades such plans before they reach a mirrored shadow.
+		panic("collectives: all-to-all phase under a mirrored shadow")
+	}
 	n := e.rt().Nodes()
 	e.a2a = &a2aRun{exec: e, peers: n - 1}
 	rt := e.rt()

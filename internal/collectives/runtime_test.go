@@ -119,7 +119,11 @@ func perNodeInjected(t *testing.T, rt *Runtime, bytes int64, plan Plan) int64 {
 	t.Helper()
 	var sum int64
 	for _, sz := range rt.chunkSizes(bytes) {
-		sum += Analyze(plan, sz).Injected
+		tr, err := Analyze(rt.net.Topo(), plan, sz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += tr.Injected
 	}
 	return sum
 }
@@ -132,7 +136,10 @@ func TestRuntimeBaselineMemoryTraffic(t *testing.T) {
 	s.runSingle(t, arSpec(torus, payload))
 	var wantReads, wantWrites int64
 	for _, sz := range s.rt.chunkSizes(payload) {
-		tr := Analyze(plan, sz)
+		tr, err := Analyze(torus, plan, sz)
+		if err != nil {
+			t.Fatal(err)
+		}
 		wantReads += tr.BaselineReads
 		wantWrites += tr.BaselineWrites
 	}

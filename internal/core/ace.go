@@ -317,3 +317,16 @@ func (a *ACE) FlushBusy() {
 		a.start = now
 	}
 }
+
+// Absorb folds another ACE's internal server accounting (ALU and SRAM
+// ports) into this one, scaled by times — the hybrid engine's shadow
+// statistics merge. Gate and FSM occupancy state is transient and not
+// folded.
+func (a *ACE) Absorb(o *ACE, times int64) {
+	if o == nil {
+		return
+	}
+	a.alu.AbsorbFrom(o.alu, times)
+	a.sramR.AbsorbFrom(o.sramR, times)
+	a.sramW.AbsorbFrom(o.sramW, times)
+}

@@ -122,6 +122,11 @@ type Engine struct {
 	// default; every instrumented layer checks the nil fast path, so a
 	// tracerless engine pays nothing beyond a pointer test.
 	tracer *trace.Tracer
+	// perturbs counts mid-run rate changes on resources owned by this
+	// engine (resource.Server.SetRate). The hybrid fast path reads it to
+	// refuse (or abort) analytic shortcuts when someone rewires server
+	// rates under a simulation in flight.
+	perturbs uint64
 }
 
 // NewEngine returns a fresh engine at time zero.
@@ -146,6 +151,35 @@ func (e *Engine) Steps() uint64 { return e.nSteps }
 // increases Pending until that work is itself executed: the engine never
 // runs a callback inline.
 func (e *Engine) Pending() int { return e.q.len() }
+
+// NextAt returns the timestamp of the next queued event, or false when
+// the queue is empty. It lets a co-simulation driver lazily advance a
+// secondary engine exactly as far as its event horizon requires.
+func (e *Engine) NextAt() (Time, bool) {
+	if e.q.len() == 0 {
+		return 0, false
+	}
+	return e.q.peek().at, true
+}
+
+// AdvanceTo moves the clock to t without executing anything. It panics
+// if that would step over a queued event or run time backwards — the
+// caller (the hybrid co-simulation pump) must drain events up to t
+// first, so a violation is a scheduling bug, not a recoverable state.
+func (e *Engine) AdvanceTo(t Time) {
+	if t < e.now {
+		panic("des: AdvanceTo into the past")
+	}
+	if e.q.len() > 0 && e.q.peek().at < t {
+		panic("des: AdvanceTo over a pending event")
+	}
+	e.now = t
+}
+
+// NotePerturb records a mid-run resource-rate change; Perturbs returns
+// the running count. See Engine.perturbs.
+func (e *Engine) NotePerturb()     { e.perturbs++ }
+func (e *Engine) Perturbs() uint64 { return e.perturbs }
 
 // At schedules fn to run at absolute time t. Scheduling in the past is
 // clamped to the current time; a clamped (or exactly-now) event runs

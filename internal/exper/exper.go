@@ -33,6 +33,8 @@ type CollectiveResult struct {
 	// Recovery reports what the fault-recovery path did (zero-valued on
 	// fault-free runs).
 	Recovery collectives.RecoveryStats
+	// Hybrid reports the fast path's engagement and refusal reasons.
+	Hybrid collectives.HybridStats
 }
 
 // RunCollective executes one collective of the given kind and payload on
@@ -62,6 +64,7 @@ func RunCollective(spec system.Spec, kind collectives.Kind, bytes int64) (Collec
 		colls[i] = s.RT.Issue(noc.NodeID(i), cs, func() { done++ })
 	}
 	s.Eng.Run()
+	s.FoldHybrid()
 	if done != s.RT.Nodes() {
 		// Wedged runs (a link that never came back) drain gracefully: the
 		// incomplete collective is reported here, with the recovery state
@@ -87,8 +90,9 @@ func RunCollective(spec system.Spec, kind collectives.Kind, bytes int64) (Collec
 		WritesNode:   s.Nodes[0].WriteMeter.Total(),
 		WireBytes:    s.Net.TotalWireBytes(),
 		InjectedNode: injectedNode,
-		Events:       s.Eng.Steps(),
+		Events:       s.Eng.Steps() + s.RT.HybridStats().ShadowSteps,
 		Recovery:     s.RT.Recovery(),
+		Hybrid:       s.RT.HybridStats(),
 	}, nil
 }
 
@@ -101,6 +105,8 @@ type TrainResult struct {
 	// Recovery reports what the fault-recovery path did (zero-valued on
 	// fault-free runs).
 	Recovery collectives.RecoveryStats
+	// Hybrid reports the fast path's engagement and refusal reasons.
+	Hybrid collectives.HybridStats
 }
 
 // RunTraining executes the paper's two-iteration training measurement for
@@ -117,6 +123,7 @@ func RunTraining(spec system.Spec, m *workload.Model, tc training.Config) (Train
 	}
 	s.OnDepart(l.Cancel)
 	s.Eng.Run()
+	s.FoldHybrid()
 	res, err := l.Result()
 	if err != nil {
 		return TrainResult{}, nil, err
@@ -127,6 +134,7 @@ func RunTraining(spec system.Spec, m *workload.Model, tc training.Config) (Train
 		Workload: m.Name,
 		Result:   res,
 		Recovery: s.RT.Recovery(),
+		Hybrid:   s.RT.HybridStats(),
 	}, s, nil
 }
 

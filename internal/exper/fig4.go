@@ -128,7 +128,7 @@ func fig4Run(k *Fig4Kernel, arBytes int64) (des.Time, error) {
 
 // fig4RunStats is fig4Run plus the engine's executed-event count.
 func fig4RunStats(k *Fig4Kernel, arBytes int64) (des.Time, uint64, error) {
-	return fig4RunTrace(k, arBytes, nil)
+	return fig4RunEngine(k, arBytes, nil, collectives.EngineDES)
 }
 
 // fig4RunTrace is fig4RunStats with an optional span collector. The
@@ -138,8 +138,17 @@ func fig4RunStats(k *Fig4Kernel, arBytes int64) (des.Time, uint64, error) {
 // overlap accounting then sees the same compute occupancy the rate
 // model charges for.
 func fig4RunTrace(k *Fig4Kernel, arBytes int64, tr *trace.Tracer) (des.Time, uint64, error) {
+	return fig4RunEngine(k, arBytes, tr, collectives.EngineDES)
+}
+
+// fig4RunEngine is fig4RunTrace with a selectable execution engine. A
+// contended run (k != nil) rewires comm-memory rates before the issue,
+// so the hybrid fast path refuses itself and the run is plain DES; the
+// alone run engages the mirror and must land on identical picoseconds.
+func fig4RunEngine(k *Fig4Kernel, arBytes int64, tr *trace.Tracer, engine collectives.Engine) (des.Time, uint64, error) {
 	spec := fig4Spec()
 	spec.Tracer = tr
+	spec.Engine = engine
 	s, err := system.Build(spec)
 	if err != nil {
 		return 0, 0, err
@@ -185,6 +194,7 @@ func fig4RunTrace(k *Fig4Kernel, arBytes int64, tr *trace.Tracer) (des.Time, uin
 		}, func() { done++ })
 	}
 	s.Eng.Run()
+	s.FoldHybrid()
 	if done != s.RT.Nodes() {
 		return 0, 0, fmt.Errorf("fig4: all-reduce incomplete")
 	}
@@ -194,7 +204,7 @@ func fig4RunTrace(k *Fig4Kernel, arBytes int64, tr *trace.Tracer) (des.Time, uin
 			last = t
 		}
 	}
-	return last, s.Eng.Steps(), nil
+	return last, s.Eng.Steps() + s.RT.HybridStats().ShadowSteps, nil
 }
 
 // Fig4Measure measures one all-reduce on the Section III platform,
@@ -215,4 +225,10 @@ func Fig4MeasureStats(k *Fig4Kernel, arBytes int64) (des.Time, uint64, error) {
 // into tr (nil behaves exactly like Fig4MeasureStats).
 func Fig4MeasureTrace(k *Fig4Kernel, arBytes int64, tr *trace.Tracer) (des.Time, uint64, error) {
 	return fig4RunTrace(k, arBytes, tr)
+}
+
+// Fig4MeasureEngine is Fig4MeasureStats under the given execution
+// engine, exported for the hybrid-smoke golden-equality check.
+func Fig4MeasureEngine(k *Fig4Kernel, arBytes int64, engine collectives.Engine) (des.Time, uint64, error) {
+	return fig4RunEngine(k, arBytes, nil, engine)
 }

@@ -32,6 +32,8 @@ type GraphResult struct {
 	// Recovery reports what the fault-recovery path did (zero-valued on
 	// fault-free runs).
 	Recovery collectives.RecoveryStats
+	// Hybrid reports the fast path's engagement and refusal reasons.
+	Hybrid collectives.HybridStats
 }
 
 // RunGraph executes a workload graph on a freshly built platform and
@@ -62,6 +64,7 @@ func RunGraph(spec system.Spec, g *graph.Graph) (res GraphResult, err error) {
 	}
 	s.OnDepart(run.Cancel)
 	s.Eng.Run()
+	s.FoldHybrid()
 	gres, err := run.Result()
 	if err != nil {
 		return GraphResult{}, fmt.Errorf("exper: graph %q: %w", g.Name, err)
@@ -77,7 +80,8 @@ func RunGraph(spec system.Spec, g *graph.Graph) (res GraphResult, err error) {
 		Ops:         st.Ops,
 		Collectives: st.Collectives,
 		Sends:       st.Sends,
-		Events:      s.Eng.Steps(),
+		Events:      s.Eng.Steps() + s.RT.HybridStats().ShadowSteps,
 		Recovery:    s.RT.Recovery(),
+		Hybrid:      s.RT.HybridStats(),
 	}, nil
 }

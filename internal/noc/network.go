@@ -110,6 +110,12 @@ type Network struct {
 	// network reports what happened, the owner (the collective runtime's
 	// recovery policy) decides when to retry.
 	faultsOn bool
+	// extraWire/extraInjected fold closed-form traffic from the analytic
+	// engine mode into the fabric totals: analytic collectives never touch
+	// the links, but their exact byte accounting (collectives.AnalyzeOn)
+	// still has to show up in TotalWireBytes/InjectedBytes.
+	extraWire     int64
+	extraInjected int64
 	// OnDrop runs when an in-flight transfer is lost: the destination link
 	// was down at send time with no healthy detour, or it went down under
 	// the message. The handler owns the retry (call d.Retry, now or later).
@@ -183,7 +189,41 @@ func (n *Network) NumLinks() int { return n.numLinks }
 
 // InjectedBytes returns total bytes injected at source endpoints
 // (excluding forwarded re-injections).
-func (n *Network) InjectedBytes() int64 { return n.injected.Total() }
+func (n *Network) InjectedBytes() int64 { return n.injected.Total() + n.extraInjected }
+
+// DimClass returns the resolved link class of dimension d (intra/inter
+// selection plus per-dimension overrides) — the same class the links of
+// that dimension were built with. The analytic time model prices
+// transfers from it.
+func (n *Network) DimClass(d Dim) LinkClass { return n.cfg.classFor(d) }
+
+// AddAnalyticTraffic folds closed-form byte accounting into the fabric
+// totals on behalf of the analytic engine mode, which completes
+// collectives without serializing anything on the links.
+func (n *Network) AddAnalyticTraffic(wire, injected int64) {
+	n.extraWire += wire
+	n.extraInjected += injected
+}
+
+// AbsorbFrom folds another (shadow) fabric's link occupancy and injection
+// meters into this one. times > 1 reads the shadow as a mirrored
+// co-simulation that ran only node 0's symmetric share: node 0's link
+// activity is replicated onto every node's corresponding link, and the
+// injection meter scales by times. With times == 1 links fold 1:1.
+func (n *Network) AbsorbFrom(o *Network, times int64) {
+	for k, l := range n.links {
+		sk := k
+		if times > 1 {
+			sk.from = 0
+		}
+		if src := o.links[sk]; src != nil {
+			l.srv.AbsorbFrom(src.srv, 1)
+		}
+	}
+	if t := o.injected.Total(); t != 0 {
+		n.injected.Add(t * times)
+	}
+}
 
 // Link returns the link leaving node from along d in direction dir.
 func (n *Network) Link(from NodeID, d Dim, dir int) *Link {
@@ -202,7 +242,7 @@ func (n *Network) TotalLinkBusy() des.Time {
 // TotalWireBytes sums bytes over all links (multi-hop transfers count once
 // per traversed link).
 func (n *Network) TotalWireBytes() int64 {
-	var sum int64
+	sum := n.extraWire
 	for _, l := range n.links {
 		sum += l.Bytes()
 	}

@@ -262,3 +262,19 @@ func (c *Compute) BusyTime() des.Time { return c.busy }
 
 // Kernels returns the number of kernels executed.
 func (c *Compute) Kernels() int64 { return c.count }
+
+// Absorb folds another node's communication accounting (server busy
+// times, byte meters and the write meter) into this one, scaled by
+// times. The hybrid engine uses it to merge a shadow co-simulation's
+// endpoint statistics back into the primary system.
+func (n *Node) Absorb(o *Node, times int64) {
+	if o == nil {
+		return
+	}
+	n.CommMem.AbsorbFrom(o.CommMem, times)
+	n.BusTX.AbsorbFrom(o.BusTX, times)
+	n.BusRX.AbsorbFrom(o.BusRX, times)
+	if t := o.WriteMeter.Total(); t != 0 {
+		n.WriteMeter.Add(t * times)
+	}
+}

@@ -52,7 +52,28 @@ func (s *Server) Rate() float64 { return s.rate }
 // SetRate changes the service rate. In-flight requests keep their original
 // completion times; only subsequently issued requests see the new rate.
 // This models coarse-grained dynamic contention (Fig 4 microbenchmark).
-func (s *Server) SetRate(rateGBps float64) { s.rate = rateGBps }
+// Every call is recorded as a perturbation on the owning engine so the
+// hybrid fast path can refuse analytic shortcuts once rates have been
+// rewired under a running simulation.
+func (s *Server) SetRate(rateGBps float64) {
+	s.rate = rateGBps
+	s.eng.NotePerturb()
+}
+
+// AbsorbFrom folds another server's lifetime accounting (busy time and
+// byte meter) into this one, scaled by times. The hybrid engine uses it
+// to merge a shadow co-simulation's statistics back into the primary
+// system; times > 1 replicates one node's symmetric activity across a
+// mirrored fabric. Service state (freeAt) is not touched.
+func (s *Server) AbsorbFrom(o *Server, times int64) {
+	if o == nil || times <= 0 {
+		return
+	}
+	s.busy += o.busy * des.Time(times)
+	if t := o.Meter.Total(); t != 0 {
+		s.Meter.Add(t * times)
+	}
+}
 
 // BusyTime returns the cumulative time (picoseconds) the server has been
 // occupied serving requests.

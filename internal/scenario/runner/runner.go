@@ -225,6 +225,7 @@ func buildSpec(u scenario.Unit) system.Spec {
 	if len(u.Events) > 0 {
 		spec.Faults = &fault.Track{Events: u.Events, Recovery: u.Recovery}
 	}
+	spec.Engine = u.Engine
 	return spec
 }
 

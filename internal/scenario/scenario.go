@@ -72,6 +72,13 @@ type Platform struct {
 	// FastGranularity coarsens collective chunking for large grids
 	// (the same fidelity knob the harness uses for training sweeps).
 	FastGranularity bool `json:"fast_granularity,omitempty"`
+	// Engine selects the collective execution engine for every unit on
+	// this platform: "des" (default; full event fidelity), "hybrid"
+	// (exact fast path for provably uncontended phases, automatic DES
+	// fallback otherwise) or "analytic" (closed-form approximate timing
+	// with exact fabric byte accounting). See DESIGN.md, "Fidelity
+	// knobs".
+	Engine string `json:"engine,omitempty"`
 	// Overrides tweaks individual Spec fields on every grid point.
 	Overrides *Overrides `json:"overrides,omitempty"`
 }
@@ -402,6 +409,8 @@ type Unit struct {
 	Preset          system.Preset
 	FastGranularity bool
 	Overrides       *Overrides
+	// Engine is the platform's parsed execution engine (zero value: DES).
+	Engine collectives.Engine
 
 	// Collective and microbench payload.
 	Collective collectives.Kind
@@ -505,6 +514,13 @@ func (s *Scenario) Expand() ([]Unit, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
+	engine := collectives.EngineDES
+	if s.Platform != nil {
+		engine, err = collectives.ParseEngine(s.Platform.Engine)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: platform: %w", s.Name, err)
+		}
+	}
 	var units []Unit
 	for ji, j := range s.Jobs {
 		fail := func(format string, args ...any) ([]Unit, error) {
@@ -536,6 +552,7 @@ func (s *Scenario) Expand() ([]Unit, error) {
 							Topo: t, Preset: p,
 							FastGranularity: s.Platform.FastGranularity,
 							Overrides:       s.Platform.Overrides,
+							Engine:          engine,
 							Collective:      ck, Bytes: b,
 						})
 					}
@@ -573,6 +590,7 @@ func (s *Scenario) Expand() ([]Unit, error) {
 							Topo: t, Preset: p,
 							FastGranularity: s.Platform.FastGranularity,
 							Overrides:       s.Platform.Overrides,
+							Engine:          engine,
 							Workload:        w,
 							Iterations:      j.Iterations,
 							DLRMOptimized:   j.DLRMOptimized,
@@ -670,6 +688,7 @@ func (s *Scenario) Expand() ([]Unit, error) {
 						Topo: t, Preset: p,
 						FastGranularity: s.Platform.FastGranularity,
 						Overrides:       s.Platform.Overrides,
+						Engine:          engine,
 						SubJobs:         subs,
 						Arbitration:     j.Arbitration,
 					})
@@ -723,6 +742,7 @@ func (s *Scenario) Expand() ([]Unit, error) {
 						Topo: t, Preset: pr,
 						FastGranularity: s.Platform.FastGranularity,
 						Overrides:       s.Platform.Overrides,
+						Engine:          engine,
 						GraphFile:       path,
 						Pipeline:        j.Pipeline,
 					})

@@ -147,6 +147,11 @@ func BuildMulti(spec Spec, jobs []JobPlacement) (*Multi, error) {
 		if err != nil {
 			return nil, err
 		}
+		if spec.Engine != collectives.EngineDES {
+			// Streams > 1 already refuses the fast path; the explicit block
+			// records the real reason (concurrent jobs share the fabric).
+			sys.RT.BlockHybrid("multijob")
+		}
 		m.Shared = sys
 		for i := range jobs {
 			m.Jobs = append(m.Jobs, &JobSystem{
@@ -182,6 +187,11 @@ func BuildMulti(spec Spec, jobs []JobPlacement) (*Multi, error) {
 		if err != nil {
 			spec.Tracer.SetProc("")
 			return nil, fmt.Errorf("system: job %q: %w", names[i], err)
+		}
+		if spec.Engine != collectives.EngineDES {
+			// Partitioned jobs co-simulate on one engine; the fast path's
+			// pump invariants are per-runtime, so refuse it outright.
+			sys.RT.BlockHybrid("multijob")
 		}
 		m.Jobs = append(m.Jobs, &JobSystem{Name: names[i], Part: *j.Part, Sys: sys})
 	}

@@ -84,6 +84,12 @@ type Spec struct {
 	// defaulted from Faults.Recovery when unset). Job-scoped events are
 	// only meaningful under BuildMulti, which handles them itself.
 	Faults *fault.Track
+	// Engine selects the communication execution fidelity: full DES (the
+	// default), the hybrid shadow fast path, or the closed-form analytic
+	// model. Hybrid and analytic are refused (with counted reasons) when
+	// the build carries anything that breaks their assumptions — extra
+	// streams, fault tracks, recovery policies, tracing.
+	Engine collectives.Engine
 }
 
 // DefaultLinkClasses returns the Table V link parameters.
@@ -248,6 +254,7 @@ func BuildOn(eng *des.Engine, spec Spec) (*System, error) {
 		s.Spec = spec
 	}
 	s.RT = collectives.NewRuntime(eng, net, s.Eps, spec.Coll)
+	s.wireHybrid()
 	if spec.Faults != nil {
 		// Only fabric-scoped events: job-scoped ones carry partition-local
 		// coordinates and are scheduled by BuildMulti against the right
@@ -267,6 +274,81 @@ func BuildOn(eng *des.Engine, spec Spec) (*System, error) {
 	}
 	return s, nil
 }
+
+// wireHybrid arms (or refuses, with a counted reason) the runtime's
+// non-DES engine modes after the runtime exists. The shadow twin is a
+// stripped rebuild of the same spec — no tracer, no faults, no trace
+// buckets — on a private engine; Fold maps its meters back onto this
+// system (node-0-replicated when the shadow ran mirrored).
+func (s *System) wireHybrid() {
+	spec := s.Spec
+	if spec.Engine == collectives.EngineDES {
+		s.RT.EnableHybrid(collectives.EngineDES, collectives.HybridHooks{}, "")
+		return
+	}
+	reason := ""
+	switch {
+	case spec.Coll.Streams > 1:
+		reason = "multijob-streams"
+	case spec.Coll.Recovery != nil:
+		reason = "fault-recovery"
+	case spec.Faults != nil:
+		reason = "fault-track"
+	case spec.Tracer != nil || s.Eng.Tracer() != nil:
+		reason = "tracing"
+	case spec.TraceBucket > 0:
+		reason = "trace-buckets"
+	}
+	dims := spec.Topo.NumDims()
+	costs := &collectives.AnalyticCosts{
+		DimRateGBps: make([]float64, dims),
+		DimLatency:  make([]des.Time, dims),
+	}
+	for d := 0; d < dims; d++ {
+		c := s.Net.DimClass(noc.Dim(d))
+		costs.DimRateGBps[d] = c.EffGBps()
+		costs.DimLatency[d] = c.Latency()
+	}
+	hooks := collectives.HybridHooks{
+		Analytic: costs,
+		NewShadow: func() (*collectives.Shadow, error) {
+			shSpec := spec
+			shSpec.Engine = collectives.EngineDES
+			shSpec.Tracer = nil
+			shSpec.Faults = nil
+			shSpec.TraceBucket = 0
+			shSpec.Coll.Recovery = nil
+			tw, err := BuildOn(des.NewEngine(), shSpec)
+			if err != nil {
+				return nil, err
+			}
+			fold := func(mirror bool) {
+				n := len(s.Nodes)
+				times := int64(1)
+				if mirror {
+					times = int64(n)
+				}
+				for i := 0; i < n; i++ {
+					src := i
+					if mirror {
+						src = 0
+					}
+					s.Nodes[i].Absorb(tw.Nodes[src], 1)
+					if len(s.ACEs) == n && len(tw.ACEs) == n {
+						s.ACEs[i].Absorb(tw.ACEs[src], 1)
+					}
+				}
+				s.Net.AbsorbFrom(tw.Net, times)
+			}
+			return &collectives.Shadow{RT: tw.RT, Eng: tw.Eng, Fold: fold}, nil
+		},
+	}
+	s.RT.EnableHybrid(spec.Engine, hooks, reason)
+}
+
+// FoldHybrid merges an engaged hybrid shadow's statistics into this
+// system's meters. Idempotent; runners call it once the engine drains.
+func (s *System) FoldHybrid() { s.RT.FoldHybrid() }
 
 // Plans returns the topology-aware collective plans for this platform.
 func (s *System) Plans() training.Plans {
