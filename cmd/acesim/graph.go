@@ -4,10 +4,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"acesim/internal/collectives"
 	"acesim/internal/exper"
 	"acesim/internal/graph"
+	"acesim/internal/power"
 	"acesim/internal/report"
 	"acesim/internal/system"
 	"acesim/internal/trace"
@@ -44,6 +47,7 @@ func runGraphCmd(args []string) error {
 	microbatches := fs.Int("microbatches", 4, "microbatches per iteration (pipeline synthesis)")
 	schedule := fs.String("schedule", "gpipe", "pipeline schedule: gpipe or 1f1b")
 	engineStr := fs.String("engine", "des", "execution engine for graph run: des, hybrid or analytic")
+	powerOn := fs.Bool("power", false, "enable energy accounting for graph run (preset default coefficients); adds energy / peak-power columns")
 	out := fs.String("out", "-", `convert output path ("-" for stdout)`)
 	if err := parseFlags(fs, args[1:]); err != nil {
 		return err
@@ -83,8 +87,11 @@ func runGraphCmd(args []string) error {
 		// from the span timeline, not the executor's own accounting. The
 		// fast engines skip the collector (tracing forces full DES — the
 		// span timeline needs every event), so those columns read zero.
-		tab := report.New(fmt.Sprintf("graphs on %s %s (%s engine)", size, p, engine),
-			"graph", "ranks", "span us", "compute us", "exposed us", "exposed frac", "overlap frac", "link util")
+		cols := []string{"graph", "ranks", "span us", "compute us", "exposed us", "exposed frac", "overlap frac", "link util"}
+		if *powerOn {
+			cols = append(cols, "energy J", "peak W")
+		}
+		tab := report.New(fmt.Sprintf("graphs on %s %s (%s engine)", size, p, engine), cols...)
 		for _, path := range fs.Args() {
 			g, err := graph.Load(path)
 			if err != nil {
@@ -92,6 +99,9 @@ func runGraphCmd(args []string) error {
 			}
 			spec := system.NewSpec(size, p)
 			spec.Engine = engine
+			if *powerOn {
+				spec.Power = &power.Config{Coeff: system.PowerDefaults(p)}
+			}
 			var tr *trace.Tracer
 			if engine == collectives.EngineDES {
 				tr = trace.New()
@@ -101,6 +111,7 @@ func runGraphCmd(args []string) error {
 			if err != nil {
 				return err
 			}
+			warnHybridFallback("graph run", g.Name, engine, res.Hybrid)
 			frac := 0.0
 			if res.Span > 0 {
 				frac = float64(res.Exposed) / float64(res.Span)
@@ -109,8 +120,16 @@ func runGraphCmd(args []string) error {
 			if tr != nil {
 				bd = tr.Breakdown()
 			}
-			tab.Add(g.Name, g.Ranks, res.Span.Micros(), res.Compute.Micros(), res.Exposed.Micros(), frac,
-				bd.OverlapFrac, bd.LinkUtil)
+			vals := []any{g.Name, g.Ranks, res.Span.Micros(), res.Compute.Micros(), res.Exposed.Micros(), frac,
+				bd.OverlapFrac, bd.LinkUtil}
+			if *powerOn {
+				var totalJ, peakW float64
+				if res.Power != nil {
+					totalJ, peakW = res.Power.Breakdown.TotalJ, res.Power.Breakdown.PeakW
+				}
+				vals = append(vals, totalJ, peakW)
+			}
+			tab.Add(vals...)
 		}
 		return show(tab, nil)
 	case "convert":
@@ -168,4 +187,20 @@ func runGraphCmd(args []string) error {
 	}
 	usage()
 	return fmt.Errorf("unknown graph subcommand %q (want run, convert or validate)", sub)
+}
+
+// warnHybridFallback prints a one-line stderr warning when a requested
+// fast engine was refused, naming the refusal reasons — otherwise the
+// fallback to full DES is silent from the CLI.
+func warnHybridFallback(cmd, label string, engine collectives.Engine, st collectives.HybridStats) {
+	if engine == collectives.EngineDES || st.Engaged || len(st.Blocked) == 0 {
+		return
+	}
+	reasons := make([]string, 0, len(st.Blocked))
+	for k := range st.Blocked {
+		reasons = append(reasons, k)
+	}
+	sort.Strings(reasons)
+	fmt.Fprintf(os.Stderr, "acesim %s: warning: %s: %s engine fell back to full DES: %s\n",
+		cmd, label, engine, strings.Join(reasons, ", "))
 }

@@ -154,8 +154,8 @@ func run(args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: acesim <experiment> [-size SHAPE] [-quick] [-csv dir]
-       acesim scenario run|validate|list [-workers N] [-format text|json|csv] <file>...
-       acesim graph run|convert|validate [-size SHAPE] [-preset P] [-engine des|hybrid|analytic] [convert flags] <file>...
+       acesim scenario run|validate|list [-workers N] [-format text|json|csv] [-power-csv path] <file>...
+       acesim graph run|convert|validate [-size SHAPE] [-preset P] [-engine des|hybrid|analytic] [-power] [convert flags] <file>...
        acesim trace [-out trace.json] [-csv path] [-workers N] [-size SHAPE] [-preset P] <scenario.json|graph.json>
        acesim bench [-short] [-runs N] [-out path]
 experiments: fig4 fig5 fig6 fig9a fig9b fig10 fig11 fig12
@@ -180,6 +180,7 @@ func runScenario(args []string) error {
 	fs := flag.NewFlagSet("scenario "+sub, flag.ContinueOnError)
 	workers := fs.Int("workers", 0, "parallel work units (default GOMAXPROCS)")
 	format := fs.String("format", "text", "run output format: text, json or csv")
+	powerCSV := fs.String("power-csv", "", `write the windowed power timeline as CSV (scenario run with an enabled "power" block)`)
 	if err := parseFlags(fs, args[1:]); err != nil {
 		return err
 	}
@@ -203,8 +204,11 @@ func runScenario(args []string) error {
 			if n := len(sc.Events); n > 0 {
 				extra = fmt.Sprintf(", %d fault events", n)
 			}
-			fmt.Printf("%s: ok (%s, %d units, %d assertions%s)\n",
-				path, sc.Name, len(units), len(sc.Assertions), extra)
+			if sc.PowerEnabled() {
+				extra += ", power accounting"
+			}
+			fmt.Printf("%s: ok (%s, engine %s, %d units, %d assertions%s)\n",
+				path, sc.Name, platformEngine(sc), len(units), len(sc.Assertions), extra)
 		}
 		return nil
 	case "list":
@@ -225,6 +229,7 @@ func runScenario(args []string) error {
 			if sc.Description != "" {
 				fmt.Printf("  %s\n", sc.Description)
 			}
+			fmt.Printf("  engine %s\n", platformEngine(sc))
 			for _, k := range []scenario.JobKind{scenario.KindCollective, scenario.KindTraining, scenario.KindMicrobench, scenario.KindMultiJob, scenario.KindGraph} {
 				if n := kinds[k]; n > 0 {
 					fmt.Printf("  %d %s units\n", n, k)
@@ -232,6 +237,9 @@ func runScenario(args []string) error {
 			}
 			if n := len(sc.Events); n > 0 {
 				fmt.Printf("  %d fault events\n", n)
+			}
+			if sc.PowerEnabled() {
+				fmt.Printf("  power accounting on\n")
 			}
 		}
 		return nil
@@ -242,6 +250,9 @@ func runScenario(args []string) error {
 		case "text", "json", "csv":
 		default:
 			return fmt.Errorf("scenario run: unknown -format %q (want text, json or csv)", *format)
+		}
+		if *powerCSV != "" && len(files) > 1 {
+			return fmt.Errorf("scenario run: %w: -power-csv takes a single scenario file, got %d", errUsage, len(files))
 		}
 		var failed []string
 		for _, path := range files {
@@ -264,6 +275,20 @@ func runScenario(args []string) error {
 			if err != nil {
 				return err
 			}
+			if *powerCSV != "" {
+				f, err := os.Create(*powerCSV)
+				if err != nil {
+					return err
+				}
+				if err := res.WritePowerCSV(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *powerCSV)
+			}
 			for _, f := range res.Failures() {
 				failed = append(failed, fmt.Sprintf("%s: %s", sc.Name, f))
 			}
@@ -276,6 +301,17 @@ func runScenario(args []string) error {
 	}
 	usage()
 	return fmt.Errorf("unknown scenario subcommand %q (want run, validate or list)", sub)
+}
+
+// platformEngine names the scenario's execution engine in its canonical
+// spelling (no platform block or an empty field is full DES). Expand
+// has already vetted the field, so a parse failure cannot happen here.
+func platformEngine(sc *scenario.Scenario) collectives.Engine {
+	if sc.Platform == nil {
+		return collectives.EngineDES
+	}
+	eng, _ := collectives.ParseEngine(sc.Platform.Engine)
+	return eng
 }
 
 type runner struct {

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"acesim/internal/collectives"
+)
+
+const poweredScenario = `{
+  "name": "tiny-power",
+  "platform": {"toruses": ["4"], "presets": ["ACE"], "engine": "hybrid"},
+  "power": {"enabled": true, "coefficients": {"static_link_w": 2}},
+  "jobs": [{"kind": "collective", "payloads_mb": [1]}],
+  "assertions": [
+    {"metric": "energy_total_j", "op": ">", "value": 0},
+    {"metric": "peak_power_w", "op": ">", "value": 0},
+    {"metric": "perf_per_watt", "op": ">", "value": 0}
+  ]
+}`
+
+// TestScenarioPowerCLI drives the power surfaces of the scenario
+// subcommands end to end: validate and list name the engine and the
+// enabled power accounting, run passes the energy assertions, and
+// -power-csv lands the windowed timeline on disk.
+func TestScenarioPowerCLI(t *testing.T) {
+	path := writeScenario(t, "tiny_power.json", poweredScenario)
+	for _, sub := range []string{"validate", "list"} {
+		if err := silence(t, func() error { return run([]string{"scenario", sub, path}) }); err != nil {
+			t.Fatalf("scenario %s: %v", sub, err)
+		}
+	}
+	csv := filepath.Join(t.TempDir(), "power.csv")
+	if err := silence(t, func() error {
+		return run([]string{"scenario", "run", "-power-csv", csv, path})
+	}); err != nil {
+		t.Fatalf("scenario run -power-csv: %v", err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatalf("power CSV not written: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "unit,time_us,compute_w,hbm_w,fabric_w,static_w,total_w\n") {
+		t.Fatalf("power CSV header missing:\n%s", data)
+	}
+	if len(strings.Split(strings.TrimSpace(string(data)), "\n")) < 2 {
+		t.Fatal("power CSV carries no timeline rows")
+	}
+
+	// -power-csv merges timelines per scenario file, so it refuses a
+	// multi-file invocation rather than overwriting the path per file.
+	other := writeScenario(t, "other.json", poweredScenario)
+	err = silence(t, func() error {
+		return run([]string{"scenario", "run", "-power-csv", csv, path, other})
+	})
+	if err == nil || !strings.Contains(err.Error(), "single scenario file") {
+		t.Fatalf("multi-file -power-csv = %v, want single-file usage error", err)
+	}
+}
+
+// TestWarnHybridFallback pins the stderr warning contract: silent on
+// DES, on an engaged fast path and on an empty refusal map; one sorted
+// reason line otherwise.
+func TestWarnHybridFallback(t *testing.T) {
+	capture := func(fn func()) string {
+		t.Helper()
+		old := os.Stderr
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stderr = w
+		fn()
+		w.Close()
+		os.Stderr = old
+		var buf [4096]byte
+		n, _ := r.Read(buf[:])
+		r.Close()
+		return string(buf[:n])
+	}
+	blocked := collectives.HybridStats{Blocked: map[string]int{"tracer": 1, "contention": 2}}
+	got := capture(func() {
+		warnHybridFallback("graph run", "g", collectives.EngineHybrid, blocked)
+	})
+	want := "acesim graph run: warning: g: hybrid engine fell back to full DES: contention, tracer\n"
+	if got != want {
+		t.Fatalf("warning = %q, want %q", got, want)
+	}
+	for name, c := range map[string]struct {
+		engine collectives.Engine
+		st     collectives.HybridStats
+	}{
+		"des engine":   {collectives.EngineDES, blocked},
+		"engaged":      {collectives.EngineHybrid, collectives.HybridStats{Engaged: true, Blocked: blocked.Blocked}},
+		"no refusals":  {collectives.EngineHybrid, collectives.HybridStats{}},
+		"analytic des": {collectives.EngineDES, collectives.HybridStats{}},
+	} {
+		if out := capture(func() { warnHybridFallback("x", "y", c.engine, c.st) }); out != "" {
+			t.Fatalf("%s: unexpected warning %q", name, out)
+		}
+	}
+}

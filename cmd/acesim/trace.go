@@ -102,6 +102,11 @@ func traceScenario(sc *scenario.Scenario, input, out, csvPath string, workers in
 	if err != nil {
 		return err
 	}
+	// Tracing forces full DES, so a scenario that asked for a fast
+	// engine silently loses it; name each refusal instead.
+	for _, w := range res.HybridWarnings() {
+		fmt.Fprintf(os.Stderr, "acesim trace: warning: %s\n", w)
+	}
 	outPath := defaultTraceOut(out, input, sc)
 	st, err := writeChromeFile(outPath, res.WriteChromeTrace)
 	if err != nil {

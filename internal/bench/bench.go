@@ -24,6 +24,7 @@ import (
 	"acesim/internal/exper"
 	"acesim/internal/graph"
 	"acesim/internal/noc"
+	"acesim/internal/power"
 	"acesim/internal/system"
 	"acesim/internal/trace"
 	"acesim/internal/training"
@@ -34,8 +35,11 @@ import (
 // v2 added the graph-executor family ("graph/..."); v3 added the
 // hybrid-engine variants ("*-hybrid"), whose Events field carries the
 // paired DES unit's event count (see suite), so earlier reports are not
-// comparable unit-for-unit.
-const Schema = "acesim-bench/v3"
+// comparable unit-for-unit; v4 added the energy-accounting variants
+// ("*-power"), whose energy_total_j / peak_power_w metrics are drift
+// canaries for the power model, with the hybrid pair additionally
+// required to report joules identical to its DES twin.
+const Schema = "acesim-bench/v4"
 
 // Unit is the measured cost of one suite entry.
 type Unit struct {
@@ -180,6 +184,60 @@ func suite(short bool) []spec {
 			"duration_us":   res.Duration.Micros(),
 			"eff_gbps_node": res.EffGBpsNode,
 			"engine_events": float64(res.Events),
+		}}, nil
+	}})
+
+	// Energy-accounting variants of the 8MB all-reduce (schema v4).
+	// Diffing the powered DES unit against allreduce/ace-16npu-8MB
+	// prices the accounting-enabled overhead (the disabled path is
+	// pinned to zero cost by the CI overhead guard), and its
+	// energy_total_j / peak_power_w metrics are the power model's drift
+	// canaries. The hybrid pair must report identical joules — the
+	// meter-derived energy model is engine-independent by construction,
+	// and the suite fails if that ever regresses.
+	var arPowerDES uint64
+	var arPowerJ, arPowerPeakW float64
+	specs = append(specs, spec{name: "allreduce/ace-16npu-8MB-power", run: func() (stats, error) {
+		sysSpec := system.NewSpec(torus16, system.ACE)
+		sysSpec.Power = &power.Config{Coeff: system.PowerDefaults(system.ACE)}
+		res, err := exper.RunCollective(sysSpec, collectives.AllReduce, 8<<20)
+		if err != nil {
+			return stats{}, err
+		}
+		if res.Power == nil {
+			return stats{}, fmt.Errorf("energy accounting did not engage")
+		}
+		arPowerDES = res.Events
+		arPowerJ = res.Power.Breakdown.TotalJ
+		arPowerPeakW = res.Power.Breakdown.PeakW
+		return stats{events: arPowerDES, metrics: map[string]float64{
+			"duration_us":    res.Duration.Micros(),
+			"energy_total_j": arPowerJ,
+			"peak_power_w":   arPowerPeakW,
+		}}, nil
+	}})
+	specs = append(specs, spec{name: "allreduce/ace-16npu-8MB-power-hybrid", run: func() (stats, error) {
+		sysSpec := system.NewSpec(torus16, system.ACE)
+		sysSpec.Engine = collectives.EngineHybrid
+		sysSpec.Power = &power.Config{Coeff: system.PowerDefaults(system.ACE)}
+		res, err := exper.RunCollective(sysSpec, collectives.AllReduce, 8<<20)
+		if err != nil {
+			return stats{}, err
+		}
+		if !res.Hybrid.Engaged {
+			return stats{}, fmt.Errorf("hybrid fast path did not engage: %+v", res.Hybrid.Blocked)
+		}
+		if res.Power == nil {
+			return stats{}, fmt.Errorf("energy accounting did not engage")
+		}
+		if j, w := res.Power.Breakdown.TotalJ, res.Power.Breakdown.PeakW; j != arPowerJ || w != arPowerPeakW {
+			return stats{}, fmt.Errorf("hybrid energy diverged from DES: %.9g J / %.9g W vs %.9g J / %.9g W",
+				j, w, arPowerJ, arPowerPeakW)
+		}
+		return stats{events: arPowerDES, metrics: map[string]float64{
+			"duration_us":    res.Duration.Micros(),
+			"energy_total_j": res.Power.Breakdown.TotalJ,
+			"peak_power_w":   res.Power.Breakdown.PeakW,
 		}}, nil
 	}})
 

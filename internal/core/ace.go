@@ -318,6 +318,23 @@ func (a *ACE) FlushBusy() {
 	}
 }
 
+// SetPower attaches a windowed energy timeline to the ACE's internal
+// servers: each of the ALU and the two SRAM ports draws busyW watts
+// while serving (the energy model's "ACE busy" coefficient is per
+// engine server, so lifetime totals and timeline agree).
+func (a *ACE) SetPower(tl *stats.PowerTrace, busyW float64) {
+	a.alu.SetPowerBusy(tl, busyW)
+	a.sramR.SetPowerBusy(tl, busyW)
+	a.sramW.SetPowerBusy(tl, busyW)
+}
+
+// EngineBusy returns the summed lifetime busy time of the ACE's
+// internal servers (ALU + both SRAM ports) — the integer the energy
+// model multiplies by the per-server busy draw.
+func (a *ACE) EngineBusy() des.Time {
+	return a.alu.BusyTime() + a.sramR.BusyTime() + a.sramW.BusyTime()
+}
+
 // Absorb folds another ACE's internal server accounting (ALU and SRAM
 // ports) into this one, scaled by times — the hybrid engine's shadow
 // statistics merge. Gate and FSM occupancy state is transient and not

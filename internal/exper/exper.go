@@ -10,10 +10,30 @@ import (
 	"acesim/internal/collectives"
 	"acesim/internal/des"
 	"acesim/internal/noc"
+	"acesim/internal/power"
 	"acesim/internal/system"
 	"acesim/internal/training"
 	"acesim/internal/workload"
 )
+
+// PowerReport bundles a run's energy breakdown with its windowed power
+// timeline. Runners attach it to their results when the spec enables
+// energy accounting; it is nil otherwise.
+type PowerReport struct {
+	Breakdown power.Breakdown
+	Sampler   *power.Sampler
+	Makespan  des.Time
+}
+
+// powerReport snapshots a system's energy accounting after its run
+// (and after FoldHybrid), or returns nil when accounting is off.
+func powerReport(s *system.System) *PowerReport {
+	b, ok := s.PowerReport()
+	if !ok {
+		return nil
+	}
+	return &PowerReport{Breakdown: b, Sampler: s.Sampler, Makespan: s.Eng.Now()}
+}
 
 // CollectiveResult summarizes one standalone collective run.
 type CollectiveResult struct {
@@ -35,6 +55,8 @@ type CollectiveResult struct {
 	Recovery collectives.RecoveryStats
 	// Hybrid reports the fast path's engagement and refusal reasons.
 	Hybrid collectives.HybridStats
+	// Power is the energy/power report (nil when accounting is off).
+	Power *PowerReport
 }
 
 // RunCollective executes one collective of the given kind and payload on
@@ -93,6 +115,7 @@ func RunCollective(spec system.Spec, kind collectives.Kind, bytes int64) (Collec
 		Events:       s.Eng.Steps() + s.RT.HybridStats().ShadowSteps,
 		Recovery:     s.RT.Recovery(),
 		Hybrid:       s.RT.HybridStats(),
+		Power:        powerReport(s),
 	}, nil
 }
 
@@ -107,6 +130,8 @@ type TrainResult struct {
 	Recovery collectives.RecoveryStats
 	// Hybrid reports the fast path's engagement and refusal reasons.
 	Hybrid collectives.HybridStats
+	// Power is the energy/power report (nil when accounting is off).
+	Power *PowerReport
 }
 
 // RunTraining executes the paper's two-iteration training measurement for
@@ -135,6 +160,7 @@ func RunTraining(spec system.Spec, m *workload.Model, tc training.Config) (Train
 		Result:   res,
 		Recovery: s.RT.Recovery(),
 		Hybrid:   s.RT.HybridStats(),
+		Power:    powerReport(s),
 	}, s, nil
 }
 

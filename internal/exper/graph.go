@@ -34,6 +34,8 @@ type GraphResult struct {
 	Recovery collectives.RecoveryStats
 	// Hybrid reports the fast path's engagement and refusal reasons.
 	Hybrid collectives.HybridStats
+	// Power is the energy/power report (nil when accounting is off).
+	Power *PowerReport
 }
 
 // RunGraph executes a workload graph on a freshly built platform and
@@ -83,5 +85,6 @@ func RunGraph(spec system.Spec, g *graph.Graph) (res GraphResult, err error) {
 		Events:      s.Eng.Steps() + s.RT.HybridStats().ShadowSteps,
 		Recovery:    s.RT.Recovery(),
 		Hybrid:      s.RT.HybridStats(),
+		Power:       powerReport(s),
 	}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"acesim/internal/collectives"
 	"acesim/internal/des"
 	"acesim/internal/noc"
+	"acesim/internal/power"
 	"acesim/internal/report"
 	"acesim/internal/system"
 	"acesim/internal/training"
@@ -59,6 +60,14 @@ type InterferenceResult struct {
 	// Recovery aggregates the co-run's fault-recovery stats across every
 	// fabric (the shared substrate, or all tenant sub-fabrics).
 	Recovery collectives.RecoveryStats
+	// Power is the co-run timeline's energy/power report, aggregated
+	// across every fabric (nil when accounting is off). Solo baselines
+	// are never charged — the report describes the co-run, like the
+	// trace.
+	Power *PowerReport
+	// Hybrid aggregates the co-run's fast-path engagement and refusal
+	// reasons across every fabric.
+	Hybrid collectives.HybridStats
 }
 
 // MaxSlowdown returns the worst per-job slowdown.
@@ -154,7 +163,7 @@ func Interference(spec system.Spec, jobs []InterferenceJob) (InterferenceResult,
 	}
 	m.Eng.Run()
 
-	res := InterferenceResult{Recovery: multiRecovery(m)}
+	res := InterferenceResult{Recovery: multiRecovery(m), Power: multiPower(m), Hybrid: multiHybrid(m)}
 	tab := report.New(fmt.Sprintf("interference: %d jobs on %s %s", len(jobs), spec.Topo, spec.Preset),
 		"job", "placement", "kind", "solo us", "co-run us", "slowdown")
 	for i, run := range runs {
@@ -192,6 +201,77 @@ func soloKey(j InterferenceJob, p system.JobPlacement) string {
 		return fmt.Sprintf("train|%s|%s|%+v", shape, j.Model.Name, j.Train)
 	}
 	return fmt.Sprintf("stream|%s|%d|%d|%d", shape, j.Stream.Kind, j.Stream.Bytes, j.Stream.Count)
+}
+
+// multiPower aggregates the co-run's energy accounting. Shared mode is
+// the substrate system's report; partitioned mode sums the lifetime
+// meters across every tenant sub-fabric and folds their samplers onto
+// one timeline (the tenants share a clock, so their windows align).
+func multiPower(m *system.Multi) *PowerReport {
+	if m.Shared != nil {
+		return powerReport(m.Shared)
+	}
+	var (
+		u   power.Usage
+		sm  *power.Sampler
+		cfg *power.Config
+	)
+	for _, js := range m.Jobs {
+		s := js.Sys
+		if s.Spec.Power == nil || s.Sampler == nil {
+			return nil
+		}
+		cfg = s.Spec.Power
+		su := s.PowerUsage()
+		u.ComputeBusy += su.ComputeBusy
+		u.HBMBytes += su.HBMBytes
+		u.ACEBusy += su.ACEBusy
+		u.DMABusy += su.DMABusy
+		u.WireBytes += su.WireBytes
+		u.InjectedBts += su.InjectedBts
+		u.Nodes += su.Nodes
+		u.ACEs += su.ACEs
+		u.Links += su.Links
+		u.FreqGHz = su.FreqGHz
+		if sm == nil {
+			sm = power.NewSampler(s.Sampler.Window)
+		}
+		sm.AbsorbFrom(s.Sampler, 1)
+		sm.StaticW += s.Sampler.StaticW
+	}
+	if cfg == nil {
+		return nil
+	}
+	u.Makespan = m.Eng.Now()
+	b := cfg.Coeff.Energy(u)
+	b.PeakW = sm.PeakW(u.Makespan)
+	return &PowerReport{Breakdown: b, Sampler: sm, Makespan: u.Makespan}
+}
+
+// multiHybrid folds every distinct runtime's fast-path stats together:
+// Engaged if any fabric engaged, with refusal counts summed.
+func multiHybrid(m *system.Multi) collectives.HybridStats {
+	if m.Shared != nil {
+		return m.Shared.RT.HybridStats()
+	}
+	var agg collectives.HybridStats
+	for _, js := range m.Jobs {
+		st := js.Sys.RT.HybridStats()
+		agg.Mode = st.Mode
+		agg.Engaged = agg.Engaged || st.Engaged
+		agg.Mirror = agg.Mirror || st.Mirror
+		agg.Downgrades += st.Downgrades
+		agg.Collectives += st.Collectives
+		agg.P2P += st.P2P
+		agg.ShadowSteps += st.ShadowSteps
+		for k, v := range st.Blocked {
+			if agg.Blocked == nil {
+				agg.Blocked = map[string]int{}
+			}
+			agg.Blocked[k] += v
+		}
+	}
+	return agg
 }
 
 // multiRecovery folds every distinct runtime's recovery stats together.

@@ -205,6 +205,18 @@ func (n *Network) AddAnalyticTraffic(wire, injected int64) {
 	n.extraInjected += injected
 }
 
+// SetLinkPower attaches a windowed energy timeline to every link
+// server, charging pJPerByte per byte serialized onto the wire spread
+// over the serialization interval. The per-byte form survives
+// DegradeLink rate changes (degraded links move the same energy per
+// byte, just slower). Attachment order over the link map does not
+// matter: the timeline is an order-independent integer accumulator.
+func (n *Network) SetLinkPower(tl *stats.PowerTrace, pJPerByte float64) {
+	for _, l := range n.links {
+		l.srv.SetPowerPerByte(tl, pJPerByte)
+	}
+}
+
 // AbsorbFrom folds another (shadow) fabric's link occupancy and injection
 // meters into this one. times > 1 reads the shadow as a mirrored
 // co-simulation that ran only node 0's symmetric share: node 0's link

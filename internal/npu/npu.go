@@ -151,6 +151,10 @@ type Compute struct {
 	freeAt des.Time
 	// Trace records compute busy intervals for the Fig 10 timelines.
 	Trace *stats.Trace
+	// Power, when non-nil, charges PowerW watts of dynamic compute
+	// energy into the windowed timeline per kernel interval.
+	Power  *stats.PowerTrace
+	PowerW float64
 	// tracer/track emit one span per kernel when tracing is on.
 	tracer *trace.Tracer
 	track  trace.TrackID
@@ -242,6 +246,7 @@ func (c *Compute) Run(k Kernel, done func()) des.Time {
 	c.busy += d
 	c.count++
 	c.Trace.AddBusy(start, end, 1)
+	c.Power.Add(start, end, c.PowerW)
 	if c.tracer != nil {
 		c.tracer.Span(c.track, trace.CatCompute, k.Name, int64(start), int64(end), k.Bytes)
 	}

@@ -36,6 +36,16 @@ type Server struct {
 	Meter  stats.Meter
 	Trace  *stats.Trace   // optional: busy intervals with weight 1
 	Span   *trace.Emitter // optional: per-request service spans
+
+	// Power, when non-nil, charges PowerW watts into the windowed
+	// energy timeline for every service interval. PowerW is either a
+	// fixed busy draw (SetPowerBusy) or derived from the service rate
+	// and a per-byte energy (SetPowerPerByte); the per-byte form
+	// tracks SetRate so rate-rescaled servers keep charging the same
+	// energy per byte.
+	Power        *stats.PowerTrace
+	PowerW       float64
+	powerPerByte float64 // pJ/byte; > 0 keeps PowerW in sync with rate
 }
 
 // NewServer returns a server with the given rate in GB/s.
@@ -57,7 +67,28 @@ func (s *Server) Rate() float64 { return s.rate }
 // rewired under a running simulation.
 func (s *Server) SetRate(rateGBps float64) {
 	s.rate = rateGBps
+	if s.powerPerByte > 0 {
+		s.PowerW = s.powerPerByte * rateGBps * 1e-3
+	}
 	s.eng.NotePerturb()
+}
+
+// SetPowerBusy attaches a windowed energy timeline charging a fixed
+// watts draw while the server is busy.
+func (s *Server) SetPowerBusy(tl *stats.PowerTrace, watts float64) {
+	s.Power = tl
+	s.PowerW = watts
+	s.powerPerByte = 0
+}
+
+// SetPowerPerByte attaches a windowed energy timeline charging
+// pJPerByte per byte served, spread over the service interval
+// (GB/s x pJ/byte = 1e-3 W). Rate changes rescale the draw so the
+// per-byte energy stays constant.
+func (s *Server) SetPowerPerByte(tl *stats.PowerTrace, pJPerByte float64) {
+	s.Power = tl
+	s.powerPerByte = pJPerByte
+	s.PowerW = pJPerByte * s.rate * 1e-3
 }
 
 // AbsorbFrom folds another server's lifetime accounting (busy time and
@@ -106,6 +137,7 @@ func (s *Server) reserve(n int64) des.Time {
 		s.Meter.Add(n)
 	}
 	s.Trace.AddBusy(start, end, 1)
+	s.Power.Add(start, end, s.PowerW)
 	s.Span.Emit(int64(start), int64(end), n)
 	return end
 }

@@ -52,6 +52,17 @@ func FuzzParseScenario(f *testing.F) {
 	f.Add(`{"name":"x","jobs":[{"kind":"microbench","payloads_mb":[1],"kernels":[{"gemm_n":64}]}],"events":[{"at_us":1,"action":"checkpoint","cost_us":1}]}`)
 	f.Add(`{"name":"x","platform":{"toruses":["4"]},"jobs":[{"kind":"collective","payloads_mb":[1]}],"assertions":[{"metric":"fault_drops","op":">=","value":1}]}`)
 	f.Add(`{"name":"x","platform":{"toruses":["4"]},"jobs":[{"kind":"collective","payloads_mb":[1]}],"events":[{"at_us":1e308,"action":"link_degrade","link":{"node":0,"dim":0,"dir":-1},"factor":-0.1}]}`)
+	// Power-block edge cases: negative coefficient overrides, absurd and
+	// NaN-shaped sampling windows, unknown coefficient keys, energy
+	// metrics asserted while the block is disabled or absent, and a
+	// power-metric assertion against a microbench job — all must reject
+	// cleanly (or validate and expand coherently), never panic.
+	f.Add(`{"name":"x","platform":{"toruses":["4"]},"jobs":[{"kind":"collective","payloads_mb":[1]}],"power":{"enabled":true,"coefficients":{"hbm_pj_per_byte":-30}}}`)
+	f.Add(`{"name":"x","platform":{"toruses":["4"]},"jobs":[{"kind":"collective","payloads_mb":[1]}],"power":{"enabled":true,"window_us":1e300}}`)
+	f.Add(`{"name":"x","platform":{"toruses":["4"]},"jobs":[{"kind":"collective","payloads_mb":[1]}],"power":{"enabled":true,"coefficients":{"flux_capacitor_w":88}}}`)
+	f.Add(`{"name":"x","platform":{"toruses":["4"]},"jobs":[{"kind":"collective","payloads_mb":[1]}],"power":{"enabled":false},"assertions":[{"metric":"energy_total_j","op":">","value":0}]}`)
+	f.Add(`{"name":"x","platform":{"toruses":["4"]},"jobs":[{"kind":"microbench","payloads_mb":[1],"kernels":[{"gemm_n":64}]}],"power":{"enabled":true},"assertions":[{"metric":"perf_per_watt","op":">","value":0}]}`)
+	f.Add(`{"name":"x","platform":{"toruses":["4"],"presets":["Ideal"],"engine":"hybrid"},"jobs":[{"kind":"collective","payloads_mb":[1]}],"power":{"enabled":true,"window_us":-5,"coefficients":{"static_npu_w":0}}}`)
 
 	f.Fuzz(func(t *testing.T, src string) {
 		sc, err := Parse(strings.NewReader(src))

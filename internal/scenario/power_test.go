@@ -1,0 +1,110 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"acesim/internal/des"
+	"acesim/internal/system"
+)
+
+func f64(v float64) *float64 { return &v }
+
+// TestPowerSpecConfig pins the block-to-build resolution: absent or
+// disabled blocks build nothing, an enabled block starts from the
+// preset defaults, overrides land field-for-field, and the window
+// converts from microseconds to picoseconds.
+func TestPowerSpecConfig(t *testing.T) {
+	var nilSpec *PowerSpec
+	if nilSpec.Config(system.ACE) != nil {
+		t.Fatal("nil power block resolved to a config")
+	}
+	if (&PowerSpec{}).Config(system.ACE) != nil {
+		t.Fatal("disabled power block resolved to a config")
+	}
+
+	defaults := (&PowerSpec{Enabled: true}).Config(system.ACE)
+	if defaults == nil || defaults.Coeff != system.PowerDefaults(system.ACE) {
+		t.Fatalf("enabled block without overrides should carry the preset defaults: %+v", defaults)
+	}
+	if defaults.Window != 0 {
+		t.Fatalf("unset window should stay 0 (build-time default applies): %v", defaults.Window)
+	}
+
+	ps := &PowerSpec{Enabled: true, WindowUs: 2.5, Coefficients: &CoeffOverrides{
+		HBMPJPerByte: f64(99),
+		StaticLinkW:  f64(0),
+	}}
+	cfg := ps.Config(system.ACE)
+	if cfg.Window != des.Time(2.5*float64(des.Microsecond)) {
+		t.Fatalf("window = %v, want 2.5 us in ps", cfg.Window)
+	}
+	want := system.PowerDefaults(system.ACE)
+	want.HBMPJPerByte = 99
+	want.StaticLinkW = 0
+	if cfg.Coeff != want {
+		t.Fatalf("override application mismatch:\ngot  %+v\nwant %+v", cfg.Coeff, want)
+	}
+}
+
+// TestPowerSpecValidate exercises the block validation: bad windows and
+// every out-of-range coefficient shape must be rejected with the JSON
+// field name in the error.
+func TestPowerSpecValidate(t *testing.T) {
+	nan := 0.0
+	nan /= nan
+	bad := []struct {
+		name string
+		ps   *PowerSpec
+		want string
+	}{
+		{"negative window", &PowerSpec{Enabled: true, WindowUs: -1}, "window_us"},
+		{"huge window", &PowerSpec{Enabled: true, WindowUs: 1e13}, "window_us"},
+		{"nan window", &PowerSpec{Enabled: true, WindowUs: nan}, "window_us"},
+		{"negative coeff", &PowerSpec{Enabled: true,
+			Coefficients: &CoeffOverrides{LinkPJPerBit: f64(-1)}}, "link_pj_per_bit"},
+		{"nan coeff", &PowerSpec{Enabled: true,
+			Coefficients: &CoeffOverrides{StaticNPUW: &nan}}, "static_npu_w"},
+		{"huge coeff", &PowerSpec{Enabled: true,
+			Coefficients: &CoeffOverrides{ComputePJPerCycle: f64(1e19)}}, "compute_pj_per_cycle"},
+	}
+	for _, tc := range bad {
+		err := tc.ps.validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want mention of %s", tc.name, err, tc.want)
+		}
+	}
+	ok := &PowerSpec{Enabled: true, WindowUs: 10,
+		Coefficients: &CoeffOverrides{DMABusyW: f64(0), ACEBusyW: f64(12)}}
+	if err := ok.validate(); err != nil {
+		t.Fatalf("valid block rejected: %v", err)
+	}
+	var nilSpec *PowerSpec
+	if err := nilSpec.validate(); err != nil {
+		t.Fatalf("nil block rejected: %v", err)
+	}
+}
+
+// TestLoadPoweredScenario drives Load on a file (the path every CLI
+// entry takes) and checks the power block survives the round trip.
+func TestLoadPoweredScenario(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.json")
+	body := `{"name":"p","platform":{"toruses":["4"]},"power":{"enabled":true,"window_us":5},
+		"jobs":[{"kind":"collective","payloads_mb":[1]}],
+		"assertions":[{"metric":"energy_total_j","op":">","value":0}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.PowerEnabled() || sc.Power.WindowUs != 5 {
+		t.Fatalf("power block lost in Load: %+v", sc.Power)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("Load of a missing file succeeded")
+	}
+}

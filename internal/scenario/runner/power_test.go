@@ -1,0 +1,113 @@
+package runner
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"acesim/internal/collectives"
+	"acesim/internal/scenario"
+)
+
+// TestPowerWorkerDeterminism runs the bundled multijob scenario with
+// energy accounting forced on at workers=1 and workers=8 and requires
+// byte-identical JSON metrics AND a byte-identical power-timeline CSV —
+// the windowed femtojoule accumulation is order-independent, so the
+// worker count must not leak into a single digit of either rendering.
+func TestPowerWorkerDeterminism(t *testing.T) {
+	sc, err := scenario.Load("../../../examples/scenarios/multijob.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Power = &scenario.PowerSpec{Enabled: true}
+	render := func(workers int) (js, csv []byte) {
+		t.Helper()
+		res, err := Run(sc, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Powered() {
+			t.Fatal("power block enabled but results carry no power report")
+		}
+		var txt bytes.Buffer
+		if err := res.WriteText(&txt); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(txt.String(), "energy & power") {
+			t.Fatal("powered text report is missing the energy table")
+		}
+		var jbuf, cbuf bytes.Buffer
+		if err := res.WriteJSON(&jbuf); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WritePowerCSV(&cbuf); err != nil {
+			t.Fatal(err)
+		}
+		return jbuf.Bytes(), cbuf.Bytes()
+	}
+	sj, scsv := render(1)
+	pj, pcsv := render(8)
+	if !bytes.Equal(sj, pj) {
+		t.Fatalf("workers=1 and workers=8 JSON disagree:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", sj, pj)
+	}
+	if !bytes.Equal(scsv, pcsv) {
+		t.Fatalf("workers=1 and workers=8 power CSV disagree:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", scsv, pcsv)
+	}
+	if !strings.HasPrefix(string(scsv), "unit,time_us,compute_w,hbm_w,fabric_w,static_w,total_w\n") {
+		t.Fatalf("power CSV header missing:\n%s", scsv[:min(len(scsv), 120)])
+	}
+	// Powered results must surface every assertable energy metric.
+	js := string(sj)
+	for _, metric := range []string{
+		"energy_total_j", "energy_compute_j", "energy_hbm_j", "energy_ace_j",
+		"energy_link_j", "energy_static_j", "avg_power_w", "peak_power_w",
+		"energy_delay_product", "perf_per_watt",
+	} {
+		if !strings.Contains(js, metric) {
+			t.Fatalf("metric %s missing from powered JSON rendering", metric)
+		}
+	}
+}
+
+// TestHybridWarnings pins the fallback-warning lines without running a
+// simulation: a unit that asked for a fast engine and fell back to
+// full DES gets one line with sorted refusal reasons; DES units,
+// engaged units and units with no recorded refusals stay silent.
+func TestHybridWarnings(t *testing.T) {
+	res := &Results{Units: []UnitResult{
+		{Unit: scenario.Unit{Index: 0, Kind: scenario.KindCollective}}, // DES: silent
+		{Unit: scenario.Unit{Index: 1, Kind: scenario.KindCollective, Engine: collectives.EngineHybrid},
+			Hybrid: collectives.HybridStats{Engaged: true, Blocked: map[string]int{"x": 1}}}, // engaged: silent
+		{Unit: scenario.Unit{Index: 2, Kind: scenario.KindCollective, Engine: collectives.EngineHybrid}}, // no reasons: silent
+		{Unit: scenario.Unit{Index: 3, Kind: scenario.KindCollective, Engine: collectives.EngineHybrid},
+			Hybrid: collectives.HybridStats{Blocked: map[string]int{"tracer": 1, "contention": 2}}},
+	}}
+	got := res.HybridWarnings()
+	if len(got) != 1 {
+		t.Fatalf("got %d warnings, want 1: %v", len(got), got)
+	}
+	if !strings.Contains(got[0], "unit 3") ||
+		!strings.Contains(got[0], "hybrid engine fell back to full DES: contention, tracer") {
+		t.Fatalf("warning = %q", got[0])
+	}
+}
+
+// TestPowerCSVRequiresPowerBlock pins the error path: a run without a
+// "power" block has no timeline to export and must say so.
+func TestPowerCSVRequiresPowerBlock(t *testing.T) {
+	sc, err := scenario.Load("../../../examples/scenarios/multijob.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sc, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Powered() {
+		t.Fatal("results report power without a power block")
+	}
+	var buf bytes.Buffer
+	if err := res.WritePowerCSV(&buf); err == nil || !strings.Contains(err.Error(), "power") {
+		t.Fatalf("WritePowerCSV on unpowered results: err = %v, want power-block hint", err)
+	}
+}

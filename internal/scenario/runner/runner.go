@@ -11,6 +11,8 @@ import (
 	"io"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 
 	"acesim/internal/collectives"
@@ -42,6 +44,13 @@ type UnitResult struct {
 	Metrics map[string]float64
 	// Trace is the unit's span collector (nil when tracing was off).
 	Trace *trace.Tracer
+	// Power is the unit's energy report and windowed power timeline
+	// (nil when the scenario has no enabled "power" block, or for
+	// microbench units).
+	Power *exper.PowerReport
+	// Hybrid reports the fast path's engagement and refusal reasons
+	// (zero-valued for microbench units, which bypass the runtime).
+	Hybrid collectives.HybridStats
 }
 
 // AssertionOutcome records how one assertion fared against the results.
@@ -101,11 +110,17 @@ func Run(sc *scenario.Scenario, opts Options) (*Results, error) {
 				if traced {
 					tr = trace.New()
 				}
-				m, err := runUnit(units[i], alone, tr)
+				m, aux, err := runUnit(units[i], alone, tr)
 				if err == nil && tr != nil {
 					addTraceMetrics(m, tr)
 				}
-				results[i] = UnitResult{Unit: units[i], Metrics: m, Trace: tr}
+				if err == nil && aux.pr != nil {
+					addPowerMetrics(m, aux.pr)
+					// Merge the power timeline into the unit's trace as
+					// counter tracks (no-op when untraced).
+					aux.pr.Sampler.EmitCounters(tr, aux.pr.Makespan)
+				}
+				results[i] = UnitResult{Unit: units[i], Metrics: m, Trace: tr, Power: aux.pr, Hybrid: aux.hyb}
 				errs[i] = err
 			}
 		}()
@@ -125,6 +140,27 @@ func Run(sc *scenario.Scenario, opts Options) (*Results, error) {
 		res.Assertions = append(res.Assertions, check(a, results))
 	}
 	return res, nil
+}
+
+// HybridWarnings returns one line per unit whose requested fast engine
+// fell back to full DES, naming the refusal reasons (sorted). Callers
+// that force tracing (like `acesim trace`) surface these so the
+// fallback is never silent.
+func (r *Results) HybridWarnings() []string {
+	var out []string
+	for _, ur := range r.Units {
+		if ur.Unit.Engine == collectives.EngineDES || ur.Hybrid.Engaged || len(ur.Hybrid.Blocked) == 0 {
+			continue
+		}
+		reasons := make([]string, 0, len(ur.Hybrid.Blocked))
+		for k := range ur.Hybrid.Blocked {
+			reasons = append(reasons, k)
+		}
+		sort.Strings(reasons)
+		out = append(out, fmt.Sprintf("unit %d (%s): %s engine fell back to full DES: %s",
+			ur.Unit.Index, describe(ur.Unit), ur.Unit.Engine, strings.Join(reasons, ", ")))
+	}
+	return out
 }
 
 // Failures lists every assertion violation across the run.
@@ -226,6 +262,7 @@ func buildSpec(u scenario.Unit) system.Spec {
 		spec.Faults = &fault.Track{Events: u.Events, Recovery: u.Recovery}
 	}
 	spec.Engine = u.Engine
+	spec.Power = u.Power.Config(u.Preset)
 	return spec
 }
 
@@ -244,6 +281,22 @@ func addTraceMetrics(m map[string]float64, tr *trace.Tracer) {
 	m["trace_spans"] = float64(bd.Spans)
 }
 
+// addPowerMetrics folds the unit's energy report into the assertable
+// energy_* / *_power_w metrics (scenario.PowerMetrics).
+func addPowerMetrics(m map[string]float64, pr *exper.PowerReport) {
+	b := pr.Breakdown
+	m["energy_total_j"] = b.TotalJ
+	m["energy_compute_j"] = b.ComputeJ
+	m["energy_hbm_j"] = b.HBMJ
+	m["energy_ace_j"] = b.ACEJ
+	m["energy_link_j"] = b.LinkJ
+	m["energy_static_j"] = b.StaticJ
+	m["avg_power_w"] = b.AvgW
+	m["peak_power_w"] = b.PeakW
+	m["energy_delay_product"] = b.EDP
+	m["perf_per_watt"] = b.PerfPerWatt
+}
+
 // tracedSpec is buildSpec with the unit's span collector attached.
 func tracedSpec(u scenario.Unit, tr *trace.Tracer) system.Spec {
 	spec := buildSpec(u)
@@ -257,11 +310,12 @@ func tracedSpec(u scenario.Unit, tr *trace.Tracer) system.Spec {
 // against a fault-free twin of the same unit (multijob units skip the
 // twin — their per-job "<name>_slowdown" baselines already strip the
 // track).
-func runUnit(u scenario.Unit, alone map[int64]float64, tr *trace.Tracer) (map[string]float64, error) {
-	m, rec, err := execUnit(u, alone, tr)
+func runUnit(u scenario.Unit, alone map[int64]float64, tr *trace.Tracer) (map[string]float64, unitAux, error) {
+	m, aux, err := execUnit(u, alone, tr)
 	if err != nil || len(u.Events) == 0 {
-		return m, err
+		return m, aux, err
 	}
+	rec := aux.rec
 	m["fault_events"] = float64(len(u.Events))
 	m["fault_drops"] = float64(rec.Drops)
 	m["fault_retries"] = float64(rec.Retries)
@@ -273,26 +327,36 @@ func runUnit(u scenario.Unit, alone map[int64]float64, tr *trace.Tracer) (map[st
 		scenario.KindGraph:      "graph_span_us",
 	}[u.Kind]
 	if primary == "" {
-		return m, nil
+		return m, aux, nil
 	}
+	// The twin exists only for its primary duration metric; don't pay
+	// for a second energy accounting pass.
 	clean := u
-	clean.Events, clean.Recovery = nil, nil
+	clean.Events, clean.Recovery, clean.Power = nil, nil, nil
 	cm, _, err := execUnit(clean, alone, nil)
 	if err != nil {
-		return nil, fmt.Errorf("fault-free twin: %w", err)
+		return nil, aux, fmt.Errorf("fault-free twin: %w", err)
 	}
 	if cm[primary] > 0 {
 		m["fault_slowdown"] = m[primary] / cm[primary]
 	}
-	return m, nil
+	return m, aux, nil
+}
+
+// unitAux bundles the side reports of one unit execution: fault
+// recovery, energy accounting, and fast-path engagement.
+type unitAux struct {
+	rec collectives.RecoveryStats
+	pr  *exper.PowerReport
+	hyb collectives.HybridStats
 }
 
 // execUnit runs one work unit on a freshly built system. alone carries
 // the pre-measured microbench baselines keyed by payload (read-only
 // across workers). tr, when non-nil, collects the unit's spans. The
 // returned recovery stats are zero-valued on fault-free runs.
-func execUnit(u scenario.Unit, alone map[int64]float64, tr *trace.Tracer) (map[string]float64, collectives.RecoveryStats, error) {
-	var none collectives.RecoveryStats
+func execUnit(u scenario.Unit, alone map[int64]float64, tr *trace.Tracer) (map[string]float64, unitAux, error) {
+	var none unitAux
 	switch u.Kind {
 	case scenario.KindCollective:
 		res, err := exper.RunCollective(tracedSpec(u, tr), u.Collective, u.Bytes)
@@ -305,7 +369,7 @@ func execUnit(u scenario.Unit, alone map[int64]float64, tr *trace.Tracer) (map[s
 			"reads_node":    float64(res.ReadsNode),
 			"writes_node":   float64(res.WritesNode),
 			"wire_bytes":    float64(res.WireBytes),
-		}, res.Recovery, nil
+		}, unitAux{rec: res.Recovery, pr: res.Power, hyb: res.Hybrid}, nil
 	case scenario.KindTraining:
 		m, err := workload.ByName(u.Workload)
 		if err != nil {
@@ -330,7 +394,7 @@ func execUnit(u scenario.Unit, alone map[int64]float64, tr *trace.Tracer) (map[s
 			"exposed_us":        res.ExposedComm.Micros(),
 			"exposed_comm_frac": frac,
 			"collectives":       float64(res.Collectives),
-		}, res.Recovery, nil
+		}, unitAux{rec: res.Recovery, pr: res.Power, hyb: res.Hybrid}, nil
 	case scenario.KindMicrobench:
 		var k exper.Fig4Kernel
 		if u.Kernel.GEMMN > 0 {
@@ -361,8 +425,8 @@ func execUnit(u scenario.Unit, alone map[int64]float64, tr *trace.Tracer) (map[s
 
 // execGraph resolves the unit's graph — a JSON file or a pipeline
 // synthesis — and runs it on a freshly built platform.
-func execGraph(u scenario.Unit, tr *trace.Tracer) (map[string]float64, collectives.RecoveryStats, error) {
-	var none collectives.RecoveryStats
+func execGraph(u scenario.Unit, tr *trace.Tracer) (map[string]float64, unitAux, error) {
+	var none unitAux
 	var g *graph.Graph
 	var err error
 	if u.GraphFile != "" {
@@ -408,14 +472,14 @@ func execGraph(u scenario.Unit, tr *trace.Tracer) (map[string]float64, collectiv
 		"graph_compute_us":   res.Compute.Micros(),
 		"graph_exposed_us":   res.Exposed.Micros(),
 		"graph_exposed_frac": frac,
-	}, res.Recovery, nil
+	}, unitAux{rec: res.Recovery, pr: res.Power, hyb: res.Hybrid}, nil
 }
 
 // execMultiJob co-runs the unit's sub-jobs via exper.Interference and
 // flattens the per-job outcomes into metrics: the assertable aggregates
 // plus "<name>_solo_us" / "<name>_co_us" / "<name>_slowdown" per sub-job.
-func execMultiJob(u scenario.Unit, tr *trace.Tracer) (map[string]float64, collectives.RecoveryStats, error) {
-	var none collectives.RecoveryStats
+func execMultiJob(u scenario.Unit, tr *trace.Tracer) (map[string]float64, unitAux, error) {
+	var none unitAux
 	spec := tracedSpec(u, tr)
 	arb, err := collectives.ParseArbitration(u.Arbitration)
 	if err != nil {
@@ -462,7 +526,7 @@ func execMultiJob(u scenario.Unit, tr *trace.Tracer) (map[string]float64, collec
 		out[j.Name+"_co_us"] = j.Co.Micros()
 		out[j.Name+"_slowdown"] = j.Slowdown
 	}
-	return out, res.Recovery, nil
+	return out, unitAux{rec: res.Recovery, pr: res.Power, hyb: res.Hybrid}, nil
 }
 
 // check evaluates one assertion against all matching units.
@@ -580,6 +644,9 @@ func (r *Results) Tables() []*report.Table {
 		}
 	}
 	if t := r.TraceTable(); t != nil {
+		tabs = append(tabs, t)
+	}
+	if t := r.PowerTable(); t != nil {
 		tabs = append(tabs, t)
 	}
 	if len(r.Assertions) > 0 {
@@ -704,6 +771,65 @@ func (r *Results) TraceTable() *report.Table {
 			m["overlap_frac"], m["trace_link_util"], m["trace_hbm_util"], int64(m["trace_spans"]))
 	}
 	return t
+}
+
+// Powered reports whether any unit carries an energy report.
+func (r *Results) Powered() bool {
+	for _, ur := range r.Units {
+		if ur.Power != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// PowerTable summarizes the per-unit energy breakdown, or nil when the
+// scenario had no enabled power block (microbench units, which report
+// no energy, are skipped).
+func (r *Results) PowerTable() *report.Table {
+	if !r.Powered() {
+		return nil
+	}
+	t := report.New(r.Name+": energy & power",
+		"unit", "kind", "total J", "compute J", "hbm J", "ace J", "link J", "static J",
+		"avg W", "peak W", "perf/W")
+	for _, ur := range r.Units {
+		if ur.Power == nil {
+			continue
+		}
+		b := ur.Power.Breakdown
+		t.Add(fmt.Sprintf("u%d %s", ur.Unit.Index, describe(ur.Unit)), string(ur.Unit.Kind),
+			b.TotalJ, b.ComputeJ, b.HBMJ, b.ACEJ, b.LinkJ, b.StaticJ,
+			b.AvgW, b.PeakW, b.PerfPerWatt)
+	}
+	return t
+}
+
+// WritePowerCSV renders every powered unit's windowed power timeline as
+// one combined CSV (units in expansion order, so the output is
+// byte-identical for any worker count).
+func (r *Results) WritePowerCSV(w io.Writer) error {
+	if !r.Powered() {
+		return fmt.Errorf("runner: results carry no power timeline (enable the scenario's \"power\" block)")
+	}
+	if _, err := fmt.Fprintln(w, "unit,time_us,compute_w,hbm_w,fabric_w,static_w,total_w"); err != nil {
+		return err
+	}
+	for _, ur := range r.Units {
+		if ur.Power == nil {
+			continue
+		}
+		s := ur.Power.Sampler
+		for b := 0; b < s.Windows(ur.Power.Makespan); b++ {
+			cw, hw, fw := s.Compute.PowerW(b), s.HBM.PowerW(b), s.Fabric.PowerW(b)
+			if _, err := fmt.Fprintf(w, "u%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+				ur.Unit.Index, (des.Time(b) * s.Window).Micros(),
+				cw, hw, fw, s.StaticW, cw+hw+fw+s.StaticW); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // WriteTraceCSV renders the trace summary table as CSV.

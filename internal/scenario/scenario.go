@@ -18,9 +18,11 @@ import (
 	"strings"
 
 	"acesim/internal/collectives"
+	"acesim/internal/des"
 	"acesim/internal/fault"
 	"acesim/internal/graph"
 	"acesim/internal/noc"
+	"acesim/internal/power"
 	"acesim/internal/system"
 	"acesim/internal/workload"
 )
@@ -39,6 +41,11 @@ type Scenario struct {
 	// adds the trace_* / overlap_* metrics to each unit's results; the
 	// whole timeline can then be exported via `acesim trace`.
 	Trace *TraceSpec `json:"trace,omitempty"`
+	// Power, when enabled, runs every unit with energy accounting and
+	// adds the energy_* / *_power_w metrics to each unit's results;
+	// the windowed power timeline can then be exported as CSV or as
+	// Chrome-trace counter tracks via `acesim trace`.
+	Power *PowerSpec `json:"power,omitempty"`
 	// Events is the timed fault/dynamics track applied to every unit of
 	// the scenario: link failure/restore/degradation, NPU stragglers,
 	// checkpoint stalls and job departures, each at a fixed simulation
@@ -334,6 +341,122 @@ type TraceSpec struct {
 // TraceEnabled reports whether the scenario asks for tracing.
 func (s *Scenario) TraceEnabled() bool { return s.Trace != nil && s.Trace.Enabled }
 
+// PowerSpec is the scenario "power" block: it enables energy
+// accounting on every unit, with Table-VI-style per-preset default
+// coefficients and optional overrides.
+type PowerSpec struct {
+	// Enabled turns energy accounting on for every unit of the run.
+	Enabled bool `json:"enabled"`
+	// WindowUs is the power-timeline sampling window in simulated
+	// microseconds (0 takes the 10 us default). Energy totals are
+	// window-independent; only peak_power_w and the timeline resolve
+	// at this granularity.
+	WindowUs float64 `json:"window_us,omitempty"`
+	// Coefficients overrides individual energy coefficients away from
+	// the preset defaults (system.PowerDefaults). Nil fields keep the
+	// default.
+	Coefficients *CoeffOverrides `json:"coefficients,omitempty"`
+}
+
+// CoeffOverrides adjusts individual energy coefficients. Nil fields
+// keep the per-preset default value.
+type CoeffOverrides struct {
+	ComputePJPerCycle *float64 `json:"compute_pj_per_cycle,omitempty"`
+	HBMPJPerByte      *float64 `json:"hbm_pj_per_byte,omitempty"`
+	ACEBusyW          *float64 `json:"ace_busy_w,omitempty"`
+	DMABusyW          *float64 `json:"dma_busy_w,omitempty"`
+	LinkPJPerBit      *float64 `json:"link_pj_per_bit,omitempty"`
+	ForwardPJPerByte  *float64 `json:"forward_pj_per_byte,omitempty"`
+	StaticNPUW        *float64 `json:"static_npu_w,omitempty"`
+	StaticACEW        *float64 `json:"static_ace_w,omitempty"`
+	StaticLinkW       *float64 `json:"static_link_w,omitempty"`
+}
+
+// fields pairs every override with its JSON name, for apply/validate.
+func (o *CoeffOverrides) fields() []struct {
+	name string
+	v    *float64
+	dst  func(*power.Coefficients) *float64
+} {
+	return []struct {
+		name string
+		v    *float64
+		dst  func(*power.Coefficients) *float64
+	}{
+		{"compute_pj_per_cycle", o.ComputePJPerCycle, func(c *power.Coefficients) *float64 { return &c.ComputePJPerCycle }},
+		{"hbm_pj_per_byte", o.HBMPJPerByte, func(c *power.Coefficients) *float64 { return &c.HBMPJPerByte }},
+		{"ace_busy_w", o.ACEBusyW, func(c *power.Coefficients) *float64 { return &c.ACEBusyW }},
+		{"dma_busy_w", o.DMABusyW, func(c *power.Coefficients) *float64 { return &c.DMABusyW }},
+		{"link_pj_per_bit", o.LinkPJPerBit, func(c *power.Coefficients) *float64 { return &c.LinkPJPerBit }},
+		{"forward_pj_per_byte", o.ForwardPJPerByte, func(c *power.Coefficients) *float64 { return &c.ForwardPJPerByte }},
+		{"static_npu_w", o.StaticNPUW, func(c *power.Coefficients) *float64 { return &c.StaticNPUW }},
+		{"static_ace_w", o.StaticACEW, func(c *power.Coefficients) *float64 { return &c.StaticACEW }},
+		{"static_link_w", o.StaticLinkW, func(c *power.Coefficients) *float64 { return &c.StaticLinkW }},
+	}
+}
+
+// Apply overwrites the set fields onto c. Safe on nil.
+func (o *CoeffOverrides) Apply(c *power.Coefficients) {
+	if o == nil {
+		return
+	}
+	for _, f := range o.fields() {
+		if f.v != nil {
+			*f.dst(c) = *f.v
+		}
+	}
+}
+
+// validate rejects non-finite or negative coefficient overrides.
+func (o *CoeffOverrides) validate() error {
+	if o == nil {
+		return nil
+	}
+	for _, f := range o.fields() {
+		if f.v == nil {
+			continue
+		}
+		if *f.v < 0 || *f.v != *f.v || *f.v > 1e18 {
+			return fmt.Errorf("coefficient %s: %g out of range [0, 1e18]", f.name, *f.v)
+		}
+	}
+	return nil
+}
+
+// PowerEnabled reports whether the scenario asks for energy accounting.
+func (s *Scenario) PowerEnabled() bool { return s.Power != nil && s.Power.Enabled }
+
+// Config resolves the power block into a build config for one preset:
+// the preset's default coefficients with the block's overrides applied,
+// and the sampling window converted to picoseconds. Nil when the block
+// is absent or disabled.
+func (ps *PowerSpec) Config(p system.Preset) *power.Config {
+	if ps == nil || !ps.Enabled {
+		return nil
+	}
+	c := system.PowerDefaults(p)
+	ps.Coefficients.Apply(&c)
+	return &power.Config{
+		Window: des.Time(ps.WindowUs * float64(des.Microsecond)),
+		Coeff:  c,
+	}
+}
+
+// validate checks the power block's shape (window and coefficient
+// ranges) independent of any unit.
+func (ps *PowerSpec) validate() error {
+	if ps == nil {
+		return nil
+	}
+	if ps.WindowUs < 0 || ps.WindowUs != ps.WindowUs || ps.WindowUs > 1e12 {
+		return fmt.Errorf("power: window_us %g out of range [0, 1e12]", ps.WindowUs)
+	}
+	if err := ps.Coefficients.validate(); err != nil {
+		return fmt.Errorf("power: %w", err)
+	}
+	return nil
+}
+
 // TraceMetrics lists the metrics the tracing layer adds to every traced
 // unit, regardless of job kind (so they carry no kind in Metrics).
 var TraceMetrics = map[string]bool{
@@ -359,6 +482,24 @@ var FaultMetrics = map[string]bool{
 	"fault_parked":      true,
 	"fault_recovery_us": true,
 	"fault_slowdown":    true,
+}
+
+// PowerMetrics lists the metrics the energy-accounting layer adds to
+// every unit of a scenario with an enabled "power" block, regardless
+// of job kind (so they carry no kind in Metrics). Microbench units are
+// the exception: the Fig 4 harness runs its own fixed platform and
+// reports no energy.
+var PowerMetrics = map[string]bool{
+	"energy_total_j":       true,
+	"energy_compute_j":     true,
+	"energy_hbm_j":         true,
+	"energy_ace_j":         true,
+	"energy_link_j":        true,
+	"energy_static_j":      true,
+	"avg_power_w":          true,
+	"peak_power_w":         true,
+	"energy_delay_product": true,
+	"perf_per_watt":        true,
 }
 
 // Metrics maps every assertable metric to the job kind that produces it.
@@ -438,6 +579,10 @@ type Unit struct {
 	// independent unit).
 	Events   []fault.Event
 	Recovery *fault.Recovery
+
+	// Power is the scenario's energy-accounting block (nil when absent
+	// or disabled); the runner resolves it against the unit's preset.
+	Power *PowerSpec
 }
 
 // Load reads and parses a scenario file. Call Validate (or Expand) to
@@ -761,6 +906,14 @@ func (s *Scenario) Expand() ([]Unit, error) {
 			units[i].Recovery = s.Recovery
 		}
 	}
+	if err := s.Power.validate(); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if s.PowerEnabled() {
+		for i := range units {
+			units[i].Power = s.Power
+		}
+	}
 	if err := s.validateAssertions(); err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
@@ -924,6 +1077,16 @@ func (s *Scenario) validateAssertions() error {
 			}
 			if a.Metric == "fault_slowdown" && a.Kind == KindMultiJob {
 				return fmt.Errorf("assertion %d: multijob units report per-job \"<name>_slowdown\" values instead of fault_slowdown", i)
+			}
+		} else if PowerMetrics[a.Metric] {
+			// Power metrics exist on every unit of a scenario with an
+			// enabled power block (except microbench units, which run
+			// the fixed Fig 4 harness and report no energy).
+			if !s.PowerEnabled() {
+				return fmt.Errorf("assertion %d: metric %q requires \"power\": {\"enabled\": true}", i, a.Metric)
+			}
+			if a.Kind == KindMicrobench {
+				return fmt.Errorf("assertion %d: microbench units report no energy metrics", i)
 			}
 		} else if s.isSubJobMetric(a.Metric) {
 			// Per-sub-job multijob metrics ("<name>_slowdown" etc.) are

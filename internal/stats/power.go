@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+
+	"acesim/internal/des"
+)
+
+// PowerTrace accumulates energy into fixed-width time windows. Unlike
+// Trace it stores integer femtojoules per window: integer sums are
+// order-independent, so two engines (or two worker counts) that record
+// the same set of (interval, watts) events land on byte-identical
+// window values no matter the accumulation order, and the hybrid
+// engine's mirror fold (multiply one node's windows by N) is exact.
+//
+// Each event's contribution to a window is rounded once, per window,
+// as round(watts x overlap_ps x 1000): 1 W over 1 ps is 1 pJ, i.e.
+// 1000 fJ. The rounding is a pure function of the event and the window
+// grid, never of ordering.
+type PowerTrace struct {
+	Window des.Time // window width; <= 0 disables the trace
+	vals   []int64  // femtojoules per window
+}
+
+// NewPowerTrace returns a trace with the given window width.
+func NewPowerTrace(window des.Time) *PowerTrace { return &PowerTrace{Window: window} }
+
+// Enabled reports whether the trace records anything.
+func (t *PowerTrace) Enabled() bool { return t != nil && t.Window > 0 }
+
+// Add records energy drawn at a constant watts over [start, end).
+// Safe to call on a nil or disabled trace.
+func (t *PowerTrace) Add(start, end des.Time, watts float64) {
+	if !t.Enabled() || end <= start || watts == 0 {
+		return
+	}
+	first := int(start / t.Window)
+	last := int((end - 1) / t.Window)
+	if len(t.vals) <= last {
+		t.vals = append(t.vals, make([]int64, last+1-len(t.vals))...)
+	}
+	for b := first; b <= last; b++ {
+		lo := des.Time(b) * t.Window
+		hi := lo + t.Window
+		if start > lo {
+			lo = start
+		}
+		if end < hi {
+			hi = end
+		}
+		t.vals[b] += int64(math.Round(watts * float64(hi-lo) * 1000))
+	}
+}
+
+// Len returns the number of windows recorded so far.
+func (t *PowerTrace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.vals)
+}
+
+// EnergyFJ returns the accumulated femtojoules in window b.
+func (t *PowerTrace) EnergyFJ(b int) int64 {
+	if t == nil || b < 0 || b >= len(t.vals) {
+		return 0
+	}
+	return t.vals[b]
+}
+
+// PowerW returns window b's average power draw in watts.
+func (t *PowerTrace) PowerW(b int) float64 {
+	if !t.Enabled() {
+		return 0
+	}
+	return float64(t.EnergyFJ(b)) / (float64(t.Window) * 1000)
+}
+
+// TotalFJ returns the summed femtojoules over every recorded window.
+func (t *PowerTrace) TotalFJ() int64 {
+	if t == nil {
+		return 0
+	}
+	var sum int64
+	for _, v := range t.vals {
+		sum += v
+	}
+	return sum
+}
+
+// AbsorbFrom folds another trace's windows into this one elementwise,
+// scaled by times. The hybrid engine uses it to merge a shadow
+// co-simulation's energy timeline back into the primary system; the
+// integer scaling keeps mirror-mode replication exact.
+func (t *PowerTrace) AbsorbFrom(o *PowerTrace, times int64) {
+	if !t.Enabled() || o == nil || times <= 0 {
+		return
+	}
+	if len(t.vals) < len(o.vals) {
+		t.vals = append(t.vals, make([]int64, len(o.vals)-len(t.vals))...)
+	}
+	for b, v := range o.vals {
+		t.vals[b] += v * times
+	}
+}

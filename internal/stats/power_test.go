@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+
+	"acesim/internal/des"
+)
+
+// TestPowerTraceWindowing pins the femtojoule bookkeeping across window
+// boundaries: a 2 W interval spanning half / full / half of three
+// 1000 ps windows lands exactly 1e6 / 2e6 / 1e6 fJ.
+func TestPowerTraceWindowing(t *testing.T) {
+	const window = des.Time(1000)
+	tr := NewPowerTrace(window)
+	if !tr.Enabled() {
+		t.Fatal("fresh trace with positive window should be enabled")
+	}
+	tr.Add(500, 2500, 2.0)
+	if got := tr.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	for b, want := range []int64{1_000_000, 2_000_000, 1_000_000} {
+		if got := tr.EnergyFJ(b); got != want {
+			t.Fatalf("EnergyFJ(%d) = %d, want %d", b, got, want)
+		}
+	}
+	if got := tr.TotalFJ(); got != 4_000_000 {
+		t.Fatalf("TotalFJ = %d, want 4000000", got)
+	}
+	// PowerW averages the window's energy over the full window width:
+	// 2e6 fJ over 1000 ps is exactly 2 W.
+	if got := tr.PowerW(1); got != 2.0 {
+		t.Fatalf("PowerW(1) = %v, want 2", got)
+	}
+	if got := tr.PowerW(0); got != 1.0 {
+		t.Fatalf("PowerW(0) = %v, want 1 (half-filled window)", got)
+	}
+	// Out-of-range windows read zero, not panic.
+	if tr.EnergyFJ(99) != 0 || tr.PowerW(99) != 0 {
+		t.Fatal("out-of-range window should read zero")
+	}
+}
+
+// TestPowerTraceOrderIndependence is the determinism core: each event
+// is rounded per window independently, so any arrival order (the
+// workers=N case) accumulates the identical integers.
+func TestPowerTraceOrderIndependence(t *testing.T) {
+	const window = des.Time(700) // deliberately not a divisor of the spans
+	type ev struct {
+		start, end des.Time
+		w          float64
+	}
+	evs := []ev{
+		{0, 1300, 1.75},
+		{350, 4200, 0.333},
+		{1299, 1301, 12.5},
+		{2000, 2100, 7.0},
+		{100, 6999, 0.01},
+	}
+	build := func(perm []int) *PowerTrace {
+		tr := NewPowerTrace(window)
+		for _, i := range perm {
+			tr.Add(evs[i].start, evs[i].end, evs[i].w)
+		}
+		return tr
+	}
+	ref := build([]int{0, 1, 2, 3, 4})
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		perm := rng.Perm(len(evs))
+		got := build(perm)
+		if got.Len() != ref.Len() {
+			t.Fatalf("perm %v: Len %d != %d", perm, got.Len(), ref.Len())
+		}
+		for b := 0; b < ref.Len(); b++ {
+			if got.EnergyFJ(b) != ref.EnergyFJ(b) {
+				t.Fatalf("perm %v window %d: %d fJ != %d fJ",
+					perm, b, got.EnergyFJ(b), ref.EnergyFJ(b))
+			}
+		}
+	}
+}
+
+// TestPowerTraceAbsorbFrom checks the hybrid-fold primitive: absorbing
+// a shadow trace N times scales every window by exactly N on integers.
+func TestPowerTraceAbsorbFrom(t *testing.T) {
+	const window = des.Time(1000)
+	shadow := NewPowerTrace(window)
+	shadow.Add(250, 3250, 1.234)
+	sum := NewPowerTrace(window)
+	sum.Add(0, 500, 5.0)
+	base0 := sum.EnergyFJ(0)
+	sum.AbsorbFrom(shadow, 3)
+	if sum.Len() != shadow.Len() {
+		t.Fatalf("Len = %d, want %d", sum.Len(), shadow.Len())
+	}
+	for b := 0; b < sum.Len(); b++ {
+		want := 3 * shadow.EnergyFJ(b)
+		if b == 0 {
+			want += base0
+		}
+		if got := sum.EnergyFJ(b); got != want {
+			t.Fatalf("window %d: %d fJ, want %d fJ", b, got, want)
+		}
+	}
+	// Nil / disabled / non-positive folds are no-ops.
+	before := sum.TotalFJ()
+	sum.AbsorbFrom(nil, 2)
+	sum.AbsorbFrom(shadow, 0)
+	var disabled *PowerTrace
+	disabled.AbsorbFrom(shadow, 2)
+	if sum.TotalFJ() != before {
+		t.Fatal("no-op folds changed the accumulated energy")
+	}
+}
+
+// TestPowerTraceDisabled pins nil-safety: the zero-overhead-when-off
+// contract means every method on a nil or zero-window trace is a no-op.
+func TestPowerTraceDisabled(t *testing.T) {
+	var nilTrace *PowerTrace
+	if nilTrace.Enabled() {
+		t.Fatal("nil trace reports enabled")
+	}
+	nilTrace.Add(0, 100, 1) // must not panic
+	if nilTrace.Len() != 0 || nilTrace.TotalFJ() != 0 || nilTrace.PowerW(0) != 0 {
+		t.Fatal("nil trace should read zero everywhere")
+	}
+	zero := NewPowerTrace(0)
+	if zero.Enabled() {
+		t.Fatal("zero-window trace reports enabled")
+	}
+	zero.Add(0, 100, 1)
+	if zero.Len() != 0 {
+		t.Fatal("disabled trace accumulated a window")
+	}
+	// Degenerate adds on an enabled trace are dropped too.
+	tr := NewPowerTrace(1000)
+	tr.Add(100, 100, 5) // empty interval
+	tr.Add(200, 100, 5) // inverted interval
+	tr.Add(0, 1000, 0)  // zero watts
+	if tr.Len() != 0 || tr.TotalFJ() != 0 {
+		t.Fatalf("degenerate adds accumulated: len %d, %d fJ", tr.Len(), tr.TotalFJ())
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"acesim/internal/graph"
 	"acesim/internal/noc"
 	"acesim/internal/npu"
+	"acesim/internal/power"
 	"acesim/internal/stats"
 	"acesim/internal/trace"
 	"acesim/internal/training"
@@ -90,6 +91,13 @@ type Spec struct {
 	// the build carries anything that breaks their assumptions — extra
 	// streams, fault tracks, recovery policies, tracing.
 	Engine collectives.Engine
+	// Power, when non-nil, enables energy accounting: a windowed power
+	// sampler is attached to every component at build time and the
+	// lifetime meters become joules via Power.Coeff after the run
+	// (System.PowerReport). Nil disables it with zero overhead, like
+	// the tracer. Power does not refuse the hybrid fast path: the
+	// shadow twin keeps the config and its sampler folds back.
+	Power *power.Config
 }
 
 // DefaultLinkClasses returns the Table V link parameters.
@@ -135,6 +143,34 @@ func NewSpec(t noc.Topology, p Preset) Spec {
 	}
 }
 
+// PowerDefaults returns the default energy coefficients for a preset,
+// Table-VI style: every configuration shares the Table V device
+// constants (compute pJ/cycle, HBM pJ/byte, link pJ/bit, leakage),
+// the ACE preset adds the engine's busy draw and leakage, and the
+// Ideal preset's free endpoint also costs no endpoint energy.
+func PowerDefaults(p Preset) power.Coefficients {
+	c := power.Coefficients{
+		ComputePJPerCycle: 200_000, // ~249 W dynamic at 1.245 GHz
+		HBMPJPerByte:      30,
+		DMABusyW:          15,
+		LinkPJPerBit:      10,
+		ForwardPJPerByte:  5,
+		StaticNPUW:        75,
+		StaticLinkW:       1,
+	}
+	switch p {
+	case ACE:
+		c.ACEBusyW = 10
+		c.StaticACEW = 2
+	case Ideal:
+		// The ideal endpoint moves bytes for free; it costs no
+		// endpoint energy either.
+		c.HBMPJPerByte = 0
+		c.DMABusyW = 0
+	}
+	return c
+}
+
 // Schedule returns the training schedule this preset uses (Table VI).
 func (s Spec) Schedule() training.Schedule {
 	if s.Preset == BaselineNoOverlap {
@@ -153,6 +189,10 @@ type System struct {
 	ACEs     []*core.ACE // non-nil entries only for Preset == ACE
 	RT       *collectives.Runtime
 	Computes []*npu.Compute
+
+	// Sampler is the windowed power timeline (nil unless Spec.Power is
+	// set). Its group traces are charged from the resource hot paths.
+	Sampler *power.Sampler
 
 	// departFns run when a job_depart event fires on this system.
 	departFns []func()
@@ -249,6 +289,9 @@ func BuildOn(eng *des.Engine, spec Spec) (*System, error) {
 		}
 		s.Eps = append(s.Eps, ep)
 	}
+	if spec.Power != nil {
+		s.attachPower(*spec.Power)
+	}
 	if spec.Faults.NeedsRecovery() && spec.Coll.Recovery == nil {
 		spec.Coll.Recovery = spec.Faults.Recovery.Policy()
 		s.Spec = spec
@@ -273,6 +316,70 @@ func BuildOn(eng *des.Engine, spec Spec) (*System, error) {
 		})
 	}
 	return s, nil
+}
+
+// attachPower builds the windowed power sampler and points every
+// component's energy hook at its group trace: compute kernels into
+// Compute, comm-mem reads into HBM, and links + DMA buses + ACE
+// servers into Fabric. Static leakage is a read-time constant on the
+// sampler — it needs no events.
+func (s *System) attachPower(cfg power.Config) {
+	sm := power.NewSampler(cfg.Window)
+	c := cfg.Coeff
+	for _, node := range s.Nodes {
+		cp := node.Compute()
+		cp.Power = sm.Compute
+		cp.PowerW = c.ComputeW(s.Spec.NPU.FreqGHz)
+		node.CommMem.SetPowerPerByte(sm.HBM, c.HBMPJPerByte)
+		node.BusTX.SetPowerBusy(sm.Fabric, c.DMABusyW)
+		node.BusRX.SetPowerBusy(sm.Fabric, c.DMABusyW)
+	}
+	for _, ace := range s.ACEs {
+		ace.SetPower(sm.Fabric, c.ACEBusyW)
+	}
+	s.Net.SetLinkPower(sm.Fabric, c.LinkPJPerByte())
+	sm.StaticW = c.StaticW(len(s.Nodes), len(s.ACEs), s.Net.NumLinks())
+	s.Sampler = sm
+}
+
+// PowerUsage snapshots the lifetime meters the energy model prices.
+// Integer sums only: two engines whose meters agree (the hybrid
+// golden-equality guarantee) produce identical usage and therefore
+// identical joules. Call after the run (and after FoldHybrid).
+func (s *System) PowerUsage() power.Usage {
+	u := power.Usage{
+		FreqGHz:     s.Spec.NPU.FreqGHz,
+		Nodes:       len(s.Nodes),
+		ACEs:        len(s.ACEs),
+		Links:       s.Net.NumLinks(),
+		WireBytes:   s.Net.TotalWireBytes(),
+		InjectedBts: s.Net.InjectedBytes(),
+		Makespan:    s.Eng.Now(),
+	}
+	for _, n := range s.Nodes {
+		u.ComputeBusy += n.Compute().BusyTime()
+		u.HBMBytes += n.CommMem.Meter.Total() + n.WriteMeter.Total()
+		u.DMABusy += n.BusTX.BusyTime() + n.BusRX.BusyTime()
+	}
+	for _, a := range s.ACEs {
+		u.ACEBusy += a.EngineBusy()
+	}
+	return u
+}
+
+// PowerReport derives the energy/power breakdown when energy
+// accounting is enabled (PeakW from the sampler, everything else from
+// the lifetime meters). The second return is false when Spec.Power is
+// nil.
+func (s *System) PowerReport() (power.Breakdown, bool) {
+	if s.Spec.Power == nil {
+		return power.Breakdown{}, false
+	}
+	b := s.Spec.Power.Coeff.Energy(s.PowerUsage())
+	if s.Sampler != nil {
+		b.PeakW = s.Sampler.PeakW(s.Eng.Now())
+	}
+	return b, true
 }
 
 // wireHybrid arms (or refuses, with a counted reason) the runtime's
@@ -339,6 +446,11 @@ func (s *System) wireHybrid() {
 					}
 				}
 				s.Net.AbsorbFrom(tw.Net, times)
+				// The shadow's windowed energy timeline folds the same
+				// way as its meters: mirrored runs carry node 0's
+				// symmetric share, and the integer windows scale by N
+				// exactly.
+				s.Sampler.AbsorbFrom(tw.Sampler, times)
 			}
 			return &collectives.Shadow{RT: tw.RT, Eng: tw.Eng, Fold: fold}, nil
 		},
