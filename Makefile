@@ -10,7 +10,7 @@ GO ?= go
 # below the measured 70.3% so regressions fail again.
 COVER_MIN ?= 70.0
 
-.PHONY: build test test-short test-race bench lint vet fuzz-smoke fmt cover cover-check trace-smoke overhead-guard chaos-smoke hybrid-smoke power-smoke
+.PHONY: build test test-short test-race bench lint vet fuzz-smoke fmt cover cover-check trace-smoke overhead-guard chaos-smoke hybrid-smoke power-smoke serve-smoke serve-stress
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,19 @@ hybrid-smoke:
 power-smoke:
 	$(GO) test -run 'TestPower|TestEnergy' ./internal/power ./internal/stats ./internal/exper ./internal/scenario/runner
 	$(GO) run ./cmd/acesim scenario run examples/scenarios/energy_vs_overlap.json
+
+# Serving-layer smoke: start an ephemeral daemon, submit the bundled
+# fig4 scenario twice, assert the second submission is served entirely
+# from the content-addressed cache with a byte-identical json-lines
+# body, then drain cleanly. Exits non-zero on any mismatch.
+serve-smoke:
+	$(GO) run ./cmd/acesim serve -smoke examples/scenarios/fig4.json
+
+# Serving-layer stress: push 10^5 work units (mostly cache hits by
+# construction) through one ephemeral daemon and report hit rate and
+# units/sec. See EXPERIMENTS.md, "Serving-layer stress methodology".
+serve-stress:
+	$(GO) run ./cmd/acesim serve -stress -stress-units 100000
 
 # Per-package coverage summary plus the total (short mode: the full
 # grids add minutes without covering new statements).

@@ -18,6 +18,7 @@
 package acesim
 
 import (
+	"context"
 	"io"
 
 	"acesim/internal/collectives"
@@ -27,6 +28,7 @@ import (
 	"acesim/internal/noc"
 	"acesim/internal/scenario"
 	"acesim/internal/scenario/runner"
+	"acesim/internal/serve"
 	"acesim/internal/system"
 	"acesim/internal/training"
 	"acesim/internal/workload"
@@ -170,6 +172,34 @@ func ParseScenario(r io.Reader) (*Scenario, error) { return scenario.Parse(r) }
 // worker count.
 func RunScenario(sc *Scenario, opts ScenarioOptions) (*ScenarioResults, error) {
 	return runner.Run(sc, opts)
+}
+
+// RunScenarioContext is RunScenario with cancellation: when ctx is
+// canceled mid-run, dispatch stops, in-flight units drain, and the
+// partial results (every completed unit, in expansion order, with
+// Canceled set) are returned alongside ctx.Err().
+func RunScenarioContext(ctx context.Context, sc *Scenario, opts ScenarioOptions) (*ScenarioResults, error) {
+	return runner.RunContext(ctx, sc, opts)
+}
+
+// ServeConfig tunes the acesim daemon (`acesim serve`): listen address,
+// worker-pool width, submission-queue bound.
+type ServeConfig = serve.Config
+
+// Server is the simulator-as-a-service daemon: an HTTP control plane
+// over a bounded cross-scenario scheduler and a content-addressed
+// result cache. See DESIGN.md, "Serving layer".
+type Server = serve.Server
+
+// NewServer builds a daemon from cfg; call Start to listen and Shutdown
+// to drain gracefully.
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+
+// UnitCacheKey computes the content address of one expanded work unit —
+// the SHA-256 of its canonical field-ordered spec plus the code-version
+// stamp — as used by the serving layer's result cache.
+func UnitCacheKey(u scenario.Unit, traced bool, version string) (string, error) {
+	return serve.UnitKey(u, traced, version)
 }
 
 // Graph is a workload execution graph: a DAG of compute kernels,

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,7 +31,7 @@ import (
 // workload into the JSON graph format — the plain Section V training
 // loop by default, or a pipeline-parallel schedule when -stages is set —
 // so the emitted file can be edited by hand or replayed with `graph run`.
-func runGraphCmd(args []string) error {
+func runGraphCmd(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("missing graph subcommand (run, convert or validate)")
@@ -92,7 +93,18 @@ func runGraphCmd(args []string) error {
 			cols = append(cols, "energy J", "peak W")
 		}
 		tab := report.New(fmt.Sprintf("graphs on %s %s (%s engine)", size, p, engine), cols...)
-		for _, path := range fs.Args() {
+		for n, path := range fs.Args() {
+			// Ctrl-C between graphs keeps every finished row: print the
+			// partial table and exit 130 instead of discarding it. (A
+			// graph execution itself is one indivisible simulation.)
+			if ctx.Err() != nil {
+				if err := show(tab, nil); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "acesim: graph run interrupted: %d of %d graphs completed\n",
+					n, fs.NArg())
+				return errInterrupted
+			}
 			g, err := graph.Load(path)
 			if err != nil {
 				return err

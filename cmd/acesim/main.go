@@ -33,13 +33,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"acesim/internal/collectives"
 	"acesim/internal/exper"
@@ -58,8 +61,18 @@ import (
 // simulation failures (exit 1).
 var errUsage = errors.New("bad usage")
 
+// errInterrupted marks a run cut short by SIGINT/SIGTERM after its
+// completed partial results were flushed; main exits 130 (128 + SIGINT)
+// so scripts can tell an interrupted sweep from a failed one.
+var errInterrupted = errors.New("interrupted")
+
 func main() {
-	err := run(os.Args[1:])
+	// One signal cancels the context: sweeps stop dispatching, in-flight
+	// units drain, and partial results are flushed. A second signal hits
+	// the default disposition and kills the process immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := runCtx(ctx, os.Args[1:])
+	stop()
 	if err == nil {
 		return
 	}
@@ -67,6 +80,9 @@ func main() {
 	if errors.Is(err, errUsage) {
 		usage()
 		os.Exit(2)
+	}
+	if errors.Is(err, errInterrupted) {
+		os.Exit(130)
 	}
 	os.Exit(1)
 }
@@ -90,23 +106,30 @@ func parseFlags(fs *flag.FlagSet, args []string) error {
 	return nil
 }
 
-func run(args []string) error {
+// run executes one CLI invocation without cancellation (tests call it
+// directly; main routes through runCtx with the signal context).
+func run(args []string) error { return runCtx(context.Background(), args) }
+
+func runCtx(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("missing experiment")
 	}
 	cmd := args[0]
 	if cmd == "scenario" {
-		return runScenario(args[1:])
+		return runScenario(ctx, args[1:])
 	}
 	if cmd == "bench" {
 		return runBench(args[1:])
 	}
 	if cmd == "graph" {
-		return runGraphCmd(args[1:])
+		return runGraphCmd(ctx, args[1:])
 	}
 	if cmd == "trace" {
-		return runTrace(args[1:])
+		return runTrace(ctx, args[1:])
+	}
+	if cmd == "serve" {
+		return runServe(ctx, args[1:])
 	}
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	sizeStr := fs.String("size", "4x8x4", "fabric topology for single-size experiments (sizes joined by \"x\", \"m\" suffix = mesh dim)")
@@ -158,6 +181,7 @@ func usage() {
        acesim graph run|convert|validate [-size SHAPE] [-preset P] [-engine des|hybrid|analytic] [-power] [convert flags] <file>...
        acesim trace [-out trace.json] [-csv path] [-workers N] [-size SHAPE] [-preset P] <scenario.json|graph.json>
        acesim bench [-short] [-runs N] [-out path]
+       acesim serve [-addr :8080] [-workers N] [-queue UNITS] [-smoke scenario.json] [-stress [stress flags]]
 experiments: fig4 fig5 fig6 fig9a fig9b fig10 fig11 fig12
              table4 table5 table6 analytic ablation interference all`)
 }
@@ -171,7 +195,7 @@ func parseTorus(s string) (noc.Topology, error) {
 }
 
 // runScenario dispatches the scenario subcommands.
-func runScenario(args []string) error {
+func runScenario(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("missing scenario subcommand (run, validate or list)")
@@ -260,8 +284,8 @@ func runScenario(args []string) error {
 			if err != nil {
 				return err
 			}
-			res, err := scrunner.Run(sc, scrunner.Options{Workers: *workers})
-			if err != nil {
+			res, err := scrunner.RunContext(ctx, sc, scrunner.Options{Workers: *workers})
+			if err != nil && (res == nil || !res.Canceled) {
 				return err
 			}
 			switch *format {
@@ -274,6 +298,13 @@ func runScenario(args []string) error {
 			}
 			if err != nil {
 				return err
+			}
+			if res.Canceled {
+				// Completed units are already flushed above; name what is
+				// missing and exit 130 without touching later files.
+				fmt.Fprintf(os.Stderr, "acesim: scenario %s interrupted: %d of %d units completed\n",
+					sc.Name, len(res.Units), res.Total)
+				return errInterrupted
 			}
 			if *powerCSV != "" {
 				f, err := os.Create(*powerCSV)
@@ -407,15 +438,25 @@ func (r runner) fig10() error {
 		for _, tr := range traces {
 			name := fmt.Sprintf("fig10_%s_%s.csv",
 				strings.ToLower(strings.ReplaceAll(tr.Row.Workload, "-", "")), tr.Row.Preset)
-			f, err := os.Create(filepath.Join(r.csvDir, name))
+			path := filepath.Join(r.csvDir, name)
+			f, err := os.Create(path)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintln(f, "time_us,net_util,compute_util")
-			for b := range tr.NetUtil {
-				fmt.Fprintf(f, "%d,%.4f,%.4f\n", b, tr.NetUtil[b], tr.CmpUtil[b])
+			// A full disk or yanked volume surfaces here, not as a
+			// silent "wrote N timelines": every write error — including
+			// the buffered ones Close reports — fails the command.
+			_, werr := fmt.Fprintln(f, "time_us,net_util,compute_util")
+			for b := 0; werr == nil && b < len(tr.NetUtil); b++ {
+				_, werr = fmt.Fprintf(f, "%d,%.4f,%.4f\n", b, tr.NetUtil[b], tr.CmpUtil[b])
 			}
-			f.Close()
+			if werr != nil {
+				f.Close()
+				return fmt.Errorf("writing %s: %w", path, werr)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("writing %s: %w", path, err)
+			}
 		}
 		fmt.Printf("wrote %d timelines to %s\n", len(traces), r.csvDir)
 	}

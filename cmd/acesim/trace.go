@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -29,7 +30,7 @@ import (
 //
 // The output path defaults to the scenario's "trace" block "out" field
 // when present, else <input>_trace.json next to the working directory.
-func runTrace(args []string) error {
+func runTrace(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
 	out := fs.String("out", "", `Chrome trace-event JSON output path (default: scenario "trace" "out", else <input>_trace.json)`)
 	csvPath := fs.String("csv", "", "also write the trace summary table as CSV to this path")
@@ -48,7 +49,7 @@ func runTrace(args []string) error {
 	// schema first (it is strict), then fall back to the graph loader.
 	sc, scErr := scenario.Load(path)
 	if scErr == nil {
-		return traceScenario(sc, path, *out, *csvPath, *workers)
+		return traceScenario(ctx, sc, path, *out, *csvPath, *workers)
 	}
 	if g, err := graph.Load(path); err == nil {
 		return traceGraph(g, path, *out, *csvPath, *sizeStr, *preset)
@@ -97,10 +98,20 @@ func writeChromeFile(path string, write func(w io.Writer) error) (trace.ChromeSt
 }
 
 // traceScenario runs every unit of the scenario with tracing forced on.
-func traceScenario(sc *scenario.Scenario, input, out, csvPath string, workers int) error {
-	res, err := scrunner.Run(sc, scrunner.Options{Workers: workers, Trace: true})
-	if err != nil {
+func traceScenario(ctx context.Context, sc *scenario.Scenario, input, out, csvPath string, workers int) error {
+	res, err := scrunner.RunContext(ctx, sc, scrunner.Options{Workers: workers, Trace: true})
+	if err != nil && (res == nil || !res.Canceled) {
 		return err
+	}
+	if res.Canceled {
+		// Print what completed but skip the Chrome export: a partial
+		// timeline is indistinguishable from a short run in Perfetto.
+		if err := res.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "acesim: trace %s interrupted: %d of %d units completed, no trace file written\n",
+			sc.Name, len(res.Units), res.Total)
+		return errInterrupted
 	}
 	// Tracing forces full DES, so a scenario that asked for a fast
 	// engine silently loses it; name each refusal instead.

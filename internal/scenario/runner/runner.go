@@ -6,6 +6,7 @@
 package runner
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -72,12 +73,30 @@ type Results struct {
 	Name       string
 	Units      []UnitResult
 	Assertions []AssertionOutcome
+	// Total is the expanded unit count. It equals len(Units) except on
+	// a canceled run, where Units holds only the completed subset.
+	Total int
+	// Canceled reports that the run's context was canceled before every
+	// unit completed: Units holds the units finished before the cancel
+	// (still in expansion order) and no assertions were evaluated.
+	Canceled bool
 }
 
 // Run expands the scenario and executes every unit on the worker pool.
 // It fails on the first unit error; assertion violations do not fail
 // the run — inspect Results.Failures.
 func Run(sc *scenario.Scenario, opts Options) (*Results, error) {
+	return RunContext(context.Background(), sc, opts)
+}
+
+// RunContext is Run with cancellation: when ctx is canceled mid-run the
+// pool stops dispatching new units, in-flight units drain to completion
+// (a work unit is one indivisible simulation), and the partial Results
+// — every completed unit, in expansion order — are returned alongside
+// ctx.Err(), so callers can flush completed work instead of discarding
+// it. An uncancelled context leaves the run's behavior and output
+// byte-identical to Run.
+func RunContext(ctx context.Context, sc *scenario.Scenario, opts Options) (*Results, error) {
 	units, err := sc.Expand()
 	if err != nil {
 		return nil, err
@@ -96,6 +115,7 @@ func Run(sc *scenario.Scenario, opts Options) (*Results, error) {
 	traced := opts.Trace || sc.TraceEnabled()
 	results := make([]UnitResult, len(units))
 	errs := make([]error, len(units))
+	started := make([]bool, len(units))
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -103,43 +123,100 @@ func Run(sc *scenario.Scenario, opts Options) (*Results, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				// A cancel between dispatch and pickup: drain the
+				// channel without starting more simulations.
+				if ctx.Err() != nil {
+					continue
+				}
+				started[i] = true
 				// One tracer per unit, owned by this worker until the
 				// run completes; results are merged in unit order, so
 				// the worker count never changes the output.
-				var tr *trace.Tracer
-				if traced {
-					tr = trace.New()
-				}
-				m, aux, err := runUnit(units[i], alone, tr)
-				if err == nil && tr != nil {
-					addTraceMetrics(m, tr)
-				}
-				if err == nil && aux.pr != nil {
-					addPowerMetrics(m, aux.pr)
-					// Merge the power timeline into the unit's trace as
-					// counter tracks (no-op when untraced).
-					aux.pr.Sampler.EmitCounters(tr, aux.pr.Makespan)
-				}
-				results[i] = UnitResult{Unit: units[i], Metrics: m, Trace: tr, Power: aux.pr, Hybrid: aux.hyb}
-				errs[i] = err
+				results[i], errs[i] = runOne(units[i], alone, traced)
 			}
 		}()
 	}
+dispatch:
 	for i := range units {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		res := &Results{Name: sc.Name, Total: len(units), Canceled: true}
+		for i := range units {
+			if started[i] && errs[i] == nil {
+				res.Units = append(res.Units, results[i])
+			}
+		}
+		return res, ctxErr
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: unit %d (%s): %w", sc.Name, i, describe(units[i]), err)
 		}
 	}
-	res := &Results{Name: sc.Name, Units: results}
-	for _, a := range sc.Assertions {
-		res.Assertions = append(res.Assertions, check(a, results))
-	}
+	res := &Results{Name: sc.Name, Units: results, Total: len(units)}
+	res.Assertions = Evaluate(sc.Assertions, results)
 	return res, nil
+}
+
+// runOne executes one unit with its own span collector and folds the
+// trace and power metrics into the result — the shared per-unit body of
+// the pool workers and the exported RunOne.
+func runOne(u scenario.Unit, alone map[int64]float64, traced bool) (UnitResult, error) {
+	var tr *trace.Tracer
+	if traced {
+		tr = trace.New()
+	}
+	m, aux, err := runUnit(u, alone, tr)
+	if err != nil {
+		return UnitResult{Unit: u}, err
+	}
+	if tr != nil {
+		addTraceMetrics(m, tr)
+	}
+	if aux.pr != nil {
+		addPowerMetrics(m, aux.pr)
+		// Merge the power timeline into the unit's trace as counter
+		// tracks (no-op when untraced).
+		aux.pr.Sampler.EmitCounters(tr, aux.pr.Makespan)
+	}
+	return UnitResult{Unit: u, Metrics: m, Trace: tr, Power: aux.pr, Hybrid: aux.hyb}, nil
+}
+
+// RunOne executes a single expanded work unit on a freshly built
+// system, independent of any scenario run — the serving layer uses it
+// to execute (and cache) units from many submissions on one shared
+// pool. traced forces the span collector on, folding the trace_*
+// metrics into the result the same way a traced scenario run does. A
+// microbench unit measures its kernel-free baseline inline (scenario
+// runs amortize one baseline per payload; a lone unit pays for its
+// own — the measurement is deterministic, so the metrics are identical).
+func RunOne(u scenario.Unit, traced bool) (UnitResult, error) {
+	var alone map[int64]float64
+	if u.Kind == scenario.KindMicrobench {
+		var err error
+		if alone, err = aloneBaselines([]scenario.Unit{u}); err != nil {
+			return UnitResult{Unit: u}, err
+		}
+	}
+	return runOne(u, alone, traced)
+}
+
+// Evaluate checks assertions against a set of unit results, one outcome
+// per assertion in order. Run uses it after a complete pass; the
+// serving layer evaluates once all of a submission's units have landed.
+func Evaluate(asserts []scenario.Assertion, units []UnitResult) []AssertionOutcome {
+	var out []AssertionOutcome
+	for _, a := range asserts {
+		out = append(out, check(a, units))
+	}
+	return out
 }
 
 // HybridWarnings returns one line per unit whose requested fast engine
@@ -684,30 +761,43 @@ type resultsJSON struct {
 	Failures []string   `json:"failures,omitempty"`
 }
 
+// unitJSONOf flattens one unit result into its machine-readable form.
+func unitJSONOf(ur UnitResult) unitJSON {
+	u := ur.Unit
+	uj := unitJSON{Index: u.Index, Kind: string(u.Kind), Metrics: ur.Metrics}
+	switch u.Kind {
+	case scenario.KindCollective:
+		uj.Torus, uj.Preset = u.Topo.String(), u.Preset.String()
+		uj.Collective, uj.PayloadBytes = u.Collective.String(), u.Bytes
+	case scenario.KindTraining:
+		uj.Torus, uj.Preset, uj.Workload = u.Topo.String(), u.Preset.String(), u.Workload
+	case scenario.KindMicrobench:
+		uj.Kernel, uj.PayloadBytes = u.Kernel.KernelName(), u.Bytes
+	case scenario.KindMultiJob:
+		uj.Torus, uj.Preset = u.Topo.String(), u.Preset.String()
+		for _, sj := range u.SubJobs {
+			uj.Jobs = append(uj.Jobs, sj.Name)
+		}
+	case scenario.KindGraph:
+		uj.Torus, uj.Preset = u.Topo.String(), u.Preset.String()
+		uj.Graph = graphLabel(u)
+	}
+	return uj
+}
+
+// MarshalUnitLine renders one unit result as a single compact JSON
+// object (no trailing newline) — the element type of the serving
+// layer's json-lines result stream. Metrics maps marshal with sorted
+// keys, so the line is byte-deterministic for a given result.
+func MarshalUnitLine(ur UnitResult) ([]byte, error) {
+	return json.Marshal(unitJSONOf(ur))
+}
+
 // WriteJSON renders the results as one indented JSON document.
 func (r *Results) WriteJSON(w io.Writer) error {
 	out := resultsJSON{Name: r.Name, Failures: r.Failures()}
 	for _, ur := range r.Units {
-		u := ur.Unit
-		uj := unitJSON{Index: u.Index, Kind: string(u.Kind), Metrics: ur.Metrics}
-		switch u.Kind {
-		case scenario.KindCollective:
-			uj.Torus, uj.Preset = u.Topo.String(), u.Preset.String()
-			uj.Collective, uj.PayloadBytes = u.Collective.String(), u.Bytes
-		case scenario.KindTraining:
-			uj.Torus, uj.Preset, uj.Workload = u.Topo.String(), u.Preset.String(), u.Workload
-		case scenario.KindMicrobench:
-			uj.Kernel, uj.PayloadBytes = u.Kernel.KernelName(), u.Bytes
-		case scenario.KindMultiJob:
-			uj.Torus, uj.Preset = u.Topo.String(), u.Preset.String()
-			for _, sj := range u.SubJobs {
-				uj.Jobs = append(uj.Jobs, sj.Name)
-			}
-		case scenario.KindGraph:
-			uj.Torus, uj.Preset = u.Topo.String(), u.Preset.String()
-			uj.Graph = graphLabel(u)
-		}
-		out.Units = append(out.Units, uj)
+		out.Units = append(out.Units, unitJSONOf(ur))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

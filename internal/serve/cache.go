@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"sync"
+)
+
+// cacheResult is one stored unit outcome: the metrics map (treated as
+// read-only once stored — lines are marshaled from it, never mutated)
+// or the unit's deterministic execution error.
+type cacheResult struct {
+	metrics map[string]float64
+	err     error
+}
+
+// cacheEntry is one in-flight or completed computation. ready is closed
+// exactly once, after res is set; waiters block on it.
+type cacheEntry struct {
+	ready chan struct{}
+	res   cacheResult
+}
+
+// Cache is the content-addressed result store with single-flight
+// semantics: the first requester of a key computes, every concurrent or
+// later requester waits for (or finds) the stored result. Simulations
+// are deterministic, so errors are cached alongside results — resubmitting
+// a failing unit returns the same error without recomputing it.
+type Cache struct {
+	mu     sync.Mutex
+	m      map[string]*cacheEntry
+	hits   int64
+	misses int64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{m: map[string]*cacheEntry{}}
+}
+
+// Do returns the result for key, running compute on first sight. hit
+// reports whether the result came from the cache; a requester that
+// joins another's in-flight computation counts as a hit (it did not
+// compute, and by the time it returns the result is shared).
+func (c *Cache) Do(key string, compute func() (map[string]float64, error)) (m map[string]float64, hit bool, err error) {
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.res.metrics, true, e.res.err
+	}
+	e = &cacheEntry{ready: make(chan struct{})}
+	c.m[key] = e
+	c.misses++
+	c.mu.Unlock()
+	m, err = compute()
+	e.res = cacheResult{metrics: m, err: err}
+	close(e.ready)
+	return m, false, err
+}
+
+// Stats reports the hit/miss counters and entry count.
+func (c *Cache) Stats() (hits, misses, entries int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, int64(len(c.m))
+}

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// SmokeReport summarizes one end-to-end self-test.
+type SmokeReport struct {
+	Units      int
+	FirstHits  int
+	SecondHits int
+	Bytes      int
+	Identical  bool
+}
+
+// Smoke exercises a live daemon end to end: submit scenarioJSON twice,
+// wait both jobs out, and check that the second submission was served
+// entirely from the cache with a byte-identical json-lines body. It is
+// the substance of `make serve-smoke`.
+func Smoke(ctx context.Context, baseURL string, scenarioJSON []byte) (*SmokeReport, error) {
+	client := &http.Client{Timeout: 120 * time.Second}
+	var retried atomic.Int64
+	run := func() (*JobStatus, []byte, error) {
+		id, err := submitWithRetry(ctx, client, baseURL, scenarioJSON, &retried)
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err := waitDone(ctx, client, baseURL, id)
+		if err != nil {
+			return nil, nil, err
+		}
+		if st.State != "done" {
+			return nil, nil, fmt.Errorf("job %s ended %s: %s", id, st.State, st.Error)
+		}
+		body, err := fetchResults(ctx, client, baseURL, id)
+		return st, body, err
+	}
+	st1, b1, err := run()
+	if err != nil {
+		return nil, fmt.Errorf("first submission: %w", err)
+	}
+	st2, b2, err := run()
+	if err != nil {
+		return nil, fmt.Errorf("second submission: %w", err)
+	}
+	rep := &SmokeReport{
+		Units:      st1.Units,
+		FirstHits:  st1.CacheHits,
+		SecondHits: st2.CacheHits,
+		Bytes:      len(b1),
+		Identical:  bytes.Equal(b1, b2),
+	}
+	if !rep.Identical {
+		return rep, fmt.Errorf("result bodies differ (%d vs %d bytes)", len(b1), len(b2))
+	}
+	if st2.CacheHits != st2.Units {
+		return rep, fmt.Errorf("second submission hit the cache for only %d of %d units", st2.CacheHits, st2.Units)
+	}
+	return rep, nil
+}
+
+// fetchResults reads a job's full json-lines result body.
+func fetchResults(ctx context.Context, client *http.Client, baseURL, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/jobs/"+id+"/results", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("results %s: %s: %s", id, resp.Status, bytes.TrimSpace(b))
+	}
+	return b, nil
+}

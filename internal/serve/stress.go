@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StressConfig shapes a load-generation run against a live daemon.
+type StressConfig struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Units is the total number of work units to push through the
+	// daemon across all submissions; <= 0 means 100000.
+	Units int
+	// Points is the number of distinct sweep points cycled through —
+	// everything past the first Points units is a cache hit by
+	// construction; <= 0 means 100.
+	Points int
+	// Clients is the number of concurrent submitters; <= 0 means 4.
+	Clients int
+}
+
+// StressReport summarizes one stress run.
+type StressReport struct {
+	Submissions int           `json:"submissions"`
+	Units       int           `json:"units"`
+	CacheHits   int64         `json:"cache_hits"`
+	Retried429  int64         `json:"retried_429"`
+	Elapsed     time.Duration `json:"-"`
+	ElapsedSec  float64       `json:"elapsed_sec"`
+	UnitsPerSec float64       `json:"units_per_sec"`
+	HitRate     float64       `json:"hit_rate"`
+}
+
+// stressScenario builds one submission body: a single-sweep analytic
+// collective scenario whose payload list cycles through the point set,
+// so a full run touches exactly cfg.Points distinct unit keys.
+func stressScenario(name string, payloads []int64) ([]byte, error) {
+	type jobSpec struct {
+		Kind         string  `json:"kind"`
+		Collective   string  `json:"collective"`
+		PayloadBytes []int64 `json:"payload_bytes"`
+	}
+	doc := map[string]any{
+		"name": name,
+		"platform": map[string]any{
+			"topologies": []string{"4"},
+			"presets":    []string{"ACE"},
+			"engine":     "analytic",
+		},
+		"jobs": []jobSpec{{
+			Kind:         "collective",
+			Collective:   "all-reduce",
+			PayloadBytes: payloads,
+		}},
+	}
+	return json.Marshal(doc)
+}
+
+// Stress drives cfg.Units work units through the daemon at BaseURL
+// from cfg.Clients concurrent submitters, honoring 429 + Retry-After
+// backpressure, and reports throughput and the daemon-observed hit
+// rate. The point set is tiny relative to the unit count, so the run
+// exercises the cache far more than the simulator — by design: it
+// measures the serving layer, not the engine.
+func Stress(ctx context.Context, cfg StressConfig) (*StressReport, error) {
+	if cfg.Units <= 0 {
+		cfg.Units = 100000
+	}
+	if cfg.Points <= 0 {
+		cfg.Points = 100
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	payloads := make([]int64, cfg.Points)
+	for i := range payloads {
+		payloads[i] = int64(4096 * (i + 1))
+	}
+	submissions := (cfg.Units + cfg.Points - 1) / cfg.Points
+	units := submissions * cfg.Points
+
+	var (
+		retried atomic.Int64
+		jobIDs  = make([]string, submissions)
+		wg      sync.WaitGroup
+		errMu   sync.Mutex
+		firstEr error
+	)
+	client := &http.Client{Timeout: 60 * time.Second}
+	start := time.Now()
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := 0; i < submissions; i++ {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				body, err := stressScenario(fmt.Sprintf("stress-%d", i), payloads)
+				if err == nil {
+					jobIDs[i], err = submitWithRetry(ctx, client, cfg.BaseURL, body, &retried)
+				}
+				if err != nil {
+					errMu.Lock()
+					if firstEr == nil {
+						firstEr = fmt.Errorf("submission %d: %w", i, err)
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+
+	// Poll every job to completion; jobs finish roughly in accept order
+	// so this pass mostly observes already-done jobs.
+	var hits int64
+	for _, id := range jobIDs {
+		st, err := waitDone(ctx, client, cfg.BaseURL, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State == "failed" || st.State == "canceled" {
+			return nil, fmt.Errorf("job %s ended %s: %s", id, st.State, st.Error)
+		}
+		hits += int64(st.CacheHits)
+	}
+	elapsed := time.Since(start)
+	rep := &StressReport{
+		Submissions: submissions,
+		Units:       units,
+		CacheHits:   hits,
+		Retried429:  retried.Load(),
+		Elapsed:     elapsed,
+		ElapsedSec:  elapsed.Seconds(),
+		UnitsPerSec: float64(units) / elapsed.Seconds(),
+	}
+	rep.HitRate = float64(hits) / float64(units)
+	return rep, nil
+}
+
+// submitWithRetry POSTs one scenario, sleeping out 429 responses per
+// their Retry-After hint (bounded below at 50ms so a zero hint cannot
+// spin), until accepted or ctx ends.
+func submitWithRetry(ctx context.Context, client *http.Client, baseURL string, body []byte, retried *atomic.Int64) (string, error) {
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/scenarios", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			delay := 50 * time.Millisecond
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				delay = time.Duration(ra) * time.Second
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			retried.Add(1)
+			select {
+			case <-time.After(delay):
+				continue
+			case <-ctx.Done():
+				return "", ctx.Err()
+			}
+		}
+		b, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return "", rerr
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return "", fmt.Errorf("submit: %s: %s", resp.Status, bytes.TrimSpace(b))
+		}
+		var acc struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(b, &acc); err != nil {
+			return "", fmt.Errorf("submit: decoding response: %w", err)
+		}
+		return acc.ID, nil
+	}
+}
+
+// waitDone polls a job's status until it leaves the queued/running
+// states.
+func waitDone(ctx context.Context, client *http.Client, baseURL string, id string) (*JobStatus, error) {
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/jobs/"+id+"/status", nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		b, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("status %s: %s: %s", id, resp.Status, bytes.TrimSpace(b))
+		}
+		var st JobStatus
+		if err := json.Unmarshal(b, &st); err != nil {
+			return nil, err
+		}
+		if st.State != "queued" && st.State != "running" {
+			return &st, nil
+		}
+		select {
+		case <-time.After(20 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
